@@ -1,0 +1,49 @@
+"""Ablation: Householder QR vs normal equations (Cholesky) least squares.
+
+The paper's solver pays for a full QR factorization; the cheaper
+normal-equations route squares the condition number.  This ablation
+measures both solvers' real execution and checks the accuracy gap on an
+ill conditioned problem, quantifying why the QR route is the right
+default even when extended precision is available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import lstsq
+from repro.core.normal_equations import solve_normal_equations
+from repro.vec import MDArray, linalg
+from repro.vec import random as mdrandom
+
+
+@pytest.mark.parametrize("solver", ["qr", "normal_equations"])
+def test_real_execution_cost(benchmark, solver, rng):
+    a, b = mdrandom.random_lstsq_problem(32, 16, 2, rng)
+    if solver == "qr":
+        result = benchmark.pedantic(lambda: lstsq(a, b, tile_size=4), rounds=1, iterations=1)
+        x = result.x
+    else:
+        x = benchmark.pedantic(lambda: solve_normal_equations(a, b), rounds=1, iterations=1).x
+    gradient = linalg.matvec(linalg.conjugate_transpose(a), b - linalg.matvec(a, x))
+    assert linalg.max_abs_entry(gradient) < 1e-25
+
+
+def test_qr_is_more_accurate_on_ill_conditioned_problems(benchmark, rng):
+    n = 12
+    u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    a = MDArray.from_double(u @ np.diag(10.0 ** -np.arange(n, dtype=float)) @ v.T, 2)
+    x_true = mdrandom.random_vector(n, 2, rng)
+    b = linalg.matvec(a, x_true)
+
+    def both():
+        return solve_normal_equations(a, b).x, lstsq(a, b, tile_size=4).x
+
+    x_ne, x_qr = benchmark.pedantic(both, rounds=1, iterations=1)
+    err_ne = linalg.max_abs_entry(x_ne - x_true)
+    err_qr = linalg.max_abs_entry(x_qr - x_true)
+    benchmark.extra_info["error_normal_equations"] = err_ne
+    benchmark.extra_info["error_qr"] = err_qr
+    assert err_qr < 1e-3 * err_ne

@@ -1,0 +1,18 @@
+"""Table 1: operation counts of multiple double arithmetic."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.md.opcounts import PAPER_TABLE1
+from repro.perf import experiments
+
+
+def test_table1_operation_counts(benchmark):
+    result = run_and_render(benchmark, experiments.table1_operation_counts)
+    rows = {row["limbs"]: row for row in result.rows}
+    # the paper's counts are reported verbatim
+    assert rows[4]["paper_div"] == PAPER_TABLE1[4].div == 893
+    # our measured counts grow with the same quadratic trend
+    assert rows[4]["measured_mul"] > 4 * rows[2]["measured_mul"]
+    assert rows[8]["measured_mul"] > 4 * rows[4]["measured_mul"]

@@ -1,0 +1,15 @@
+"""Table 2: characteristics of the five (simulated) GPUs."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table2_device_catalog(benchmark):
+    result = run_and_render(benchmark, experiments.table2_devices)
+    assert len(result.rows) == 5
+    v100 = next(r for r in result.rows if "V100" in r["device"])
+    assert v100["multiprocessors"] == 80
+    assert v100["peak_double_gflops"] == 7900.0

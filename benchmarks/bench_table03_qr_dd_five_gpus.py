@@ -1,0 +1,20 @@
+"""Table 3: double double QR of a 1,024x1,024 matrix on five GPUs."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table3_dd_qr_on_five_gpus(benchmark):
+    result = run_and_render(benchmark, experiments.table3_qr_dd_five_gpus)
+    rates = {row["device"]: row["kernel_gflops"] for row in result.rows}
+    times = {row["device"]: row["kernel_ms"] for row in result.rows}
+    # teraflop performance on the P100 and V100, not on the others
+    assert rates["P100"] > 1000 and rates["V100"] > 1000
+    assert rates["C2050"] < 1000 and rates["K20C"] < 1000 and rates["RTX2080"] < 1000
+    # historical ranking: every newer datacenter GPU is faster
+    assert times["V100"] < times["P100"] < times["K20C"] < times["C2050"]
+    # the V100/P100 time ratio is in the vicinity of the 1.68 peak ratio
+    assert 1.2 < times["P100"] / times["V100"] < 2.3

@@ -1,0 +1,42 @@
+"""Table 4 and Figure 1: QR in four precisions on three GPUs."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table4_qr_four_precisions(benchmark):
+    result = run_and_render(benchmark, experiments.table4_qr_four_precisions)
+    by_key = {(r["device"], r["limbs"]): r for r in result.rows}
+    for device in ("RTX2080", "P100", "V100"):
+        # times increase with precision ...
+        assert (
+            by_key[(device, 2)]["kernel_ms"]
+            < by_key[(device, 4)]["kernel_ms"]
+            < by_key[(device, 8)]["kernel_ms"]
+        )
+        # ... but the flop rate also increases with the precision
+        assert (
+            by_key[(device, 2)]["kernel_gflops"]
+            < by_key[(device, 4)]["kernel_gflops"]
+            < by_key[(device, 8)]["kernel_gflops"]
+        )
+        # overhead factors below the operation-count predictions
+        assert by_key[(device, 4)]["kernel_ms"] / by_key[(device, 2)]["kernel_ms"] < 11.7
+        assert by_key[(device, 8)]["kernel_ms"] / by_key[(device, 4)]["kernel_ms"] < 5.4
+
+
+def test_figure1_precision_scaling(benchmark):
+    result = run_and_render(benchmark, experiments.figure1_qr_precision_scaling)
+    v100 = [r["log2_kernel_ms"] for r in result.rows if r["device"] == "V100"]
+    # monotone growth of the bars, spaced by roughly log2(7) and log2(4)
+    assert v100 == sorted(v100)
+    assert 2.0 < v100[1] - v100[0] < 3.6
+    assert 1.5 < v100[2] - v100[1] < 2.6
+
+
+def test_overhead_factor_summary(benchmark):
+    result = run_and_render(benchmark, experiments.overhead_factors)
+    assert all(row["below_prediction"] for row in result.rows)

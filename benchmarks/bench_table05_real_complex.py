@@ -1,0 +1,20 @@
+"""Table 5: real vs complex double double QR at dimension 512."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table5_real_vs_complex_tile_sweep(benchmark):
+    result = run_and_render(benchmark, experiments.table5_real_vs_complex)
+    real = {r["tiling"]: r for r in result.rows if r["data"] == "real"}
+    cplx = {r["tiling"]: r for r in result.rows if r["data"] == "complex"}
+    for tiling in real:
+        # complex arithmetic needs roughly four times the operations, so the
+        # kernel times are a few times larger at equal dimension
+        assert 2.0 < cplx[tiling]["kernel_ms"] / real[tiling]["kernel_ms"] < 5.0
+    # performance improves when going from 32-thread to 128-thread tiles
+    assert real["4x128"]["kernel_gflops"] > real["16x32"]["kernel_gflops"]
+    assert cplx["4x128"]["kernel_gflops"] > cplx["16x32"]["kernel_gflops"]

@@ -1,0 +1,27 @@
+"""Table 6 and Figure 2: QR for increasing dimensions on the V100."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table6_qr_increasing_dimensions(benchmark):
+    result = run_and_render(benchmark, experiments.table6_qr_dimensions)
+    for limbs in (2, 4, 8):
+        rows = {r["dimension"]: r for r in result.rows if r["limbs"] == limbs}
+        # monotone growth with the dimension
+        assert rows[512]["kernel_ms"] < rows[1024]["kernel_ms"] < rows[2048]["kernel_ms"]
+    # at dimension 512 the computation of W is a dominant panel stage; by
+    # dimension 2048 the matrix-matrix products dominate (paper Section 4.6)
+    qd_512 = next(r for r in result.rows if r["limbs"] == 4 and r["dimension"] == 512)
+    qd_2048 = next(r for r in result.rows if r["limbs"] == 4 and r["dimension"] == 2048)
+    assert qd_512["stage[compute W]"] >= qd_512["stage[Q*WY^T]"]
+    assert qd_2048["stage[Q*WY^T]"] > qd_2048["stage[compute W]"]
+
+
+def test_figure2_dimension_scaling(benchmark):
+    result = run_and_render(benchmark, experiments.figure2_qr_dimension_scaling)
+    qd = [r["log2_kernel_ms"] for r in result.rows if r["limbs"] == 4]
+    assert qd == sorted(qd)

@@ -1,0 +1,30 @@
+"""Table 7 and Figure 3: back substitution in four precisions."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table7_backsub_four_precisions(benchmark):
+    result = run_and_render(benchmark, experiments.table7_backsub_precisions)
+    rows = {(r["limbs"], r["dimension"]): r for r in result.rows}
+    # kernel times grow with both the precision and the dimension
+    assert rows[(2, 5120)]["kernel_ms"] < rows[(4, 5120)]["kernel_ms"] < rows[(8, 5120)]["kernel_ms"]
+    assert rows[(4, 5120)]["kernel_ms"] < rows[(4, 10240)]["kernel_ms"] < rows[(4, 20480)]["kernel_ms"]
+    # performance improves with the precision (high CGMA ratios)
+    assert rows[(2, 20480)]["kernel_gflops"] < rows[(4, 20480)]["kernel_gflops"]
+    # the wall clock times are dominated by transfers and host staging
+    for row in result.rows:
+        assert row["wall_ms"] > row["kernel_ms"]
+    # octo double at 20,480 oversubscribes the 32 GB host
+    assert rows[(8, 20480)]["wall_ms"] > 20 * rows[(8, 20480)]["kernel_ms"]
+
+
+def test_figure3_backsub_scaling(benchmark):
+    result = run_and_render(benchmark, experiments.figure3_backsub_scaling)
+    # within each precision the bars grow with the dimension
+    for limbs in (1, 2, 4, 8):
+        bars = [r["log2_kernel_ms"] for r in result.rows if r["limbs"] == limbs]
+        assert bars == sorted(bars)

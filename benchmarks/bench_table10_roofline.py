@@ -1,0 +1,34 @@
+"""Table 10 and Figure 5: arithmetic intensity and the roofline model."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.gpu import get_device
+from repro.perf import experiments
+
+
+def test_table10_arithmetic_intensity(benchmark):
+    result = run_and_render(benchmark, experiments.table10_roofline)
+    intensities = [r["intensity"] for r in result.rows]
+    rates = [r["kernel_gflops"] for r in result.rows]
+    # intensity and achieved performance grow with the tile size
+    assert intensities == sorted(intensities)
+    assert rates == sorted(rates)
+    # every configuration sits right of the V100 ridge point (compute bound)
+    ridge = get_device("V100").ridge_point
+    assert all(i > ridge for i in intensities)
+    # achieved performance stays below the roofline
+    assert all(r["kernel_gflops"] <= r["attainable_gflops"] for r in result.rows)
+
+
+def test_figure5_roofline_dots_move_up_and_right(benchmark):
+    result = run_and_render(benchmark, experiments.figure5_roofline)
+    xs = [r["log10_intensity"] for r in result.rows]
+    ys = [r["log10_gflops"] for r in result.rows]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+    # the leftmost dot (n = 32, half-occupied multiprocessors) is the outlier
+    # with the largest jump to its neighbour
+    jumps = [ys[i + 1] - ys[i] for i in range(len(ys) - 1)]
+    assert jumps[0] == max(jumps)

@@ -1,0 +1,29 @@
+"""Table 11: least squares solving in four precisions on three GPUs."""
+
+from __future__ import annotations
+
+from conftest import run_and_render
+
+from repro.perf import experiments
+
+
+def test_table11_least_squares(benchmark):
+    result = run_and_render(benchmark, experiments.table11_least_squares)
+    rows = {(r["device"], r["limbs"]): r for r in result.rows}
+    for device in ("RTX2080", "P100", "V100"):
+        for limbs in (1, 2, 4, 8):
+            row = rows[(device, limbs)]
+            # the QR time dominates the back substitution by well over 10x
+            assert row["qr_over_bs_kernel_time"] > 10
+    # the overall solver keeps teraflop performance on the P100/V100 despite
+    # the lower back substitution rates (paper Section 4.9)
+    for device in ("P100", "V100"):
+        for limbs in (2, 4, 8):
+            assert rows[(device, limbs)]["total_kernel_gflops"] > 1000
+    # doubling the precision keeps the overhead below the predicted factors
+    for device in ("RTX2080", "P100", "V100"):
+        t2 = rows[(device, 2)]["qr_kernel_ms"] + rows[(device, 2)]["bs_kernel_ms"]
+        t4 = rows[(device, 4)]["qr_kernel_ms"] + rows[(device, 4)]["bs_kernel_ms"]
+        t8 = rows[(device, 8)]["qr_kernel_ms"] + rows[(device, 8)]["bs_kernel_ms"]
+        assert t4 / t2 < 11.7
+        assert t8 / t4 < 5.4

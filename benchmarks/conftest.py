@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_table*.py`` file regenerates one table (and, where one
+exists, the associated figure) of the paper with the analytic cost
+model and the performance model; the ``bench_real_*`` and
+``bench_ablation_*`` files execute the numeric multiple double kernels
+at reduced dimensions.  Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20220320)
+
+
+def run_and_render(benchmark, experiment_func, **kwargs):
+    """Benchmark an experiment driver and attach its rendering."""
+    from repro.perf import report
+
+    result = benchmark(lambda: experiment_func(**kwargs))
+    benchmark.extra_info["rows"] = len(result.rows)
+    text = report.format_experiment(result)
+    # keep the rendered table in the benchmark metadata (and visible with -s)
+    benchmark.extra_info["preview"] = text.splitlines()[0]
+    return result

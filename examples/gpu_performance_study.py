@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation section with the simulated GPUs.
+
+Runs every experiment of :mod:`repro.perf.experiments` (Tables 1-11 and
+Figures 1-5 of the paper) and prints the rendered tables and ASCII
+figures, each with the paper's reference numbers alongside the model's.
+
+Run with:  python examples/gpu_performance_study.py            (all)
+           python examples/gpu_performance_study.py table4 figure5
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.perf import experiments, report
+
+
+def main(argv) -> int:
+    selected = argv or list(experiments.ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in experiments.ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}")
+        print(f"available: {', '.join(experiments.ALL_EXPERIMENTS)}")
+        return 1
+    for name in selected:
+        result = experiments.ALL_EXPERIMENTS[name]()
+        print(f"===== {name}: {result.description} =====")
+        print(report.format_experiment(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

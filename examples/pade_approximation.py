@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Padé approximants from power series (holomorphic embedding workload).
+
+The holomorphic embedding load flow method (HELM) solves the steady
+state equations of a power system by developing the voltages as power
+series in an embedding parameter and summing them with Padé
+approximants; the paper cites this as an application where
+multiprecision arithmetic "adds significant value", because the linear
+systems that determine the Padé denominator coefficients are extremely
+ill conditioned.
+
+This example computes the [m/m] Padé approximant of log(1+x)/x from its
+Taylor coefficients.  The denominator coefficients solve a Hankel-type
+linear system that loses roughly two decimal digits per degree, so
+hardware doubles break down around m = 8 while double double, quad
+double and octo double keep delivering accurate approximants for much
+larger degrees.  The solves use this library's least squares solver.
+
+Run with:  python examples/pade_approximation.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core import lstsq
+from repro.md import MultiDouble
+from repro.vec import MDArray, linalg
+
+#: Degrees of the [m/m] approximants to compute.
+DEGREES = (4, 8, 12)
+
+#: Evaluation point for the accuracy check.
+EVALUATION_POINT = Fraction(1, 2)
+
+
+def taylor_coefficients(order: int) -> list:
+    """Exact Taylor coefficients of f(x) = log(1+x)/x = sum (-x)^k/(k+1)."""
+    return [Fraction((-1) ** k, k + 1) for k in range(order + 1)]
+
+
+def pade_denominator(coeffs, m: int, limbs: int) -> list:
+    """Solve the Hankel system for the denominator of the [m/m] approximant.
+
+    With f = sum c_k x^k, the denominator q(x) = 1 + q_1 x + ... + q_m x^m
+    satisfies sum_{j=1..m} c_{m+i-j} q_j = -c_{m+i} for i = 1..m.
+    """
+    system = MDArray.zeros((m, m), limbs)
+    rhs = MDArray.zeros((m,), limbs)
+    for i in range(1, m + 1):
+        for j in range(1, m + 1):
+            system[i - 1, j - 1] = MultiDouble(coeffs[m + i - j], limbs)
+        rhs[i - 1] = MultiDouble(-coeffs[m + i], limbs)
+    tile = max(1, m // 2 if m % 2 == 0 else 1)
+    solution = lstsq(system, rhs, tile_size=tile).x
+    return [MultiDouble(1, limbs)] + [solution.to_multidouble(j) for j in range(m)]
+
+
+def pade_numerator(coeffs, denominator, m: int, limbs: int) -> list:
+    """p_k = sum_{j=0..k} c_{k-j} q_j for k = 0..m."""
+    numerator = []
+    for k in range(m + 1):
+        acc = MultiDouble(0, limbs)
+        for j in range(0, k + 1):
+            if j < len(denominator):
+                acc = acc + MultiDouble(coeffs[k - j], limbs) * denominator[j]
+        numerator.append(acc)
+    return numerator
+
+
+def exact_denominator(coeffs, m: int) -> list:
+    """Solve the Hankel system exactly over the rationals (reference)."""
+    matrix = [[coeffs[m + i - j] for j in range(1, m + 1)] for i in range(1, m + 1)]
+    rhs = [-coeffs[m + i] for i in range(1, m + 1)]
+    # Gaussian elimination with partial (exact) pivoting
+    for col in range(m):
+        pivot = max(range(col, m), key=lambda r: abs(matrix[r][col]))
+        matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
+        rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+        for row in range(col + 1, m):
+            factor = matrix[row][col] / matrix[col][col]
+            rhs[row] -= factor * rhs[col]
+            for k in range(col, m):
+                matrix[row][k] -= factor * matrix[col][k]
+    solution = [Fraction(0)] * m
+    for row in range(m - 1, -1, -1):
+        acc = rhs[row] - sum(matrix[row][k] * solution[k] for k in range(row + 1, m))
+        solution[row] = acc / matrix[row][row]
+    return [Fraction(1)] + solution
+
+
+def evaluate(poly, x: Fraction) -> Fraction:
+    """Exact Horner evaluation of a multiple double polynomial."""
+    total = Fraction(0)
+    for coeff in reversed(poly):
+        total = total * x + coeff.to_fraction()
+    return total
+
+
+def reference_value(x: Fraction, terms: int = 400) -> Fraction:
+    """log(1+x)/x summed exactly far beyond the approximant's accuracy."""
+    return sum(Fraction((-1) ** k, k + 1) * x ** k for k in range(terms))
+
+
+def main() -> None:
+    reference = reference_value(EVALUATION_POINT)
+    print("Pade approximants of log(1+x)/x at x = 1/2")
+    print(
+        f"{'m':>4s}  {'precision':>10s}  {'max denominator coeff error':>28s}"
+        f"  {'|approximant - f(x)|':>22s}"
+    )
+    for m in DEGREES:
+        coeffs = taylor_coefficients(2 * m + 1)
+        exact_q = exact_denominator(coeffs, m)
+        for limbs, label in ((1, "double"), (2, "dd"), (4, "qd"), (8, "od")):
+            denominator = pade_denominator(coeffs, m, limbs)
+            coeff_error = max(
+                abs(computed.to_fraction() - exact)
+                for computed, exact in zip(denominator, exact_q)
+            )
+            numerator = pade_numerator(coeffs, denominator, m, limbs)
+            value = evaluate(numerator, EVALUATION_POINT) / evaluate(
+                denominator, EVALUATION_POINT
+            )
+            error = abs(float(value - reference))
+            print(
+                f"{m:>4d}  {label:>10s}  {float(coeff_error):28.3e}  {error:22.3e}"
+            )
+        print()
+    print(
+        "The Hankel systems behind the denominators are severely ill\n"
+        "conditioned: in hardware doubles the computed denominator\n"
+        "coefficients lose most of their digits by degree 12, while the\n"
+        "multiple double solvers recover them to their working precision —\n"
+        "the reason HELM-style power flow solvers benefit from the\n"
+        "accelerated multiprecision least squares of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

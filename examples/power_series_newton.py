@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Power series solutions of polynomial systems (path tracking workload).
+
+This is the paper's motivating application (Section 1.1): a robust path
+tracker for polynomial homotopies computes power series solutions whose
+*leading coefficients must be computed most accurately*, which requires
+precision beyond hardware doubles because roundoff propagates from one
+series coefficient to the next through repeated linear solves with the
+Jacobian (a lower triangular block Toeplitz structure).
+
+The example computes the series solution x(t) of the polynomial system
+
+    x1(t)^2        = 1 + t
+    x1(t) * x2(t)  = 1
+
+around t = 0, i.e. x1 = sqrt(1+t) and x2 = 1/sqrt(1+t), whose exact
+Taylor coefficients are binomial(±1/2, k).  Each series order requires
+one linear solve with the Jacobian, performed with this library's
+multiple double solver; the error of the computed coefficients is then
+compared against the exact rational values for hardware double, double
+double, quad double and octo double precision.
+
+Run with:  python examples/power_series_newton.py
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.md import MultiDouble
+from repro.vec import MDArray, linalg
+from repro.core import solve
+
+ORDER = 32
+
+
+def exact_binomial_series(alpha: Fraction, order: int) -> list:
+    """Exact Taylor coefficients of (1+t)**alpha."""
+    coefficients = [Fraction(1)]
+    for k in range(1, order + 1):
+        coefficients.append(
+            coefficients[-1] * (alpha - (k - 1)) / k
+        )
+    return coefficients
+
+
+def series_solve(limbs: int, order: int) -> list:
+    """Compute the series coefficients with one linear solve per order."""
+    one = MultiDouble(1, limbs)
+    x1 = [one]  # x1_0 = 1
+    x2 = [one]  # x2_0 = 1
+    # Jacobian at the series head: [[2*x1_0, 0], [x2_0, x1_0]]
+    jacobian = MDArray.from_multidoubles(
+        [2 * one, MultiDouble(0, limbs), one, one], limbs
+    ).reshape(2, 2)
+
+    for k in range(1, order + 1):
+        # coefficient of t^k in x1^2: sum_{i+j=k} x1_i x1_j; the unknown
+        # term 2*x1_0*x1_k goes to the left-hand side
+        conv11 = MultiDouble(0, limbs)
+        for i in range(1, k):
+            conv11 = conv11 + x1[i] * x1[k - i]
+        rhs1 = (one if k == 1 else MultiDouble(0, limbs)) - conv11
+        # coefficient of t^k in x1*x2 = 0 for k >= 1
+        conv12 = MultiDouble(0, limbs)
+        for i in range(1, k):
+            conv12 = conv12 + x1[i] * x2[k - i]
+        rhs2 = -conv12
+        rhs = MDArray.from_multidoubles([rhs1, rhs2], limbs)
+        update = solve(jacobian, rhs, tile_size=1)
+        x1.append(update.to_multidouble(0))
+        x2.append(update.to_multidouble(1))
+    return x1, x2
+
+
+def main() -> None:
+    exact_x1 = exact_binomial_series(Fraction(1, 2), ORDER)
+    print(f"Power series solution up to order {ORDER}")
+    print(
+        f"{'precision':>10s}  {'max relative coeff error':>26s}  "
+        f"{'rel. error at order ' + str(ORDER):>24s}"
+    )
+    for limbs, label in ((1, "double"), (2, "dd"), (4, "qd"), (8, "od")):
+        x1, _ = series_solve(limbs, ORDER)
+        errors = [
+            abs((coeff.to_fraction() - exact) / exact)
+            for coeff, exact in zip(x1[1:], exact_x1[1:])
+        ]
+        print(
+            f"{label:>10s}  {float(max(errors)):26.3e}  {float(errors[-1]):24.3e}"
+        )
+    print(
+        "\nEvery doubling of the precision pushes the series coefficients'"
+        "\nrelative error down to the new working precision; with hardware"
+        "\ndoubles the error of the high-order coefficients is already within"
+        "\na few orders of magnitude of the coefficients themselves once the"
+        "\nseries is differenced or divided further down a homotopy path,"
+        "\nwhich is why the paper's path tracker switches to multiple doubles."
+    )
+
+
+if __name__ == "__main__":
+    main()

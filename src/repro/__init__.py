@@ -1,0 +1,62 @@
+"""repro — Least squares on (simulated) GPUs in multiple double precision.
+
+Reproduction of J. Verschelde, *Least Squares on GPUs in Multiple Double
+Precision*, IPDPS Workshops 2022 (arXiv:2110.08375).
+
+Top-level convenience re-exports cover the most common entry points;
+see the subpackages for the full API:
+
+* :mod:`repro.md` — multiple double arithmetic (CAMPARY/QDlib substrate)
+* :mod:`repro.vec` — vectorized limb-major multiple double arrays
+* :mod:`repro.gpu` — simulated GPU devices, kernels, roofline model
+* :mod:`repro.core` — blocked Householder QR, tiled back substitution,
+  least squares solver
+* :mod:`repro.perf` — analytic cost model, experiment harness for every
+  table and figure of the paper
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .md import (  # noqa: F401
+    ComplexMultiDouble,
+    MultiDouble,
+    Precision,
+    get_precision,
+)
+
+__all__ = [
+    "__version__",
+    "MultiDouble",
+    "ComplexMultiDouble",
+    "Precision",
+    "get_precision",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the heavier subpackage entry points.
+
+    Keeps ``import repro`` lightweight while still allowing
+    ``repro.lstsq`` style access once the subpackages are needed.
+    """
+    lazy = {
+        "MDArray": ("repro.vec", "MDArray"),
+        "MDComplexArray": ("repro.vec", "MDComplexArray"),
+        "DeviceSpec": ("repro.gpu", "DeviceSpec"),
+        "get_device": ("repro.gpu", "get_device"),
+        "blocked_qr": ("repro.core", "blocked_qr"),
+        "tiled_back_substitution": ("repro.core", "tiled_back_substitution"),
+        "lstsq": ("repro.core", "lstsq"),
+        "solve_upper_triangular": ("repro.core", "solve_upper_triangular"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attr = lazy[name]
+        module = importlib.import_module(module_name)
+        value = getattr(module, attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,47 @@
+"""Core algorithms of the paper.
+
+* :func:`repro.core.blocked_qr.blocked_qr` — Algorithm 2, the blocked
+  accelerated Householder QR with the WY representation.
+* :func:`repro.core.back_substitution.tiled_back_substitution` —
+  Algorithm 1, the tiled accelerated back substitution.
+* :func:`repro.core.least_squares.lstsq` — the combined least squares
+  solver of Table 11.
+* :mod:`repro.core.baseline` — unblocked QR, classical back
+  substitution and the double precision NumPy reference.
+"""
+
+from . import baseline, normal_equations, stages
+from .back_substitution import (
+    BackSubstitutionResult,
+    solve_upper_triangular,
+    tiled_back_substitution,
+)
+from .blocked_qr import QRResult, blocked_qr
+from .householder import apply_reflector_left, householder_vector, reflector_matrix
+from .least_squares import LeastSquaresResult, lstsq, solve
+from .normal_equations import cholesky_factor, solve_normal_equations
+from .tile_inverse import invert_upper_triangular, solve_upper_triangular_dense
+from .wy import accumulate_wy, wy_product
+
+__all__ = [
+    "blocked_qr",
+    "QRResult",
+    "tiled_back_substitution",
+    "BackSubstitutionResult",
+    "solve_upper_triangular",
+    "lstsq",
+    "solve",
+    "LeastSquaresResult",
+    "householder_vector",
+    "apply_reflector_left",
+    "reflector_matrix",
+    "invert_upper_triangular",
+    "solve_upper_triangular_dense",
+    "accumulate_wy",
+    "wy_product",
+    "cholesky_factor",
+    "solve_normal_equations",
+    "baseline",
+    "normal_equations",
+    "stages",
+]

@@ -1,0 +1,109 @@
+"""Householder vectors and reflectors in multiple double precision.
+
+The reflector is ``P = I - beta v v^T`` (Hermitian transpose on complex
+data) with ``v`` chosen so that ``P x`` is a multiple of the first unit
+vector and ``beta = 2 / (v^T v)``, exactly the formulation of Section 3
+of the paper (which follows Golub & Van Loan, Algorithm 5.1.1, for the
+sign choice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
+from ..vec.mdarray import MDArray
+
+__all__ = ["householder_vector", "apply_reflector_left", "reflector_matrix"]
+
+
+def _is_complex(x) -> bool:
+    return isinstance(x, MDComplexArray)
+
+
+def householder_vector(x):
+    """Compute the Householder vector ``v`` and scalar ``beta`` for ``x``.
+
+    Returns ``(v, beta, s)`` where ``P = I - beta v v^H`` maps ``x`` to
+    ``s e_1`` (``s`` has the magnitude of ``||x||`` with the sign/phase
+    chosen to avoid cancellation).  ``beta`` is a real scalar
+    (:class:`~repro.vec.mdarray.MDArray` of shape ``()``); on a zero
+    column ``beta`` is zero and ``v = e_1``, so the reflector degenerates
+    to the identity.
+    """
+    if x.ndim != 1:
+        raise ValueError("householder_vector expects a one-dimensional column")
+    n = x.shape[0]
+    complex_data = _is_complex(x)
+    norm_x = linalg.norm(x)  # real MDArray scalar
+    norm_head = float(norm_x.to_double())
+
+    v = x.copy()
+    if norm_head == 0.0:
+        # zero column: identity reflector
+        beta = MDArray.zeros((), x.limbs)
+        if complex_data:
+            v[0] = 1.0 + 0.0j
+            s = MDComplexArray.zeros((), x.limbs)
+        else:
+            v[0] = 1.0
+            s = MDArray.zeros((), x.limbs)
+        return v, beta, s
+
+    x0 = x[0]
+    if complex_data:
+        # phase(x0) * ||x||, with phase = x0/|x0| (or 1 when x0 == 0)
+        mod_x0 = float(np.abs(complex(x0.to_complex())))
+        if mod_x0 == 0.0:
+            phase = MDComplexArray.from_complex(np.asarray(1.0 + 0.0j), x.limbs).reshape(())
+        else:
+            phase = x0 / MDComplexArray(x0.abs(), MDArray.zeros((), x.limbs))
+        s = -(phase * MDComplexArray(norm_x, MDArray.zeros((), x.limbs)))
+        v[0] = x0 - s
+    else:
+        sign = 1.0 if float(x0.to_double()) >= 0.0 else -1.0
+        # s = -sign * ||x||; the sign flip is an exact scaling so that
+        # v[0] = x0 - s = x0 + sign*||x|| never cancels
+        s = norm_x.scale_pow2(-sign)
+        v[0] = x0 - s
+
+    vtv = linalg.dot(v, v, conjugate=True)
+    if complex_data:
+        vtv = vtv.real  # the Hermitian inner product is real
+    two = MDArray.from_double(np.asarray(2.0), x.limbs).reshape(())
+    beta = two / vtv
+    return v, beta, s
+
+
+def apply_reflector_left(block, v, beta):
+    """Apply ``P = I - beta v v^H`` from the left to ``block``.
+
+    ``block`` has shape ``(len(v), cols)``; the update is
+    ``block -= v (beta * (v^H block))`` — the ``beta*R^T*v`` matrix-vector
+    product followed by the rank-1 ``update R`` of Algorithm 2.
+    Returns the updated block (functional style, the caller re-assigns).
+    """
+    if block.ndim != 2:
+        raise ValueError("apply_reflector_left expects a matrix block")
+    # t = v^H B, computed as B^T conj(v) so no extra conjugation is applied
+    if _is_complex(v):
+        t = linalg.matvec(linalg.transpose(block), v.conj())
+    else:
+        t = linalg.matvec(linalg.transpose(block), v)
+    w = t * beta
+    outer = linalg.outer(v, w)
+    return block - outer
+
+
+def reflector_matrix(v, beta, size=None):
+    """Materialise ``P = I - beta v v^H`` as a dense matrix.
+
+    Only used by the tests and the unblocked baseline; the accelerated
+    algorithm never forms reflectors explicitly.
+    """
+    n = v.shape[0] if size is None else size
+    complex_data = _is_complex(v)
+    eye = linalg.identity(n, v.limbs, complex_data=complex_data)
+    vv = linalg.outer(v, v.conj() if complex_data else v)
+    return eye - vv * beta

@@ -1,0 +1,187 @@
+"""Least squares via the normal equations (Cholesky baseline).
+
+The textbook alternative to the QR approach of the paper solves
+``A^H A x = A^H b`` with a Cholesky factorization.  It squares the
+condition number of the problem, which is precisely the kind of
+accuracy loss that drives users towards either the (backward stable)
+Householder QR or towards more precision — so it makes a natural
+baseline for both the accuracy ablation and for showing what multiple
+double arithmetic buys when the cheaper algorithm is used anyway.
+
+Everything runs in multiple double arithmetic on the same limb-major
+arrays as the rest of the library and records kernel launches, so the
+performance model can also compare the two solvers' device profiles
+(the normal equations move fewer flops but are dominated by one big
+symmetric product plus a factorization with serial dependencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.kernel import KernelTrace
+from ..gpu.memory import md_bytes
+from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
+from ..vec.mdarray import MDArray
+from . import stages
+from .tile_inverse import solve_upper_triangular_dense
+
+__all__ = ["NormalEquationsResult", "cholesky_factor", "solve_normal_equations"]
+
+#: Stage names of the normal-equations solver (not part of the paper's
+#: tables; used by the ablation benchmarks).
+STAGE_GRAM = "A^H * A"
+STAGE_CHOLESKY = "Cholesky factorization"
+STAGE_TRIANGULAR_SOLVES = "triangular solves"
+
+#: Relative throughput of the Cholesky kernel (column-by-column serial
+#: dependencies, like the tile inversion of Algorithm 1).
+CHOLESKY_EFFICIENCY = 0.45
+
+
+@dataclass
+class NormalEquationsResult:
+    """Solution of a least squares problem via the normal equations."""
+
+    x: object
+    factor: object
+    trace: KernelTrace
+
+
+def cholesky_factor(matrix):
+    """Upper triangular ``R`` with ``R^H R = A`` for a Hermitian positive
+    definite multiple double matrix.
+
+    Column-oriented right-looking factorization; raises
+    ``ZeroDivisionError`` when a pivot is not positive (the matrix is not
+    numerically positive definite at the working precision).
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("cholesky_factor expects a square matrix")
+    n = matrix.shape[0]
+    complex_data = isinstance(matrix, MDComplexArray)
+    factor = (
+        MDComplexArray.zeros((n, n), matrix.limbs)
+        if complex_data
+        else MDArray.zeros((n, n), matrix.limbs)
+    )
+    for j in range(n):
+        # diagonal entry: a_jj - sum_k |r_kj|^2
+        column = factor[:j, j]
+        if complex_data:
+            accumulated = column.abs2().sum(axis=0) if j > 0 else None
+            diagonal = matrix[j, j].real - accumulated if j > 0 else matrix[j, j].real
+        else:
+            accumulated = (column * column).sum(axis=0) if j > 0 else None
+            diagonal = matrix[j, j] - accumulated if j > 0 else matrix[j, j]
+        if float(diagonal.to_double()) <= 0.0:
+            raise ZeroDivisionError(
+                "matrix is not positive definite at the working precision"
+            )
+        pivot = diagonal.sqrt()
+        if complex_data:
+            factor[j, j] = MDComplexArray(pivot, MDArray.zeros((), matrix.limbs))
+        else:
+            factor[j, j] = pivot
+        if j + 1 < n:
+            # r_{j,k} = (a_{j,k} - sum_i conj(r_{i,j}) r_{i,k}) / r_{j,j}
+            rest = matrix[j, j + 1 :]
+            if j > 0:
+                block = factor[:j, j + 1 :]
+                # correction_k = sum_i conj(r_{i,j}) r_{i,k} = (block^T conj(col))_k
+                correction = linalg.matvec(
+                    linalg.transpose(block),
+                    factor[:j, j].conj() if complex_data else factor[:j, j],
+                )
+                rest = rest - correction
+            if complex_data:
+                factor[j, j + 1 :] = rest / MDComplexArray(pivot, MDArray.zeros((), matrix.limbs))
+            else:
+                factor[j, j + 1 :] = rest / pivot
+    return factor
+
+
+def solve_normal_equations(matrix, rhs, device="V100", trace=None):
+    """Solve ``min_x ||b - A x||`` through ``A^H A x = A^H b``.
+
+    Returns a :class:`NormalEquationsResult`; the kernel trace records
+    the Gram product, the Cholesky factorization and the two triangular
+    solves so the device model can be applied to it.
+    """
+    rows, cols = matrix.shape
+    if rhs.shape[0] != rows:
+        raise ValueError("right-hand side length does not match the matrix")
+    complex_data = isinstance(matrix, MDComplexArray)
+    limbs = matrix.limbs
+    if trace is None:
+        trace = KernelTrace(device, label=f"normal equations {rows}x{cols}")
+
+    gram = linalg.matmul(linalg.conjugate_transpose(matrix), matrix)
+    gram_rhs = linalg.matvec(linalg.conjugate_transpose(matrix), rhs)
+    threads = min(128, max(32, cols))
+    trace.add(
+        "gram",
+        STAGE_GRAM,
+        blocks=max(1, (cols * cols) // threads),
+        threads_per_block=threads,
+        limbs=limbs,
+        tally=stages.tally_matmul(cols, rows, cols, complex_data)
+        + stages.tally_matvec(cols, rows, complex_data),
+        bytes_read=md_bytes(rows * cols + rows, limbs, complex_data),
+        bytes_written=md_bytes(cols * cols + cols, limbs, complex_data),
+    )
+
+    factor = cholesky_factor(gram)
+    pairs = cols * (cols - 1) * (cols + 1) / 6.0
+    trace.add(
+        "cholesky",
+        STAGE_CHOLESKY,
+        blocks=max(1, cols // threads),
+        threads_per_block=threads,
+        limbs=limbs,
+        tally=stages.OperationTally(
+            multiplications=pairs * (4.0 if complex_data else 1.0),
+            subtractions=pairs * (2.0 if complex_data else 1.0),
+            divisions=float(cols * cols),
+            square_roots=float(cols),
+        ),
+        bytes_read=md_bytes(cols * cols, limbs, complex_data),
+        bytes_written=md_bytes(cols * cols, limbs, complex_data),
+        efficiency=CHOLESKY_EFFICIENCY,
+    )
+
+    # forward solve R^H y = A^H b, then back substitution R x = y
+    lower = linalg.conjugate_transpose(factor)
+    y = _forward_substitution(lower, gram_rhs)
+    x = solve_upper_triangular_dense(factor, y)
+    trace.add(
+        "triangular_solves",
+        STAGE_TRIANGULAR_SOLVES,
+        blocks=1,
+        threads_per_block=threads,
+        limbs=limbs,
+        tally=stages.tally_matvec(cols, cols, complex_data).scaled(2.0)
+        + stages.OperationTally(divisions=2.0 * cols),
+        bytes_read=md_bytes(2 * cols * cols, limbs, complex_data),
+        bytes_written=md_bytes(2 * cols, limbs, complex_data),
+        efficiency=CHOLESKY_EFFICIENCY,
+    )
+    return NormalEquationsResult(x=x, factor=factor, trace=trace)
+
+
+def _forward_substitution(lower, rhs):
+    """Solve ``L y = b`` for a lower triangular multiple double matrix."""
+    n = lower.shape[0]
+    complex_data = isinstance(lower, MDComplexArray)
+    y = (
+        MDComplexArray.zeros((n,), lower.limbs)
+        if complex_data
+        else MDArray.zeros((n,), lower.limbs)
+    )
+    for i in range(n):
+        acc = rhs[i]
+        if i > 0:
+            acc = acc - linalg.dot(lower[i, :i], y[:i])
+        y[i] = acc / lower[i, i]
+    return y

@@ -1,0 +1,107 @@
+"""WY representation of aggregated Householder reflectors.
+
+A panel of ``n`` Householder reflectors ``P_l = I - beta_l v_l v_l^H``
+is aggregated into ``P_1 P_2 ... P_n = I + W Y^H`` [Bischof & Van Loan
+1987]: ``Y`` collects the Householder vectors (lower trapezoidal) and
+the columns ``z`` of ``W`` follow formula (16) of the paper,
+``z = -beta (v + W Y^H v)``, which is rich in matrix-vector products.
+The paper identifies the computation of ``W`` as the expected
+bottleneck of the panel work; the per-column launch records produced
+here let the performance model reproduce that observation (the
+``compute W`` rows of Tables 3-6).
+"""
+
+from __future__ import annotations
+
+from ..gpu.memory import md_bytes
+from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
+from ..vec.mdarray import MDArray
+from . import stages
+
+__all__ = ["accumulate_wy", "wy_product"]
+
+
+def accumulate_wy(vectors, betas, *, trace=None, threads_per_block=None, stage=stages.STAGE_COMPUTE_W):
+    """Build ``W`` and ``Y`` from Householder vectors and betas.
+
+    Parameters
+    ----------
+    vectors:
+        List of ``n`` Householder vectors, each of length ``r`` (already
+        zero above their local diagonal position).
+    betas:
+        List of ``n`` real multiple double scalars.
+    trace / threads_per_block:
+        When given, one kernel launch per column of ``W`` is recorded
+        under the ``compute W`` stage.
+
+    Returns
+    -------
+    (W, Y):
+        Both of shape ``(r, n)``.
+    """
+    if not vectors:
+        raise ValueError("at least one Householder vector is required")
+    if len(vectors) != len(betas):
+        raise ValueError("one beta per Householder vector is required")
+    r = vectors[0].shape[0]
+    n = len(vectors)
+    complex_data = isinstance(vectors[0], MDComplexArray)
+    limbs = vectors[0].limbs
+    make_zeros = MDComplexArray.zeros if complex_data else MDArray.zeros
+    W = make_zeros((r, n), limbs)
+    Y = make_zeros((r, n), limbs)
+
+    for l, (v, beta) in enumerate(zip(vectors, betas)):
+        if v.shape[0] != r:
+            raise ValueError("all Householder vectors must have the same length")
+        Y[:, l] = v
+        if l == 0:
+            z = -(v * beta)
+        else:
+            # z = -beta (v + W[:, :l] (Y[:, :l]^H v))
+            yhv = linalg.matvec(
+                linalg.conjugate_transpose(Y[:, :l]), v
+            )
+            wyhv = linalg.matvec(W[:, :l], yhv)
+            z = -((v + wyhv) * beta)
+        W[:, l] = z
+        if trace is not None:
+            tpb = threads_per_block or min(r, 128)
+            trace.add(
+                "compute_w_column",
+                stage,
+                blocks=max(1, -(-r // tpb)),
+                threads_per_block=tpb,
+                limbs=limbs,
+                tally=stages.tally_compute_w_column(r, l, complex_data),
+                bytes_read=md_bytes(r * (2 * l + 1), limbs, complex_data),
+                bytes_written=md_bytes(r, limbs, complex_data),
+            )
+    return W, Y
+
+
+def wy_product(W, Y, *, trace=None, threads_per_block=None, stage=stages.STAGE_YWT):
+    """Compute ``YWT = Y W^H`` (``Y W^T`` on real data).
+
+    This ``r``-by-``r`` matrix is formed once per panel (stage
+    ``Y*W^T``) and reused for both the ``Q`` and the ``R`` updates, as in
+    Algorithm 2 of the paper.
+    """
+    r, n = Y.shape
+    complex_data = isinstance(Y, MDComplexArray)
+    product = linalg.matmul(Y, linalg.conjugate_transpose(W))
+    if trace is not None:
+        tpb = threads_per_block or min(r, 128)
+        trace.add(
+            "ywt",
+            stage,
+            blocks=max(1, -(-(r * r) // tpb)),
+            threads_per_block=tpb,
+            limbs=Y.limbs,
+            tally=stages.tally_matmul(r, n, r, complex_data),
+            bytes_read=md_bytes(2 * r * n, Y.limbs, complex_data),
+            bytes_written=md_bytes(r * r, Y.limbs, complex_data),
+        )
+    return product

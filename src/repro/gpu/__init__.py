@@ -1,0 +1,34 @@
+"""Simulated GPU substrate.
+
+No physical GPU is available to this reproduction; this package models
+the parts of the hardware the paper's evaluation depends on — the
+device characteristics of Table 2, kernel launches with their grid and
+block geometry, per-kernel operation tallies and memory traffic,
+occupancy, the roofline model and host transfer costs.  The kernel
+*numerics* run for real on the host (see :mod:`repro.vec`); only the
+timing is modelled (see :mod:`repro.perf.model`).
+"""
+
+from . import counters, memory, occupancy, roofline
+from .counters import OperationTally, flop_cost_model
+from .device import DEVICES, DeviceSpec, get_device, list_devices
+from .kernel import KernelLaunch, KernelTrace, StageSummary
+from .occupancy import LaunchConfiguration, occupancy as launch_occupancy
+
+__all__ = [
+    "DeviceSpec",
+    "DEVICES",
+    "get_device",
+    "list_devices",
+    "KernelLaunch",
+    "KernelTrace",
+    "StageSummary",
+    "OperationTally",
+    "flop_cost_model",
+    "LaunchConfiguration",
+    "launch_occupancy",
+    "counters",
+    "memory",
+    "occupancy",
+    "roofline",
+]

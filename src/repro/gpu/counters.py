@@ -1,0 +1,127 @@
+"""Operation tallies for (simulated) GPU kernels.
+
+The paper instruments every kernel with a small function that
+accumulates the number of multiple double arithmetical operations; at
+the end of a run the total number of double precision floating point
+operations is obtained by multiplying with the per-operation costs of
+Table 1.  :class:`OperationTally` plays the role of that small
+function: algorithms record how many multiple double additions,
+subtractions, multiplications, divisions and square roots each kernel
+performed (complex operations are decomposed into their real
+constituents before being recorded), and :meth:`OperationTally.flops`
+applies the Table 1 multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..md.opcounts import OperationCosts, measured_costs, paper_costs
+
+__all__ = ["OperationTally", "flop_cost_model"]
+
+
+def flop_cost_model(limbs: int, source: str = "paper") -> OperationCosts:
+    """The per-operation double precision costs used to convert tallies
+    into flop counts.
+
+    ``source="paper"`` uses Table 1 of the paper (the default, so that
+    reported gigaflop rates are directly comparable with the paper's
+    tables); ``source="measured"`` uses the measured costs of this
+    library's own arithmetic.
+    """
+    if source == "paper":
+        return paper_costs(limbs)
+    if source == "measured":
+        return measured_costs(limbs)
+    raise ValueError(f"unknown cost model source {source!r}")
+
+
+@dataclass
+class OperationTally:
+    """Multiple double operation counts of one kernel (or one stage)."""
+
+    additions: float = 0.0
+    subtractions: float = 0.0
+    multiplications: float = 0.0
+    divisions: float = 0.0
+    square_roots: float = 0.0
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def axpy(cls, n: float) -> "OperationTally":
+        """Tally of ``n`` fused multiply-adds (``n`` mul + ``n`` add)."""
+        return cls(additions=n, multiplications=n)
+
+    @classmethod
+    def complex_axpy(cls, n: float) -> "OperationTally":
+        """Tally of ``n`` complex fused multiply-adds (4 mul + 4 add each,
+        the ~4x factor of the paper's Table 5 discussion)."""
+        return cls(additions=4 * n, multiplications=4 * n)
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "OperationTally") -> "OperationTally":
+        return OperationTally(
+            self.additions + other.additions,
+            self.subtractions + other.subtractions,
+            self.multiplications + other.multiplications,
+            self.divisions + other.divisions,
+            self.square_roots + other.square_roots,
+        )
+
+    def __iadd__(self, other: "OperationTally") -> "OperationTally":
+        self.additions += other.additions
+        self.subtractions += other.subtractions
+        self.multiplications += other.multiplications
+        self.divisions += other.divisions
+        self.square_roots += other.square_roots
+        return self
+
+    def scaled(self, factor: float) -> "OperationTally":
+        """The tally of ``factor`` repetitions of this work."""
+        return OperationTally(
+            self.additions * factor,
+            self.subtractions * factor,
+            self.multiplications * factor,
+            self.divisions * factor,
+            self.square_roots * factor,
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def md_operations(self) -> float:
+        """Total multiple double operations (square roots included)."""
+        return (
+            self.additions
+            + self.subtractions
+            + self.multiplications
+            + self.divisions
+            + self.square_roots
+        )
+
+    def flops(self, limbs: int, source: str = "paper") -> float:
+        """Double precision flop count using the chosen cost model.
+
+        Square roots are charged like divisions (they are Newton
+        iterations built from multiplications and additions of similar
+        total cost; the paper does not list them separately).
+        """
+        costs = flop_cost_model(limbs, source)
+        return (
+            self.additions * costs.add
+            + self.subtractions * costs.sub
+            + self.multiplications * costs.mul
+            + (self.divisions + self.square_roots) * costs.div
+        )
+
+    def is_empty(self) -> bool:
+        return self.md_operations == 0
+
+    def as_dict(self) -> dict:
+        return {
+            "add": self.additions,
+            "sub": self.subtractions,
+            "mul": self.multiplications,
+            "div": self.divisions,
+            "sqrt": self.square_roots,
+        }

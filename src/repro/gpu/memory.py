@@ -1,0 +1,73 @@
+"""Global memory traffic accounting and host transfer model.
+
+The byte counts attached to every kernel launch follow the paper's
+accounting: "the number of bytes in each computation is obtained from
+the dimensions of the problem, multiplied by the size of each multiple
+double number".  Wall-clock times add the PCIe transfers of the input
+and output arrays plus a host-side overhead proportional to the data
+size (the paper's wall clock times include the memory transfers and are
+noticeably larger than the kernel times, especially for the back
+substitution).
+"""
+
+from __future__ import annotations
+
+from .device import get_device
+
+__all__ = [
+    "BYTES_PER_DOUBLE",
+    "md_bytes",
+    "matrix_bytes",
+    "vector_bytes",
+    "transfer_time_ms",
+    "host_overhead_ms",
+]
+
+#: Bytes per IEEE double.
+BYTES_PER_DOUBLE = 8
+
+
+def md_bytes(count: float, limbs: int, complex_data: bool = False) -> float:
+    """Bytes occupied by ``count`` multiple double numbers."""
+    factor = 2 if complex_data else 1
+    return count * limbs * BYTES_PER_DOUBLE * factor
+
+
+def matrix_bytes(rows: int, cols: int, limbs: int, complex_data: bool = False) -> float:
+    """Bytes of a ``rows``-by-``cols`` multiple double matrix."""
+    return md_bytes(rows * cols, limbs, complex_data)
+
+
+def vector_bytes(n: int, limbs: int, complex_data: bool = False) -> float:
+    """Bytes of a multiple double vector of length ``n``."""
+    return md_bytes(n, limbs, complex_data)
+
+
+def transfer_time_ms(nbytes: float, device) -> float:
+    """Milliseconds to move ``nbytes`` across PCIe (one direction)."""
+    device = get_device(device)
+    if nbytes <= 0:
+        return 0.0
+    return nbytes / device.pcie_bandwidth_bytes_s * 1e3
+
+
+def host_overhead_ms(nbytes: float, device, *, oversubscribed: bool = False) -> float:
+    """Host-side time for allocating, staging and touching ``nbytes``.
+
+    The model charges a throughput term (the host walks the data once)
+    scaled by the host clock, plus a large penalty when the problem does
+    not fit comfortably in host RAM (``oversubscribed=True``), which is
+    how the paper explains the anomalous 84 second wall clock time of
+    the octo double back substitution at dimension 20,480 on a 32 GB
+    host.
+    """
+    device = get_device(device)
+    if nbytes <= 0:
+        return 0.0
+    host_clock = device.host_clock_ghz or 3.0
+    # effective host staging throughput: a few GB/s, faster hosts do better
+    throughput_bytes_ms = 2.0e6 * host_clock
+    time = nbytes / throughput_bytes_ms
+    if oversubscribed:
+        time *= 60.0
+    return time

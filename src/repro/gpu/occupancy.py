@@ -1,0 +1,89 @@
+"""Occupancy model for the simulated GPUs.
+
+The performance of the paper's kernels depends strongly on how well the
+launch configuration fills the device:
+
+* the number of thread blocks relative to the number of streaming
+  multiprocessors (the back substitution uses ``N`` tiles and the paper
+  notes the lower threshold for ``N`` should be the number of
+  multiprocessors);
+* the number of threads per block relative to the cores per
+  multiprocessor (Figure 5's leftmost outlier is explained by ``n = 32``
+  occupying only half of the V100's 64 cores per multiprocessor);
+* how many "waves" of blocks have to be scheduled when there are more
+  blocks than multiprocessors.
+
+:func:`occupancy` condenses these effects into a single utilisation
+factor in ``(0, 1]`` used by the kernel time model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec, get_device
+
+__all__ = ["LaunchConfiguration", "occupancy", "wave_count", "block_efficiency", "thread_efficiency"]
+
+#: CUDA warp size; blocks are scheduled in multiples of 32 threads.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class LaunchConfiguration:
+    """Grid/block geometry of one kernel launch."""
+
+    blocks: int
+    threads_per_block: int
+
+    @property
+    def threads(self) -> int:
+        return self.blocks * self.threads_per_block
+
+
+def wave_count(blocks: int, device) -> float:
+    """Number of scheduling waves needed to run ``blocks`` blocks.
+
+    A wave is one round of (at most) one block per multiprocessor; the
+    last, partially filled wave still costs a full wave of time, which
+    is what degrades performance when the block count is just above a
+    multiple of the multiprocessor count.
+    """
+    device = get_device(device)
+    if blocks <= 0:
+        return 0.0
+    return math.ceil(blocks / device.multiprocessors)
+
+
+def block_efficiency(blocks: int, device) -> float:
+    """Fraction of multiprocessors kept busy, accounting for partial waves."""
+    device = get_device(device)
+    if blocks <= 0:
+        return 0.0
+    waves = wave_count(blocks, device)
+    return blocks / (waves * device.multiprocessors)
+
+
+def thread_efficiency(threads_per_block: int, device) -> float:
+    """Fraction of a multiprocessor's cores kept busy by one block.
+
+    Threads are scheduled in warps of 32; a block smaller than the
+    number of cores per multiprocessor leaves cores idle (the ``n = 32``
+    on the V100 case of the paper), while larger blocks can fully hide
+    latency and are capped at 1.
+    """
+    device = get_device(device)
+    if threads_per_block <= 0:
+        return 0.0
+    rounded = math.ceil(threads_per_block / WARP_SIZE) * WARP_SIZE
+    return min(1.0, rounded / device.cores_per_multiprocessor)
+
+
+def occupancy(config: LaunchConfiguration, device) -> float:
+    """Overall device utilisation of one launch, in ``(0, 1]``."""
+    device = get_device(device)
+    eff = block_efficiency(config.blocks, device) * thread_efficiency(
+        config.threads_per_block, device
+    )
+    return max(min(eff, 1.0), 0.0)

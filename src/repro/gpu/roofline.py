@@ -1,0 +1,115 @@
+"""Roofline model and CGMA ratios (paper Section 1.1 and Figure 5).
+
+The roofline model [Williams, Waterman, Patterson 2009] bounds the
+attainable performance of a kernel by
+``min(peak, bandwidth * arithmetic_intensity)``: kernels whose
+arithmetic intensity (flops per byte of global memory traffic) lies
+left of the *ridge point* ``peak / bandwidth`` are memory bound, the
+others compute bound.  The paper uses the model to show that the tiled
+back substitution in quad double precision becomes compute bound as the
+tile size grows (Table 10 / Figure 5); the Compute to Global Memory
+Access (CGMA) ratio is the same quantity measured in operations per
+memory access instead of flops per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import get_device
+
+__all__ = [
+    "RooflinePoint",
+    "arithmetic_intensity",
+    "attainable_gflops",
+    "is_compute_bound",
+    "cgma_ratio",
+    "roofline_table",
+]
+
+#: Bytes per IEEE double.
+BYTES_PER_DOUBLE = 8
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One dot of a roofline plot."""
+
+    label: str
+    intensity: float  # flops / byte
+    gflops: float  # achieved gigaflops
+
+    @property
+    def log10_intensity(self) -> float:
+        import math
+
+        return math.log10(self.intensity) if self.intensity > 0 else float("-inf")
+
+    @property
+    def log10_gflops(self) -> float:
+        import math
+
+        return math.log10(self.gflops) if self.gflops > 0 else float("-inf")
+
+
+def arithmetic_intensity(flops: float, nbytes: float) -> float:
+    """Flops per byte; infinite when no global memory is touched."""
+    if nbytes <= 0:
+        return float("inf")
+    return flops / nbytes
+
+
+def attainable_gflops(intensity: float, device) -> float:
+    """Roofline bound for a kernel of the given arithmetic intensity."""
+    device = get_device(device)
+    if intensity == float("inf"):
+        return device.peak_double_gflops
+    return min(device.peak_double_gflops, device.memory_bandwidth_gb_s * intensity)
+
+
+def is_compute_bound(intensity: float, device) -> bool:
+    """True when the kernel sits right of the device's ridge point."""
+    device = get_device(device)
+    return intensity >= device.ridge_point
+
+
+def cgma_ratio(md_operations: float, doubles_accessed: float, limbs: int, source: str = "paper") -> float:
+    """Compute to Global Memory Access ratio.
+
+    ``md_operations`` multiple double operations perform
+    ``md_operations * cost`` double precision operations (Table 1) while
+    touching ``doubles_accessed`` doubles in global memory; the CGMA
+    ratio is their quotient.  The division example of the paper —
+    one quad double division needs 893 operations on 8 doubles, a CGMA
+    ratio above 100 — is reproduced by
+    ``cgma_ratio(1, 8, 4) == 893 / 8``.
+    """
+    from .counters import flop_cost_model
+
+    if doubles_accessed <= 0:
+        return float("inf")
+    costs = flop_cost_model(limbs, source)
+    return md_operations * costs.average / doubles_accessed
+
+
+def roofline_table(points, device):
+    """Annotate roofline points with the device bound and boundedness.
+
+    Returns a list of dicts (one per point) with the achieved and
+    attainable gigaflops; used by the Figure 5 benchmark and report.
+    """
+    device = get_device(device)
+    rows = []
+    for point in points:
+        bound = attainable_gflops(point.intensity, device)
+        rows.append(
+            {
+                "label": point.label,
+                "intensity": point.intensity,
+                "gflops": point.gflops,
+                "attainable_gflops": bound,
+                "compute_bound": is_compute_bound(point.intensity, device),
+                "fraction_of_roof": point.gflops / bound if bound > 0 else 0.0,
+            }
+        )
+    return rows

@@ -1,0 +1,111 @@
+"""Precision registry for the multiple double formats used in the paper.
+
+The paper works in four precisions: hardware double (``1d``), double
+double (``2d``), quad double (``4d``) and octo double (``8d``), giving
+roughly 16, 32, 64 and 128 decimal digits.  The registry also accepts
+any other positive limb count (triple double, hexa double, ...), which
+the CAMPARY code generator supports as well; only the four paper
+precisions carry the reference operation counts of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Precision", "PRECISIONS", "get_precision", "DOUBLE", "DOUBLE_DOUBLE", "QUAD_DOUBLE", "OCTO_DOUBLE"]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Description of one multiple double format.
+
+    Attributes
+    ----------
+    name:
+        Short name used in the paper's tables (``"1d"``, ``"2d"``,
+        ``"4d"``, ``"8d"``).
+    limbs:
+        Number of doubles per value (``m``).
+    decimal_digits:
+        Approximate number of significant decimal digits.
+    eps:
+        Unit roundoff of the format, ``2**(-52*limbs - (limbs-1))``
+        (each additional limb contributes slightly more than 52 bits
+        because limbs are nonoverlapping).
+    long_name:
+        Human readable name.
+    """
+
+    name: str
+    limbs: int
+    long_name: str
+    decimal_digits: int = field(default=0)
+    eps: float = field(default=0.0)
+
+    def __post_init__(self):
+        if self.limbs < 1:
+            raise ValueError("limbs must be >= 1")
+        if self.decimal_digits == 0:
+            object.__setattr__(self, "decimal_digits", int(self.limbs * 16))
+        if self.eps == 0.0:
+            bits = 52 * self.limbs + (self.limbs - 1)
+            object.__setattr__(self, "eps", 2.0 ** (-bits))
+
+    @property
+    def bits(self) -> int:
+        """Number of significand bits carried by the format."""
+        return 52 * self.limbs + (self.limbs - 1)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+DOUBLE = Precision("1d", 1, "double")
+DOUBLE_DOUBLE = Precision("2d", 2, "double double")
+QUAD_DOUBLE = Precision("4d", 4, "quad double")
+OCTO_DOUBLE = Precision("8d", 8, "octo double")
+
+#: The four precisions of the paper, keyed by name and by limb count.
+PRECISIONS = {
+    "1d": DOUBLE,
+    "2d": DOUBLE_DOUBLE,
+    "4d": QUAD_DOUBLE,
+    "8d": OCTO_DOUBLE,
+    "d": DOUBLE,
+    "dd": DOUBLE_DOUBLE,
+    "qd": QUAD_DOUBLE,
+    "od": OCTO_DOUBLE,
+    "double": DOUBLE,
+    "double double": DOUBLE_DOUBLE,
+    "quad double": QUAD_DOUBLE,
+    "octo double": OCTO_DOUBLE,
+    1: DOUBLE,
+    2: DOUBLE_DOUBLE,
+    4: QUAD_DOUBLE,
+    8: OCTO_DOUBLE,
+}
+
+_LONG_NAMES = {
+    3: "triple double",
+    5: "penta double",
+    6: "hexa double",
+    7: "hepta double",
+    16: "hexadeca double",
+}
+
+
+def get_precision(spec) -> Precision:
+    """Resolve a precision from a name, limb count or :class:`Precision`.
+
+    Unknown limb counts produce an ad-hoc :class:`Precision` so the
+    generic arithmetic can be exercised at any ``m`` (an extension beyond
+    the paper's four formats).
+    """
+    if isinstance(spec, Precision):
+        return spec
+    if spec in PRECISIONS:
+        return PRECISIONS[spec]
+    if isinstance(spec, int) and spec >= 1:
+        long_name = _LONG_NAMES.get(spec, f"{spec}-fold double")
+        return Precision(f"{spec}d", spec, long_name)
+    raise KeyError(f"unknown precision specification: {spec!r}")

@@ -1,0 +1,201 @@
+"""Instrumented double precision type used to tally operation counts.
+
+The paper's Table 1 lists, for each multiple double operation, how many
+double precision additions, subtractions, multiplications and divisions
+it expands into.  Rather than hard-coding those numbers, this module
+provides :class:`CountingFloat`, a float wrapper that increments a
+shared :class:`OpCounter` on every arithmetic operation.  Running the
+generic expansion arithmetic of :mod:`repro.md.generic` on
+``CountingFloat`` limbs therefore *measures* the cost of this library's
+own algorithms, which the Table 1 benchmark compares against the
+paper's CAMPARY counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["OpCounter", "CountingFloat", "count_operation"]
+
+
+@dataclass
+class OpCounter:
+    """Mutable tally of double precision operations."""
+
+    additions: int = 0
+    subtractions: int = 0
+    multiplications: int = 0
+    divisions: int = 0
+    sqrts: int = 0
+    comparisons: int = 0
+
+    def reset(self) -> None:
+        self.additions = 0
+        self.subtractions = 0
+        self.multiplications = 0
+        self.divisions = 0
+        self.sqrts = 0
+        self.comparisons = 0
+
+    @property
+    def total(self) -> int:
+        """Total floating point operations (square roots excluded, as in
+        the paper's Table 1)."""
+        return self.additions + self.subtractions + self.multiplications + self.divisions
+
+    def as_dict(self) -> dict:
+        return {
+            "add": self.additions,
+            "sub": self.subtractions,
+            "mul": self.multiplications,
+            "div": self.divisions,
+            "sqrt": self.sqrts,
+            "total": self.total,
+        }
+
+    def __add__(self, other: "OpCounter") -> "OpCounter":
+        return OpCounter(
+            self.additions + other.additions,
+            self.subtractions + other.subtractions,
+            self.multiplications + other.multiplications,
+            self.divisions + other.divisions,
+            self.sqrts + other.sqrts,
+            self.comparisons + other.comparisons,
+        )
+
+
+class CountingFloat:
+    """A float that records every arithmetic operation in an
+    :class:`OpCounter`.
+
+    Only the operations used by the expansion arithmetic are
+    implemented.  Mixed operations with plain floats/ints are supported
+    (the plain operand is treated as a constant, the operation is still
+    counted, mirroring how the GPU executes it).
+    """
+
+    __slots__ = ("value", "counter")
+
+    def __init__(self, value: float, counter: OpCounter):
+        self.value = float(value)
+        self.counter = counter
+
+    # -- helpers ---------------------------------------------------------
+    def _coerce(self, other):
+        if isinstance(other, CountingFloat):
+            return other.value
+        return float(other)
+
+    def _wrap(self, value: float) -> "CountingFloat":
+        return CountingFloat(value, self.counter)
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        self.counter.additions += 1
+        return self._wrap(self.value + self._coerce(other))
+
+    def __radd__(self, other):
+        self.counter.additions += 1
+        return self._wrap(self._coerce(other) + self.value)
+
+    def __sub__(self, other):
+        self.counter.subtractions += 1
+        return self._wrap(self.value - self._coerce(other))
+
+    def __rsub__(self, other):
+        self.counter.subtractions += 1
+        return self._wrap(self._coerce(other) - self.value)
+
+    def __mul__(self, other):
+        self.counter.multiplications += 1
+        return self._wrap(self.value * self._coerce(other))
+
+    def __rmul__(self, other):
+        self.counter.multiplications += 1
+        return self._wrap(self._coerce(other) * self.value)
+
+    def __truediv__(self, other):
+        self.counter.divisions += 1
+        return self._wrap(self.value / self._coerce(other))
+
+    def __rtruediv__(self, other):
+        self.counter.divisions += 1
+        return self._wrap(self._coerce(other) / self.value)
+
+    def __neg__(self):
+        # negation is sign-bit flipping, not counted (matches CAMPARY)
+        return self._wrap(-self.value)
+
+    def __pos__(self):
+        return self._wrap(self.value)
+
+    def __abs__(self):
+        return self._wrap(abs(self.value))
+
+    def sqrt(self):
+        self.counter.sqrts += 1
+        return self._wrap(math.sqrt(self.value))
+
+    # -- comparisons (counted separately, not part of flop totals) -------
+    def __lt__(self, other):
+        self.counter.comparisons += 1
+        return self.value < self._coerce(other)
+
+    def __le__(self, other):
+        self.counter.comparisons += 1
+        return self.value <= self._coerce(other)
+
+    def __gt__(self, other):
+        self.counter.comparisons += 1
+        return self.value > self._coerce(other)
+
+    def __ge__(self, other):
+        self.counter.comparisons += 1
+        return self.value >= self._coerce(other)
+
+    def __eq__(self, other):  # noqa: D105
+        if isinstance(other, CountingFloat):
+            return self.value == other.value
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __float__(self):
+        return self.value
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"CountingFloat({self.value!r})"
+
+
+def count_operation(func, limbs, *, seed_values=None):
+    """Run ``func`` on CountingFloat expansions and return the tally.
+
+    Parameters
+    ----------
+    func:
+        Callable accepting two limb tuples (and optionally the limb
+        count as keyword ``m``); e.g. :func:`repro.md.generic.add`.
+    limbs:
+        Number of limbs of the operand expansions.
+    seed_values:
+        Optional pair of lists of plain floats used as the operand limb
+        values; defaults to generic nonzero decreasing limbs.
+
+    Returns
+    -------
+    OpCounter
+    """
+    counter = OpCounter()
+    if seed_values is None:
+        x_vals = [1.0 / 3.0 * 2.0 ** (-52 * i) for i in range(limbs)]
+        y_vals = [2.0 / 7.0 * 2.0 ** (-52 * i) for i in range(limbs)]
+    else:
+        x_vals, y_vals = seed_values
+    x = tuple(CountingFloat(v, counter) for v in x_vals)
+    y = tuple(CountingFloat(v, counter) for v in y_vals)
+    func(x, y, limbs)
+    return counter

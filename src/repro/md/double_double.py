@@ -1,0 +1,75 @@
+"""Double double arithmetic (two limbs, ~32 decimal digits).
+
+Thin precision-specific facade over :mod:`repro.md.generic`, equivalent
+to the specialised code CAMPARY generates for two limbs.  The functions
+accept and return two-element limb tuples whose elements may be floats
+or NumPy arrays.  The addition, multiplication and division use the
+QDlib "accurate" fast paths (:func:`repro.md.generic.dd_add`,
+``dd_mul``, ``dd_div``).
+"""
+
+from __future__ import annotations
+
+from . import generic
+from .constants import DOUBLE_DOUBLE as PRECISION
+
+__all__ = [
+    "PRECISION",
+    "LIMBS",
+    "EPS",
+    "from_double",
+    "zero",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "sqr",
+    "sqrt",
+    "negate",
+    "fma",
+]
+
+LIMBS = PRECISION.limbs
+EPS = PRECISION.eps
+
+
+def from_double(x):
+    """Promote a double (or array) to a double double."""
+    return generic.from_double(x, LIMBS)
+
+
+def zero(like=0.0):
+    return generic.zero(LIMBS, like=like)
+
+
+def add(x, y):
+    return generic.dd_add(x, y)
+
+
+def sub(x, y):
+    return generic.dd_sub(x, y)
+
+
+def mul(x, y):
+    return generic.dd_mul(x, y)
+
+
+def div(x, y):
+    return generic.dd_div(x, y)
+
+
+def sqr(x):
+    return generic.sqr(x, LIMBS)
+
+
+def sqrt(x):
+    return generic.sqrt(x, LIMBS)
+
+
+def negate(x):
+    return generic.negate(x)
+
+
+def fma(x, y, z):
+    """Return ``x*y + z`` in double double precision."""
+    return generic.dd_add(generic.dd_mul(x, y), z)

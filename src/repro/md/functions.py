@@ -1,0 +1,174 @@
+"""Elementary functions in multiple double precision.
+
+QDlib ships square roots "and various other useful functions" for
+double double and quad double numbers, which the paper extends to octo
+double; polynomial homotopy and holomorphic-embedding workloads need
+them (exponentials and logarithms appear in path re-parametrisations,
+sines/cosines in the random unitary gamma constants of homotopies).
+This module provides the scalar versions on :class:`MultiDouble`
+operands for any limb count: ``exp``, ``log``, ``sin``, ``cos``,
+``atan`` and integer/real powers, all computed by argument reduction
+plus Taylor/Newton schemes whose iteration counts adapt to the target
+precision.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from .constants import get_precision
+from .number import MultiDouble
+
+__all__ = ["exp", "log", "sin", "cos", "sin_cos", "atan", "pi", "power"]
+
+
+def _as_md(value, limbs: int) -> MultiDouble:
+    if isinstance(value, MultiDouble):
+        if value.m == limbs:
+            return value
+        return MultiDouble(value, limbs)
+    return MultiDouble(value, limbs)
+
+
+def pi(precision=2) -> MultiDouble:
+    """The constant pi at the requested precision (Machin's formula on
+    exact rational arctangent series, rounded once at the end)."""
+    prec = get_precision(precision)
+    # enough decimal digits of the arctan series for the target precision
+    terms = prec.limbs * 18 + 8
+    quarter_pi = 4 * _atan_fraction(Fraction(1, 5), terms) - _atan_fraction(
+        Fraction(1, 239), terms
+    )
+    return MultiDouble(4 * quarter_pi, prec)
+
+
+def _atan_fraction(x: Fraction, terms: int) -> Fraction:
+    total = Fraction(0)
+    power_ = x
+    for k in range(terms):
+        term = power_ / (2 * k + 1)
+        total += term if k % 2 == 0 else -term
+        power_ *= x * x
+    return total
+
+
+def exp(x, precision=None) -> MultiDouble:
+    """Exponential by argument reduction and Taylor summation.
+
+    ``exp(x) = exp(r) ** (2**k)`` with ``r = x / 2**k`` small enough that
+    the Taylor series converges in a few dozen terms at full precision.
+    """
+    limbs = precision or (x.m if isinstance(x, MultiDouble) else 2)
+    x = _as_md(x, limbs)
+    head = float(x)
+    if head > 700.0 or head < -746.0:
+        raise OverflowError("exp argument out of the double exponent range")
+    # reduce so |r| <= 1/1024
+    k = max(0, int(math.ceil(math.log2(max(abs(head), 1e-30)) + 10)))
+    r = x * MultiDouble(Fraction(1, 2 ** k), limbs)
+    # Taylor series of exp(r)
+    term = MultiDouble(1, limbs)
+    total = MultiDouble(1, limbs)
+    needed_terms = 6 + 9 * limbs
+    for i in range(1, needed_terms):
+        term = term * r / i
+        total = total + term
+    # square k times
+    for _ in range(k):
+        total = total * total
+    return total
+
+
+def log(x, precision=None) -> MultiDouble:
+    """Natural logarithm by Newton iteration on ``exp(y) - x = 0``.
+
+    Starts from the hardware double estimate and doubles the number of
+    correct limbs per iteration.
+    """
+    limbs = precision or (x.m if isinstance(x, MultiDouble) else 2)
+    x = _as_md(x, limbs)
+    if x.to_fraction() <= 0:
+        raise ValueError("log of a non-positive multiple double")
+    y = MultiDouble(math.log(float(x)), limbs)
+    iterations = max(1, math.ceil(math.log2(limbs)) + 1)
+    one = MultiDouble(1, limbs)
+    for _ in range(iterations):
+        # y <- y + x*exp(-y) - 1
+        y = y + x * exp(-y, limbs) - one
+    return y
+
+
+def sin_cos(x, precision=None):
+    """Simultaneous sine and cosine.
+
+    The argument is reduced modulo pi/2 (computed at working precision),
+    the Taylor series is summed on the reduced argument and the quadrant
+    identities restore the full result.
+    """
+    limbs = precision or (x.m if isinstance(x, MultiDouble) else 2)
+    x = _as_md(x, limbs)
+    half_pi = pi(limbs) * MultiDouble(Fraction(1, 2), limbs)
+    # quadrant count (round to nearest)
+    quadrant = int(math.floor(float(x) / float(half_pi) + 0.5))
+    reduced = x - half_pi * quadrant
+    sin_r, cos_r = _sin_cos_taylor(reduced, limbs)
+    quadrant %= 4
+    if quadrant == 0:
+        return sin_r, cos_r
+    if quadrant == 1:
+        return cos_r, -sin_r
+    if quadrant == 2:
+        return -sin_r, -cos_r
+    return -cos_r, sin_r
+
+
+def _sin_cos_taylor(r: MultiDouble, limbs: int):
+    term = MultiDouble(r, limbs)
+    sin_total = MultiDouble(r, limbs)
+    r2 = r * r
+    needed_terms = 4 + 7 * limbs
+    for i in range(1, needed_terms):
+        term = term * r2 / ((2 * i) * (2 * i + 1))
+        sin_total = sin_total + (term if i % 2 == 0 else -term)
+    # cos from the Pythagorean identity (|r| <= pi/4 so cos > 0)
+    cos_total = (MultiDouble(1, limbs) - sin_total * sin_total).sqrt()
+    return sin_total, cos_total
+
+
+def sin(x, precision=None) -> MultiDouble:
+    """Sine in multiple double precision."""
+    return sin_cos(x, precision)[0]
+
+
+def cos(x, precision=None) -> MultiDouble:
+    """Cosine in multiple double precision."""
+    return sin_cos(x, precision)[1]
+
+
+def atan(x, precision=None) -> MultiDouble:
+    """Arctangent by Newton iteration on ``tan(y) = x`` (via sin/cos)."""
+    limbs = precision or (x.m if isinstance(x, MultiDouble) else 2)
+    x = _as_md(x, limbs)
+    y = MultiDouble(math.atan(float(x)), limbs)
+    iterations = max(1, math.ceil(math.log2(limbs)) + 1)
+    for _ in range(iterations):
+        sin_y, cos_y = sin_cos(y, limbs)
+        # y <- y + cos(y) * (x*cos(y) - sin(y))
+        y = y + cos_y * (x * cos_y - sin_y)
+    return y
+
+
+def power(x, exponent, precision=None) -> MultiDouble:
+    """``x ** exponent`` for integer or real exponents.
+
+    Integer exponents use binary powering (exact repeated squaring);
+    real exponents go through ``exp(exponent * log(x))`` and require a
+    positive base.
+    """
+    limbs = precision or (x.m if isinstance(x, MultiDouble) else 2)
+    x = _as_md(x, limbs)
+    if isinstance(exponent, int):
+        return x ** exponent
+    exponent = _as_md(exponent, limbs)
+    return exp(exponent * log(x, limbs), limbs)

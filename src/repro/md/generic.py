@@ -1,0 +1,392 @@
+"""Generic multiple double ("floating point expansion") arithmetic.
+
+This module is the Python equivalent of the arithmetic code that the
+CAMPARY software generates for a fixed number of limbs.  Every function
+operates on *limb tuples*: tuples of length ``m`` whose elements are
+either Python floats, NumPy ``float64`` arrays (all with the same
+shape), or :class:`repro.md.counting.CountingFloat` instances.  Because
+only the ``+ - * /`` operators and a square-root dispatch are used, the
+same code serves
+
+* the scalar reference arithmetic (:mod:`repro.md.number`),
+* the vectorized limb-major array arithmetic (:mod:`repro.vec.mdarray`),
+  which is the Python stand-in for the CUDA kernels of the paper, and
+* the operation-count instrumentation that reproduces Table 1
+  (:mod:`repro.md.opcounts`).
+
+The paper stores a matrix of quad doubles as four matrices of doubles —
+the "staggered" limb-major layout; a limb tuple of four equal-shape
+arrays is exactly that layout.
+
+Supported precisions are any ``m >= 1``; the paper uses ``m`` in
+``{1, 2, 4, 8}`` (double, double double, quad double, octo double).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .eft import quick_two_sum, two_diff, two_prod, two_sqr, two_sum
+from .renorm import renormalize
+
+__all__ = [
+    "zero",
+    "from_double",
+    "from_doubles",
+    "to_double",
+    "negate",
+    "scale_pow2",
+    "add",
+    "sub",
+    "add_double",
+    "mul",
+    "mul_double",
+    "mul_pow2",
+    "sqr",
+    "div",
+    "div_double",
+    "reciprocal",
+    "sqrt",
+    "fma",
+    "dd_add",
+    "dd_mul",
+    "dd_div",
+]
+
+
+# ---------------------------------------------------------------------------
+# construction / conversion
+# ---------------------------------------------------------------------------
+
+def zero(m, like=0.0):
+    """Return the ``m``-limb representation of zero.
+
+    ``like`` provides the element type/shape (e.g. an ndarray) so the
+    produced limbs broadcast correctly.
+    """
+    z = like * 0.0
+    return tuple(z + 0.0 for _ in range(m))
+
+
+def from_double(x, m):
+    """Promote a double (or array of doubles) to an ``m``-limb expansion."""
+    limbs = [x]
+    z = x * 0.0
+    for _ in range(m - 1):
+        limbs.append(z + 0.0)
+    return tuple(limbs)
+
+
+def from_doubles(limbs, m):
+    """Build an ``m``-limb expansion from an iterable of doubles,
+    renormalizing so the result is a valid multiple double."""
+    limbs = list(limbs)
+    if not limbs:
+        raise ValueError("at least one limb is required")
+    return tuple(renormalize(limbs, m))
+
+
+def to_double(x):
+    """Round an expansion to the nearest double (its leading limb)."""
+    return x[0]
+
+
+def negate(x):
+    """Unary minus (free of rounding error)."""
+    return tuple(-xi for xi in x)
+
+
+def scale_pow2(x, factor):
+    """Multiply every limb by an exact power of two (error free)."""
+    return tuple(xi * factor for xi in x)
+
+
+# ---------------------------------------------------------------------------
+# addition / subtraction
+# ---------------------------------------------------------------------------
+
+def add(x, y, m=None):
+    """Add two expansions, returning an ``m``-limb expansion.
+
+    ``m`` defaults to ``len(x)``.  The limbs of the two inputs are merged
+    by interleaving (both inputs are ordered by decreasing magnitude, so
+    the interleaved sequence is close to sorted) and renormalized, which
+    is the "certified" addition of CAMPARY specialised to equal lengths.
+    """
+    if m is None:
+        m = len(x)
+    if len(x) == 2 and len(y) == 2 and m == 2:
+        return dd_add(x, y)
+    merged = []
+    nx, ny = len(x), len(y)
+    for i in range(max(nx, ny)):
+        if i < nx:
+            merged.append(x[i])
+        if i < ny:
+            merged.append(y[i])
+    return tuple(renormalize(merged, m))
+
+
+def sub(x, y, m=None):
+    """Subtract two expansions (``x - y``)."""
+    return add(x, negate(y), m)
+
+
+def add_double(x, d, m=None):
+    """Add a plain double ``d`` to an expansion."""
+    if m is None:
+        m = len(x)
+    merged = [x[0], d]
+    merged.extend(x[1:])
+    return tuple(renormalize(merged, m))
+
+
+# ---------------------------------------------------------------------------
+# multiplication
+# ---------------------------------------------------------------------------
+
+def mul(x, y, m=None):
+    """Multiply two expansions, returning an ``m``-limb expansion.
+
+    Partial products ``x[i]*y[j]`` of order ``i+j < m`` are computed with
+    :func:`two_prod` (exact); the order-``m`` cross terms are added in
+    plain double precision as a rounding correction, and everything is
+    renormalized.  This mirrors the "quick-and-dirty" truncated
+    multiplication of CAMPARY used by the paper's kernels.
+    """
+    if m is None:
+        m = len(x)
+    if len(x) == 2 and len(y) == 2 and m == 2:
+        return dd_mul(x, y)
+    nx, ny = len(x), len(y)
+    # bucket exact partial products by order so the flattened term list
+    # is roughly sorted by decreasing magnitude before renormalization
+    buckets = [[] for _ in range(m + 1)]
+    for i in range(min(nx, m)):
+        xi = x[i]
+        jmax = min(ny, m - i)
+        for j in range(jmax):
+            p, e = two_prod(xi, y[j])
+            buckets[i + j].append(p)
+            if i + j + 1 <= m:
+                buckets[i + j + 1].append(e)
+    # order-m correction terms, plain products
+    corr = None
+    for i in range(min(nx, m + 1)):
+        j = m - i
+        if 0 <= j < ny:
+            p = x[i] * y[j]
+            corr = p if corr is None else corr + p
+    if corr is not None:
+        buckets[m].append(corr)
+    terms = [t for bucket in buckets for t in bucket]
+    if not terms:
+        return zero(m, like=x[0])
+    return tuple(renormalize(terms, m))
+
+
+def mul_double(x, d, m=None):
+    """Multiply an expansion by a plain double."""
+    if m is None:
+        m = len(x)
+    buckets = [[] for _ in range(m + 1)]
+    for i in range(min(len(x), m)):
+        p, e = two_prod(x[i], d)
+        buckets[i].append(p)
+        buckets[i + 1].append(e)
+    if len(x) > m:
+        buckets[m].append(x[m] * d)
+    terms = [t for bucket in buckets for t in bucket]
+    return tuple(renormalize(terms, m))
+
+
+def mul_pow2(x, factor):
+    """Alias of :func:`scale_pow2` (kept for API parity with QDlib)."""
+    return scale_pow2(x, factor)
+
+
+def sqr(x, m=None):
+    """Square an expansion (slightly cheaper than ``mul(x, x)``)."""
+    if m is None:
+        m = len(x)
+    n = len(x)
+    buckets = [[] for _ in range(m + 1)]
+    for i in range(min(n, m)):
+        # diagonal term
+        if 2 * i < m:
+            p, e = two_sqr(x[i])
+            buckets[2 * i].append(p)
+            if 2 * i + 1 <= m:
+                buckets[2 * i + 1].append(e)
+        elif 2 * i == m:
+            buckets[m].append(x[i] * x[i])
+        # off-diagonal terms, doubled
+        for j in range(i + 1, min(n, m - i)):
+            p, e = two_prod(x[i], x[j])
+            buckets[i + j].append(p + p)
+            if i + j + 1 <= m:
+                buckets[i + j + 1].append(e + e)
+    corr = None
+    for i in range(min(n, m + 1)):
+        j = m - i
+        if i < j < n:
+            p = x[i] * x[j]
+            p = p + p
+            corr = p if corr is None else corr + p
+    if corr is not None:
+        buckets[m].append(corr)
+    terms = [t for bucket in buckets for t in bucket]
+    if not terms:
+        return zero(m, like=x[0])
+    return tuple(renormalize(terms, m))
+
+
+# ---------------------------------------------------------------------------
+# division / square root
+# ---------------------------------------------------------------------------
+
+def div(x, y, m=None):
+    """Divide two expansions by long division.
+
+    ``m + 1`` quotient limbs are produced (one guard limb), each obtained
+    by a double precision division of the leading limbs of the running
+    remainder, exactly as in the QDlib/CAMPARY division algorithms; the
+    quotient limbs are then renormalized to ``m`` limbs.
+    """
+    if m is None:
+        m = len(x)
+    q_limbs = []
+    r = x
+    for k in range(m + 1):
+        qk = r[0] / y[0]
+        q_limbs.append(qk)
+        if k < m:
+            r = sub(r, mul_double(y, qk, len(r)), len(r))
+    return tuple(renormalize(q_limbs, m))
+
+
+def div_double(x, d, m=None):
+    """Divide an expansion by a plain double."""
+    if m is None:
+        m = len(x)
+    return div(x, from_double(d + (x[0] * 0.0), max(1, min(m, 2))), m)
+
+
+def reciprocal(y, m=None):
+    """Return ``1 / y``."""
+    if m is None:
+        m = len(y)
+    one = from_double(y[0] * 0.0 + 1.0, len(y))
+    return div(one, y, m)
+
+
+def _sqrt_leading(v):
+    """Square root of a leading limb, dispatching on the element type."""
+    sqrt_method = getattr(v, "sqrt", None)
+    if sqrt_method is not None and not isinstance(v, float):
+        return sqrt_method()
+    if isinstance(v, float):
+        return math.sqrt(v)
+    import numpy as _np
+
+    return _np.sqrt(v)
+
+
+def sqrt(x, m=None):
+    """Square root via Newton iteration on the inverse square root.
+
+    ``y ← y + y*(1 - x*y²)/2`` starting from the double precision
+    estimate; each iteration roughly doubles the number of correct
+    limbs, so ``ceil(log2(m)) + 1`` iterations suffice.  The result is
+    ``x * y`` with one final correction step.  Negative inputs are the
+    caller's responsibility (the leading limb's square root is taken).
+    """
+    if m is None:
+        m = len(x)
+    leading = x[0]
+    is_array = hasattr(leading, "dtype")
+    if is_array:
+        import numpy as _np
+
+        zero_mask = leading == 0.0
+        safe_leading = _np.where(zero_mask, 1.0, leading)
+        y0 = 1.0 / _sqrt_leading(safe_leading)
+    else:
+        # a renormalized expansion with a zero leading limb is zero
+        if float(leading) == 0.0:
+            return zero(m, like=leading)
+        y0 = 1.0 / _sqrt_leading(leading)
+    y = from_double(y0, m)
+    half = 0.5
+    iters = max(1, math.ceil(math.log2(max(m, 2))) + 1)
+    one = from_double(x[0] * 0.0 + 1.0, m)
+    for _ in range(iters):
+        y2 = sqr(y, m)
+        xy2 = mul(x, y2, m)
+        resid = sub(one, xy2, m)
+        corr = scale_pow2(mul(y, resid, m), half)
+        y = add(y, corr, m)
+    root = mul(x, y, m)
+    # one Newton correction on the root itself: root += (x - root^2)*y/2
+    err = sub(x, sqr(root, m), m)
+    root = add(root, scale_pow2(mul(err, y, m), half), m)
+    if is_array:
+        import numpy as _np
+
+        root = tuple(_np.where(zero_mask, 0.0, limb) for limb in root)
+    return root
+
+
+def fma(x, y, z, m=None):
+    """Fused multiply-add on expansions: ``x*y + z`` (rounded once at the
+    end of the renormalization of the merged term list)."""
+    if m is None:
+        m = len(z)
+    prod = mul(x, y, m + 1 if len(x) >= m else m)
+    return add(prod, z, m)
+
+
+# ---------------------------------------------------------------------------
+# specialised double double fast path (QDlib "accurate" algorithms)
+# ---------------------------------------------------------------------------
+
+def dd_add(x, y):
+    """Double double addition (QDlib ``ieee_add``), 20 flops."""
+    s1, s2 = two_sum(x[0], y[0])
+    t1, t2 = two_sum(x[1], y[1])
+    s2 = s2 + t1
+    s1, s2 = quick_two_sum(s1, s2)
+    s2 = s2 + t2
+    s1, s2 = quick_two_sum(s1, s2)
+    return (s1, s2)
+
+
+def dd_mul(x, y):
+    """Double double multiplication (QDlib), 24 flops."""
+    p1, p2 = two_prod(x[0], y[0])
+    p2 = p2 + x[0] * y[1]
+    p2 = p2 + x[1] * y[0]
+    p1, p2 = quick_two_sum(p1, p2)
+    return (p1, p2)
+
+
+def dd_div(x, y):
+    """Double double division (QDlib accurate division)."""
+    q1 = x[0] / y[0]
+    r = dd_add(x, negate(dd_mul(y, (q1, q1 * 0.0))))
+    q2 = r[0] / y[0]
+    r = dd_add(r, negate(dd_mul(y, (q2, q2 * 0.0))))
+    q3 = r[0] / y[0]
+    q1, q2 = quick_two_sum(q1, q2)
+    return dd_add((q1, q2), (q3, q3 * 0.0))
+
+
+def dd_sub(x, y):
+    """Double double subtraction."""
+    s1, s2 = two_diff(x[0], y[0])
+    t1, t2 = two_diff(x[1], y[1])
+    s2 = s2 + t1
+    s1, s2 = quick_two_sum(s1, s2)
+    s2 = s2 + t2
+    s1, s2 = quick_two_sum(s1, s2)
+    return (s1, s2)

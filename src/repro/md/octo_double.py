@@ -1,0 +1,72 @@
+"""Octo double arithmetic (eight limbs, ~128 decimal digits).
+
+Precision-specific facade over :mod:`repro.md.generic`; the paper's
+"8d" format.  The paper extends QDlib's double double / quad double
+definitions to octo double with the same "one variable per limb"
+customization; here the generic expansion arithmetic covers it.
+"""
+
+from __future__ import annotations
+
+from . import generic
+from .constants import OCTO_DOUBLE as PRECISION
+
+__all__ = [
+    "PRECISION",
+    "LIMBS",
+    "EPS",
+    "from_double",
+    "zero",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "sqr",
+    "sqrt",
+    "negate",
+    "fma",
+]
+
+LIMBS = PRECISION.limbs
+EPS = PRECISION.eps
+
+
+def from_double(x):
+    return generic.from_double(x, LIMBS)
+
+
+def zero(like=0.0):
+    return generic.zero(LIMBS, like=like)
+
+
+def add(x, y):
+    return generic.add(x, y, LIMBS)
+
+
+def sub(x, y):
+    return generic.sub(x, y, LIMBS)
+
+
+def mul(x, y):
+    return generic.mul(x, y, LIMBS)
+
+
+def div(x, y):
+    return generic.div(x, y, LIMBS)
+
+
+def sqr(x):
+    return generic.sqr(x, LIMBS)
+
+
+def sqrt(x):
+    return generic.sqrt(x, LIMBS)
+
+
+def negate(x):
+    return generic.negate(x)
+
+
+def fma(x, y, z):
+    """Return ``x*y + z`` in octo double precision."""
+    return generic.fma(x, y, z, LIMBS)

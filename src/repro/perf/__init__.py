@@ -1,0 +1,33 @@
+"""Performance modelling and experiment harness.
+
+* :mod:`repro.perf.costmodel` — analytic kernel traces at paper-scale
+  dimensions (exactly matching the numeric drivers' traces).
+* :mod:`repro.perf.model` — the kernel/wall time model for the
+  simulated devices.
+* :mod:`repro.perf.experiments` — one driver per table and figure of
+  the paper's evaluation section.
+* :mod:`repro.perf.report` — plain-text rendering of the results.
+* :mod:`repro.perf.paper_data` — the paper's reference numbers.
+"""
+
+from . import costmodel, experiments, model, paper_data, report
+from .costmodel import back_substitution_trace, lstsq_trace, problem_bytes, qr_trace
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .model import DEFAULT_ILP, PerformanceModel, TimedRun
+
+__all__ = [
+    "costmodel",
+    "experiments",
+    "model",
+    "paper_data",
+    "report",
+    "qr_trace",
+    "back_substitution_trace",
+    "lstsq_trace",
+    "problem_bytes",
+    "PerformanceModel",
+    "TimedRun",
+    "DEFAULT_ILP",
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+]

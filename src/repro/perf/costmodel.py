@@ -1,0 +1,245 @@
+"""Analytic kernel traces at paper-scale dimensions.
+
+The numeric drivers of :mod:`repro.core` execute the multiple double
+arithmetic for real, which in Python is only feasible up to a few
+hundred rows.  The paper's experiments run at dimensions up to 20,480;
+for those, the functions below generate *exactly the same kernel
+launches* — same stages, same launch geometry, same operation tallies
+(taken from :mod:`repro.core.stages`), same byte counts — without
+touching any matrix data.  The test-suite verifies that, for dimensions
+where both paths are feasible, the analytic trace and the numeric trace
+agree launch by launch.
+"""
+
+from __future__ import annotations
+
+from ..core import stages
+from ..core.back_substitution import (
+    BS_MULTIPLY_EFFICIENCY,
+    BS_UPDATE_EFFICIENCY,
+    TILE_INVERSION_EFFICIENCY,
+)
+from ..core.least_squares import STAGE_APPLY_QT
+from ..gpu.kernel import KernelTrace
+from ..gpu.memory import md_bytes
+
+__all__ = ["qr_trace", "back_substitution_trace", "lstsq_trace", "problem_bytes"]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def qr_trace(rows, cols, tile_size, limbs, device="V100", complex_data=False, trace=None):
+    """Analytic trace of Algorithm 2 (blocked Householder QR).
+
+    Mirrors :func:`repro.core.blocked_qr.blocked_qr` launch for launch.
+    """
+    if rows < cols:
+        raise ValueError("expected rows >= cols")
+    n = tile_size
+    if n <= 0 or cols % n != 0:
+        raise ValueError(f"tile size {tile_size} must divide the column count {cols}")
+    tiles = cols // n
+    if trace is None:
+        trace = KernelTrace(device, label=f"QR model {rows}x{cols}, {tiles}x{n}")
+
+    for k in range(tiles):
+        col0 = k * n
+        r = rows - col0
+
+        # panel factorization, column by column
+        for l in range(n):
+            j = col0 + l
+            length = rows - j
+            panel_cols = col0 + n - j
+            trace.add(
+                "householder",
+                stages.STAGE_BETA_V,
+                blocks=max(1, _ceil_div(length, n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_householder_vector(length, complex_data),
+                bytes_read=md_bytes(length, limbs, complex_data),
+                bytes_written=md_bytes(length + 1, limbs, complex_data),
+            )
+            trace.add(
+                "beta_rtv",
+                stages.STAGE_BETA_RTV,
+                blocks=max(1, _ceil_div(length, n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matvec(panel_cols, length, complex_data)
+                + stages.tally_matvec(panel_cols, 1, complex_data),
+                bytes_read=md_bytes(length * panel_cols + length, limbs, complex_data),
+                bytes_written=md_bytes(panel_cols, limbs, complex_data),
+            )
+            trace.add(
+                "update_r",
+                stages.STAGE_UPDATE_R,
+                blocks=max(1, panel_cols),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_rank1_update(length, panel_cols, complex_data),
+                bytes_read=md_bytes(length * panel_cols + length + panel_cols, limbs, complex_data),
+                bytes_written=md_bytes(length * panel_cols, limbs, complex_data),
+            )
+
+        # W accumulation: one launch per column
+        for l in range(n):
+            trace.add(
+                "compute_w_column",
+                stages.STAGE_COMPUTE_W,
+                blocks=max(1, _ceil_div(r, n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_compute_w_column(r, l, complex_data),
+                bytes_read=md_bytes(r * (2 * l + 1), limbs, complex_data),
+                bytes_written=md_bytes(r, limbs, complex_data),
+            )
+
+        # YWT = Y W^H
+        trace.add(
+            "ywt",
+            stages.STAGE_YWT,
+            blocks=max(1, _ceil_div(r * r, n)),
+            threads_per_block=n,
+            limbs=limbs,
+            tally=stages.tally_matmul(r, n, r, complex_data),
+            bytes_read=md_bytes(2 * r * n, limbs, complex_data),
+            bytes_written=md_bytes(r * r, limbs, complex_data),
+        )
+
+        # Q update
+        trace.add(
+            "q_wyt",
+            stages.STAGE_QWYT,
+            blocks=max(1, _ceil_div(rows * r, n)),
+            threads_per_block=n,
+            limbs=limbs,
+            tally=stages.tally_matmul(rows, r, r, complex_data),
+            bytes_read=md_bytes(rows * r + r * r, limbs, complex_data),
+            bytes_written=md_bytes(rows * r, limbs, complex_data),
+        )
+        trace.add(
+            "q_add",
+            stages.STAGE_Q_ADD,
+            blocks=max(1, _ceil_div(rows * r, n)),
+            threads_per_block=n,
+            limbs=limbs,
+            tally=stages.tally_matrix_add(rows, r, complex_data),
+            bytes_read=md_bytes(2 * rows * r, limbs, complex_data),
+            bytes_written=md_bytes(rows * r, limbs, complex_data),
+        )
+
+        # trailing-column update
+        if k < tiles - 1:
+            c = cols - (col0 + n)
+            trace.add(
+                "ywt_c",
+                stages.STAGE_YWTC,
+                blocks=max(1, _ceil_div(r * c, n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matmul(r, r, c, complex_data),
+                bytes_read=md_bytes(r * r + r * c, limbs, complex_data),
+                bytes_written=md_bytes(r * c, limbs, complex_data),
+            )
+            trace.add(
+                "r_add",
+                stages.STAGE_R_ADD,
+                blocks=max(1, _ceil_div(r * c, n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matrix_add(r, c, complex_data),
+                bytes_read=md_bytes(2 * r * c, limbs, complex_data),
+                bytes_written=md_bytes(r * c, limbs, complex_data),
+            )
+
+    return trace
+
+
+def back_substitution_trace(tiles, tile_size, limbs, device="V100", complex_data=False, trace=None):
+    """Analytic trace of Algorithm 1 (tiled back substitution).
+
+    Mirrors :func:`repro.core.back_substitution.tiled_back_substitution`.
+    """
+    n = tile_size
+    if n <= 0 or tiles <= 0:
+        raise ValueError("tiles and tile size must be positive")
+    if trace is None:
+        trace = KernelTrace(device, label=f"BS model dim={tiles * n} {n}x{tiles}")
+
+    trace.add(
+        "invert_tiles",
+        stages.STAGE_INVERT_TILES,
+        blocks=tiles,
+        threads_per_block=n,
+        limbs=limbs,
+        tally=stages.tally_tile_inverse(n, complex_data).scaled(tiles),
+        bytes_read=md_bytes(tiles * n * n, limbs, complex_data),
+        bytes_written=md_bytes(tiles * n * n, limbs, complex_data),
+        efficiency=TILE_INVERSION_EFFICIENCY,
+    )
+    for i in range(tiles - 1, -1, -1):
+        trace.add(
+            "multiply_inverse",
+            stages.STAGE_MULTIPLY_INVERSE,
+            blocks=1,
+            threads_per_block=n,
+            limbs=limbs,
+            tally=stages.tally_matvec(n, n, complex_data),
+            bytes_read=md_bytes(n * n + n, limbs, complex_data),
+            bytes_written=md_bytes(n, limbs, complex_data),
+            efficiency=BS_MULTIPLY_EFFICIENCY,
+        )
+        if i > 0:
+            trace.add(
+                "update_rhs",
+                stages.STAGE_BACK_SUBSTITUTION,
+                blocks=i,
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_update_rhs(n, complex_data).scaled(i),
+                bytes_read=md_bytes(i * (n * n + 2 * n), limbs, complex_data),
+                bytes_written=md_bytes(i * n, limbs, complex_data),
+                efficiency=BS_UPDATE_EFFICIENCY,
+            )
+    return trace
+
+
+def lstsq_trace(rows, cols, tile_size, limbs, device="V100", complex_data=False):
+    """Analytic traces of the least squares solver (QR trace, BS trace).
+
+    Mirrors :func:`repro.core.least_squares.lstsq`: the back substitution
+    trace includes the ``Q^H b`` product that links the two phases.
+    """
+    qr = qr_trace(rows, cols, tile_size, limbs, device, complex_data)
+    bs = KernelTrace(device, label=f"least squares BS model dim={cols}")
+    bs.add(
+        "apply_qt",
+        STAGE_APPLY_QT,
+        blocks=max(1, _ceil_div(rows, tile_size)),
+        threads_per_block=tile_size,
+        limbs=limbs,
+        tally=stages.tally_matvec(rows, rows, complex_data),
+        bytes_read=md_bytes(rows * rows + rows, limbs, complex_data),
+        bytes_written=md_bytes(rows, limbs, complex_data),
+    )
+    back_substitution_trace(
+        cols // tile_size, tile_size, limbs, device, complex_data, trace=bs
+    )
+    return qr, bs
+
+
+def problem_bytes(rows, cols, limbs, complex_data=False, with_q=True) -> float:
+    """Bytes of the problem data moved between host and device.
+
+    Counts the input matrix and right-hand side plus (by default) the
+    orthogonal factor and the solution on the way back, which is what
+    the paper's wall clock times include as memory transfers.
+    """
+    total = md_bytes(rows * cols + rows, limbs, complex_data)
+    if with_q:
+        total += md_bytes(rows * rows + rows * cols, limbs, complex_data)
+    return total

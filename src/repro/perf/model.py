@@ -1,0 +1,180 @@
+"""Kernel time model for the simulated GPUs.
+
+The model assigns an elapsed time to every kernel launch of a trace
+from first principles plus a small number of calibrated constants:
+
+``time = max(flops / attainable_rate, bytes / attainable_bandwidth)
+         + launch_overhead``
+
+with
+
+``attainable_rate = peak * md_stream_efficiency
+                   * ilp(limbs) ** precision_scaling
+                   * occupancy(blocks, threads_per_block)``.
+
+* ``peak`` and the memory bandwidth come from the device catalog
+  (Table 2 plus vendor data sheets).
+* ``md_stream_efficiency`` is a per-device calibration constant: the
+  fraction of peak a fully occupied double double kernel sustains
+  (calibrated against the kernel flop rates of Tables 3 and 4).
+* ``ilp(limbs)`` captures the paper's central observation that
+  *performance increases with the precision*: more limbs mean more
+  independent double operations per memory access (higher CGMA ratio)
+  and longer register-resident dependency chains that hide latency, so
+  the sustained fraction of peak grows from double (0.13) to octo
+  double (1.70 relative to double double).  The exponent
+  ``precision_scaling`` flattens the effect on the consumer RTX 2080,
+  whose double precision units saturate much earlier.
+* ``occupancy`` is the block/thread utilisation model of
+  :mod:`repro.gpu.occupancy`; it is what makes the back substitution
+  underperform at small tile counts (few blocks) and small tile sizes
+  (half-empty multiprocessors), as in Table 9 and Figure 5.
+* the kernel launch overhead dominates stages that consist of thousands
+  of tiny launches, reproducing the large gap between kernel time and
+  wall clock time of the back substitution tables.
+
+Wall clock time adds PCIe transfers of the problem data and a
+host-staging overhead (see :mod:`repro.gpu.memory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.device import DeviceSpec, get_device
+from ..gpu.kernel import KernelLaunch, KernelTrace
+from ..gpu.memory import host_overhead_ms, transfer_time_ms
+from ..gpu.occupancy import LaunchConfiguration, occupancy
+
+__all__ = ["PerformanceModel", "TimedRun", "DEFAULT_ILP"]
+
+#: Relative sustained-throughput factor per precision (double double = 1);
+#: calibrated against the kernel flop rates of Table 4 (P100 and V100).
+DEFAULT_ILP = {1: 0.16, 2: 1.00, 4: 1.30, 8: 1.55}
+
+#: Per-device exponent applied to the ILP factor.  1.0 reproduces the
+#: Pascal/Volta behaviour; the RTX 2080's double precision units are
+#: already the bottleneck in double double, so extra limbs barely help.
+PRECISION_SCALING = {"GeForce RTX 2080": 0.30}
+
+#: Fraction of the peak memory bandwidth attainable by the strided but
+#: coalesced limb-major accesses.
+BANDWIDTH_EFFICIENCY = 0.70
+
+
+@dataclass
+class TimedRun:
+    """A trace with attributed kernel times and wall clock components."""
+
+    trace: KernelTrace
+    kernel_ms: float
+    transfer_ms: float
+    host_ms: float
+
+    @property
+    def wall_ms(self) -> float:
+        return self.kernel_ms + self.transfer_ms + self.host_ms
+
+    @property
+    def kernel_gigaflops(self) -> float:
+        return self.trace.kernel_gigaflops()
+
+    @property
+    def wall_gigaflops(self) -> float:
+        return self.trace.wall_gigaflops()
+
+
+class PerformanceModel:
+    """Attribute kernel and wall clock times to kernel traces."""
+
+    def __init__(self, device="V100", *, ilp=None, flop_source: str = "paper"):
+        self.device: DeviceSpec = get_device(device)
+        self.ilp = dict(DEFAULT_ILP if ilp is None else ilp)
+        self.flop_source = flop_source
+
+    # ------------------------------------------------------------------
+    # per-launch model
+    # ------------------------------------------------------------------
+    def ilp_factor(self, limbs: int) -> float:
+        """Precision-dependent sustained-throughput factor."""
+        if limbs in self.ilp:
+            base = self.ilp[limbs]
+        else:
+            # interpolate geometrically for non-paper precisions
+            known = sorted(self.ilp)
+            below = max((k for k in known if k <= limbs), default=known[0])
+            above = min((k for k in known if k >= limbs), default=known[-1])
+            if below == above:
+                base = self.ilp[below]
+            else:
+                weight = (limbs - below) / (above - below)
+                base = self.ilp[below] ** (1 - weight) * self.ilp[above] ** weight
+        exponent = PRECISION_SCALING.get(self.device.name, 1.0)
+        return base ** exponent
+
+    def latency_hiding(self, threads_per_block: int) -> float:
+        """Extra derating for blocks too small to hide instruction latency.
+
+        A multiprocessor needs roughly two warps per core-group in flight
+        before the long dependency chains of the multiple double
+        operations stop stalling the pipeline; the square root softens
+        the penalty (other blocks on the same multiprocessor also help).
+        This is what keeps the back substitution performance growing with
+        the tile size well past the core count (Table 9).
+        """
+        if threads_per_block <= 0:
+            return 1.0
+        needed = 2.0 * self.device.cores_per_multiprocessor
+        return min(1.0, threads_per_block / needed) ** 0.5
+
+    def attainable_gflops(self, launch: KernelLaunch) -> float:
+        """Compute-side ceiling for one launch (gigaflops)."""
+        config = LaunchConfiguration(launch.blocks, launch.threads_per_block)
+        util = occupancy(config, self.device)
+        rate = (
+            self.device.peak_double_gflops
+            * self.device.md_stream_efficiency
+            * self.ilp_factor(launch.limbs)
+            * util
+            * self.latency_hiding(launch.threads_per_block)
+            * launch.efficiency
+        )
+        return max(rate, 1e-9)
+
+    def kernel_time_ms(self, launch: KernelLaunch) -> float:
+        """Predicted elapsed time of one kernel launch in milliseconds."""
+        flops = launch.flops(self.flop_source)
+        compute_ms = flops / (self.attainable_gflops(launch) * 1e9) * 1e3
+        bandwidth = self.device.memory_bandwidth_bytes_s * BANDWIDTH_EFFICIENCY
+        memory_ms = launch.bytes_total / bandwidth * 1e3
+        overhead_ms = self.device.kernel_launch_overhead_us * 1e-3
+        return max(compute_ms, memory_ms) + overhead_ms
+
+    # ------------------------------------------------------------------
+    # whole-trace attribution
+    # ------------------------------------------------------------------
+    def attribute(self, trace: KernelTrace, *, problem_bytes: float = 0.0, oversubscribed: bool = False) -> TimedRun:
+        """Fill ``elapsed_ms`` of every launch and the wall clock parts.
+
+        ``problem_bytes`` is the amount of data shipped between host and
+        device (both directions combined); ``oversubscribed=True`` adds
+        the host-RAM-thrashing penalty the paper observed for the octo
+        double dimension-20,480 run on the 32 GB V100 host.
+        """
+        total = 0.0
+        for launch in trace.launches:
+            launch.elapsed_ms = self.kernel_time_ms(launch)
+            total += launch.elapsed_ms
+        trace.transfer_ms = transfer_time_ms(problem_bytes, self.device)
+        trace.host_ms = host_overhead_ms(
+            problem_bytes, self.device, oversubscribed=oversubscribed
+        )
+        return TimedRun(
+            trace=trace,
+            kernel_ms=total,
+            transfer_ms=trace.transfer_ms,
+            host_ms=trace.host_ms,
+        )
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return f"PerformanceModel(device={self.device.name!r}, flop_source={self.flop_source!r})"

@@ -1,0 +1,12 @@
+"""Vectorized multiple double arrays and dense linear algebra.
+
+The limb-major ("staggered") data layout and the kernels built on it
+are the Python stand-ins for the paper's CUDA data staging and device
+kernels; see :mod:`repro.vec.mdarray` for the layout discussion.
+"""
+
+from . import linalg, random
+from .complexmd import MDComplexArray
+from .mdarray import MDArray
+
+__all__ = ["MDArray", "MDComplexArray", "linalg", "random"]

@@ -1,0 +1,364 @@
+"""Vectorized multiple double arrays in limb-major ("staggered") layout.
+
+The paper stores a matrix of quad doubles as **four matrices of
+doubles**, ordered by significance, so that adjacent CUDA threads read
+adjacent doubles (memory coalescing).  :class:`MDArray` adopts exactly
+that layout: the underlying storage is one NumPy array of shape
+``(m,) + shape`` whose slice ``data[k]`` holds the ``k``-th most
+significant limb of every element.
+
+All element-wise arithmetic is delegated to the generic expansion
+arithmetic of :mod:`repro.md.generic`, called with tuples of NumPy
+array limbs; NumPy broadcasting then vectorizes the operation over the
+whole array, which is this library's stand-in for a CUDA kernel
+executing one multiple double operation per thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md import generic
+from ..md.constants import get_precision
+from ..md.number import MultiDouble
+
+__all__ = ["MDArray"]
+
+
+class MDArray:
+    """A dense array of multiple double numbers in limb-major layout."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim < 1:
+            raise ValueError("MDArray storage needs at least the limb axis")
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, shape, precision=2) -> "MDArray":
+        """An all-zero array of the given element shape and precision."""
+        m = get_precision(precision).limbs
+        if isinstance(shape, int):
+            shape = (shape,)
+        return cls(np.zeros((m, *shape), dtype=np.float64))
+
+    @classmethod
+    def from_double(cls, values, precision=2) -> "MDArray":
+        """Promote an array of doubles (leading limbs) to multiple doubles."""
+        m = get_precision(precision).limbs
+        values = np.asarray(values, dtype=np.float64)
+        data = np.zeros((m, *values.shape), dtype=np.float64)
+        data[0] = values
+        return cls(data)
+
+    @classmethod
+    def from_limbs(cls, limbs) -> "MDArray":
+        """Build from an iterable of equal-shape double arrays (most
+        significant first).  The limbs are taken as-is (no renormalization)."""
+        arrays = [np.asarray(limb, dtype=np.float64) for limb in limbs]
+        return cls(np.stack(arrays, axis=0))
+
+    @classmethod
+    def from_multidoubles(cls, values, precision=None) -> "MDArray":
+        """Build a one-dimensional array from scalar :class:`MultiDouble` values."""
+        values = list(values)
+        if not values:
+            raise ValueError("cannot build an MDArray from an empty sequence")
+        if precision is None:
+            precision = values[0].precision
+        m = get_precision(precision).limbs
+        data = np.zeros((m, len(values)), dtype=np.float64)
+        for j, value in enumerate(values):
+            limbs = MultiDouble(value, m).limbs if value.m != m else value.limbs
+            data[:, j] = limbs
+        return cls(data)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def limbs(self) -> int:
+        """Number of doubles per element (``m``)."""
+        return self.data.shape[0]
+
+    @property
+    def precision(self):
+        return get_precision(self.limbs)
+
+    @property
+    def shape(self) -> tuple:
+        """Element shape (without the limb axis)."""
+        return self.data.shape[1:]
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim - 1
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of storage, matching the paper's byte accounting
+        (8 bytes per double, ``m`` doubles per element)."""
+        return self.data.nbytes
+
+    def limb(self, k) -> np.ndarray:
+        """The ``k``-th most significant limb as a plain double array."""
+        return self.data[k]
+
+    def limb_views(self) -> tuple:
+        """Tuple of limb arrays (views) for use with :mod:`repro.md.generic`."""
+        return tuple(self.data[k] for k in range(self.limbs))
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_double(self) -> np.ndarray:
+        """Round every element to double precision (the leading limb)."""
+        return self.data[0].copy()
+
+    def to_multidouble(self, index) -> MultiDouble:
+        """Extract one element as a scalar :class:`MultiDouble`."""
+        if not isinstance(index, tuple):
+            index = (index,)
+        limbs = [float(self.data[(k, *index)]) for k in range(self.limbs)]
+        return MultiDouble.from_limbs(limbs, self.limbs)
+
+    def astype(self, precision) -> "MDArray":
+        """Convert to another precision (truncating or zero-extending limbs)."""
+        m_new = get_precision(precision).limbs
+        m_old = self.limbs
+        if m_new == m_old:
+            return self.copy()
+        if m_new < m_old:
+            # renormalize so the dropped limbs are correctly rounded away
+            out = generic.renormalize(list(self.limb_views()), m_new)
+            return MDArray.from_limbs(out)
+        data = np.zeros((m_new, *self.shape), dtype=np.float64)
+        data[:m_old] = self.data
+        return MDArray(data)
+
+    def copy(self) -> "MDArray":
+        return MDArray(self.data.copy())
+
+    # ------------------------------------------------------------------
+    # structural operations
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "MDArray":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return MDArray(self.data.reshape((self.limbs, *shape)))
+
+    @property
+    def T(self) -> "MDArray":
+        """Transpose of a two-dimensional array (element axes only)."""
+        if self.ndim != 2:
+            raise ValueError("T is only defined for two-dimensional MDArrays")
+        return MDArray(np.swapaxes(self.data, 1, 2))
+
+    def transpose(self) -> "MDArray":
+        return self.T
+
+    def __len__(self) -> int:
+        if self.ndim == 0:
+            raise TypeError("len() of a zero-dimensional MDArray")
+        return self.shape[0]
+
+    def _expand_key(self, key):
+        if not isinstance(key, tuple):
+            key = (key,)
+        return (slice(None), *key)
+
+    def __getitem__(self, key) -> "MDArray":
+        return MDArray(self.data[self._expand_key(key)])
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(value, MultiDouble):
+            value = MDArray.from_multidoubles([value], self.limbs).reshape(())
+        if not isinstance(value, MDArray):
+            value = MDArray.from_double(np.asarray(value, dtype=np.float64), self.limbs)
+        elif value.limbs != self.limbs:
+            value = value.astype(self.limbs)
+        expanded = self._expand_key(key)
+        target_ndim = self.data[expanded].ndim
+        vdata = value.data
+        if vdata.ndim < target_ndim:
+            # right-align the element axes (prepend broadcast axes after
+            # the limb axis) so scalars and lower-dimensional values fill
+            # the whole selected region
+            vdata = vdata.reshape(
+                (vdata.shape[0],) + (1,) * (target_ndim - vdata.ndim) + vdata.shape[1:]
+            )
+        self.data[expanded] = vdata
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "MDArray":
+        if isinstance(other, MDArray):
+            if other.limbs != self.limbs:
+                raise ValueError(
+                    f"precision mismatch: {self.limbs} vs {other.limbs} limbs"
+                )
+            return other
+        if isinstance(other, MultiDouble):
+            limbs = MultiDouble(other, self.limbs).limbs
+            data = np.stack([np.full(self.shape, limb) for limb in limbs])
+            return MDArray(data)
+        if isinstance(other, (int, float)) or (
+            isinstance(other, np.ndarray) and other.dtype.kind in "fiu"
+        ):
+            return MDArray.from_double(np.broadcast_to(np.asarray(other, dtype=np.float64), self.shape).copy(), self.limbs)
+        return NotImplemented
+
+    def _apply(self, op, other) -> "MDArray":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        result = op(self.limb_views(), other.limb_views(), self.limbs)
+        return MDArray.from_limbs(np.broadcast_arrays(*result))
+
+    def __add__(self, other):
+        return self._apply(generic.add, other)
+
+    def __radd__(self, other):
+        return self._apply(generic.add, other)
+
+    def __sub__(self, other):
+        return self._apply(generic.sub, other)
+
+    def __rsub__(self, other):
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented
+        return coerced - self
+
+    def __mul__(self, other):
+        return self._apply(generic.mul, other)
+
+    def __rmul__(self, other):
+        return self._apply(generic.mul, other)
+
+    def __truediv__(self, other):
+        return self._apply(generic.div, other)
+
+    def __rtruediv__(self, other):
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented
+        return coerced / self
+
+    def __neg__(self):
+        return MDArray(-self.data)
+
+    def __pos__(self):
+        return self
+
+    def scale_pow2(self, factor) -> "MDArray":
+        """Multiply by an exact power of two (error free)."""
+        return MDArray(self.data * factor)
+
+    def fma(self, other, addend) -> "MDArray":
+        """Element-wise ``self * other + addend`` (one final rounding)."""
+        other = self._coerce(other)
+        addend = self._coerce(addend)
+        result = generic.fma(self.limb_views(), other.limb_views(), addend.limb_views(), self.limbs)
+        return MDArray.from_limbs(np.broadcast_arrays(*result))
+
+    def sqrt(self) -> "MDArray":
+        """Element-wise square root."""
+        result = generic.sqrt(self.limb_views(), self.limbs)
+        return MDArray.from_limbs(np.broadcast_arrays(*result))
+
+    def abs(self) -> "MDArray":
+        """Element-wise absolute value (sign taken from the leading limb)."""
+        sign = np.where(self.data[0] < 0.0, -1.0, 1.0)
+        return MDArray(self.data * sign)
+
+    def __abs__(self):
+        return self.abs()
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None) -> "MDArray":
+        """Sum of elements via pairwise (binary tree) reduction.
+
+        Pairwise reduction keeps the depth of the additions logarithmic,
+        which both matches the parallel sum reductions the paper's
+        kernels perform with multiple thread blocks and avoids the
+        error growth of a sequential accumulation.
+        """
+        if axis is None:
+            flat = self.reshape(self.size)
+            return flat.sum(axis=0)
+        axis = axis % self.ndim
+        work = self.data
+        limb_axis_offset = 1  # element axis i is storage axis i+1
+        ax = axis + limb_axis_offset
+        while work.shape[ax] > 1:
+            n = work.shape[ax]
+            half = (n + 1) // 2
+            first = np.take(work, np.arange(0, half), axis=ax)
+            if n % 2 == 1:
+                pad_shape = list(first.shape)
+                second = np.take(work, np.arange(half, n), axis=ax)
+                pad_shape[ax] = 1
+                second = np.concatenate([second, np.zeros(pad_shape)], axis=ax)
+            else:
+                second = np.take(work, np.arange(half, n), axis=ax)
+            a = tuple(first[k] for k in range(self.limbs))
+            b = tuple(second[k] for k in range(self.limbs))
+            result = generic.add(a, b, self.limbs)
+            work = np.stack(np.broadcast_arrays(*result), axis=0)
+        work = np.squeeze(work, axis=ax)
+        return MDArray(work)
+
+    def dot(self, other) -> "MDArray":
+        """Inner product of two one-dimensional arrays."""
+        other = self._coerce(other)
+        if self.ndim != 1 or other.ndim != 1:
+            raise ValueError("dot expects one-dimensional MDArrays")
+        return (self * other).sum(axis=0)
+
+    def norm2(self) -> "MDArray":
+        """Euclidean norm of a one-dimensional array."""
+        return self.dot(self).sqrt()
+
+    def max_abs_double(self) -> float:
+        """Magnitude of the largest element, rounded to double (used for
+        cheap convergence/validation checks, not in the solvers)."""
+        return float(np.max(np.abs(self.data[0]))) if self.size else 0.0
+
+    # ------------------------------------------------------------------
+    # comparisons (element-wise, on exact expansion differences)
+    # ------------------------------------------------------------------
+    def equals(self, other) -> bool:
+        """Exact (bitwise) equality of every limb."""
+        other = self._coerce(other)
+        return bool(np.array_equal(self.data, other.data))
+
+    def allclose(self, other, tol=None) -> bool:
+        """Element-wise closeness at a given tolerance (defaults to a few
+        ulps of the working precision), measured on the leading limbs of
+        the difference relative to ``self``."""
+        other = self._coerce(other)
+        if tol is None:
+            tol = 16 * self.precision.eps
+        diff = (self - other).abs().to_double()
+        scale = np.maximum(np.abs(self.to_double()), np.abs(other.to_double()))
+        scale = np.where(scale == 0.0, 1.0, scale)
+        return bool(np.all(diff <= tol * scale))
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"MDArray(shape={self.shape}, precision={self.precision.name}, "
+            f"head={np.array2string(self.data[0], precision=6, threshold=16)})"
+        )

@@ -1,0 +1,153 @@
+"""Random test problems for the multiple double solvers.
+
+The paper generates random input matrices on the host and, for the
+standalone back substitution experiments, obtains the upper triangular
+matrix as the output of an LU factorization of a random matrix rather
+than taking a random triangular matrix directly, because condition
+numbers of random triangular matrices grow exponentially with the
+dimension [Viswanath & Trefethen 1998].  The generators here follow the
+same recipes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.constants import get_precision
+from .complexmd import MDComplexArray
+from .mdarray import MDArray
+
+__all__ = [
+    "random_matrix",
+    "random_vector",
+    "random_complex_matrix",
+    "random_complex_vector",
+    "random_well_conditioned_upper_triangular",
+    "random_lstsq_problem",
+    "lu_factor_double",
+]
+
+
+def _random_limbs(rng, shape, limbs):
+    """Random full-precision multiple doubles in roughly [-1, 1].
+
+    The leading limb is uniform in [-1, 1]; every further limb adds
+    uniformly random bits scaled below the previous limb's unit in the
+    last place, so the generated numbers genuinely exercise all limbs.
+    """
+    data = np.zeros((limbs, *shape), dtype=np.float64)
+    data[0] = rng.uniform(-1.0, 1.0, size=shape)
+    scale = 1.0
+    for k in range(1, limbs):
+        scale *= 2.0 ** -53
+        data[k] = rng.uniform(-1.0, 1.0, size=shape) * scale
+    return data
+
+
+def random_matrix(rows, cols, precision=2, rng=None) -> MDArray:
+    """A random ``rows``-by-``cols`` real multiple double matrix."""
+    rng = np.random.default_rng(rng)
+    m = get_precision(precision).limbs
+    return MDArray(_random_limbs(rng, (rows, cols), m))
+
+
+def random_vector(n, precision=2, rng=None) -> MDArray:
+    """A random real multiple double vector of length ``n``."""
+    rng = np.random.default_rng(rng)
+    m = get_precision(precision).limbs
+    return MDArray(_random_limbs(rng, (n,), m))
+
+
+def random_complex_matrix(rows, cols, precision=2, rng=None) -> MDComplexArray:
+    """A random complex multiple double matrix (independent real and
+    imaginary parts, the layout used for Table 5)."""
+    rng = np.random.default_rng(rng)
+    m = get_precision(precision).limbs
+    return MDComplexArray(
+        MDArray(_random_limbs(rng, (rows, cols), m)),
+        MDArray(_random_limbs(rng, (rows, cols), m)),
+    )
+
+
+def random_complex_vector(n, precision=2, rng=None) -> MDComplexArray:
+    rng = np.random.default_rng(rng)
+    m = get_precision(precision).limbs
+    return MDComplexArray(
+        MDArray(_random_limbs(rng, (n,), m)),
+        MDArray(_random_limbs(rng, (n,), m)),
+    )
+
+
+def lu_factor_double(a: np.ndarray):
+    """Plain double precision LU factorization with partial pivoting.
+
+    Returns ``(p, l, u)`` with ``a[p] = l @ u``.  Implemented directly
+    with NumPy (vectorized column updates) so the library has no
+    dependency beyond NumPy; used only to *generate* well conditioned
+    triangular test matrices, never inside the multiple double solvers.
+    """
+    a = np.array(a, dtype=np.float64, copy=True)
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise ValueError("LU factorization expects a square matrix")
+    perm = np.arange(n)
+    for k in range(n - 1):
+        pivot = k + int(np.argmax(np.abs(a[k:, k])))
+        if a[pivot, k] == 0.0:
+            raise ZeroDivisionError("singular matrix in LU factorization")
+        if pivot != k:
+            a[[k, pivot]] = a[[pivot, k]]
+            perm[[k, pivot]] = perm[[pivot, k]]
+        a[k + 1 :, k] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    l = np.tril(a, -1) + np.eye(n)
+    u = np.triu(a)
+    return perm, l, u
+
+
+def random_well_conditioned_upper_triangular(n, precision=2, rng=None, complex_data: bool = False):
+    """A random upper triangular matrix with benign condition number.
+
+    Following the paper (Section 4.1), the triangular factor is taken
+    from the LU factorization of a dense random matrix; its condition
+    number grows only polynomially with ``n``, unlike that of a directly
+    sampled random triangular matrix.  Lower-order limbs are then filled
+    with random bits so multiple double arithmetic is fully exercised.
+    """
+    rng = np.random.default_rng(rng)
+    m = get_precision(precision).limbs
+
+    def one_factor():
+        dense = rng.uniform(-1.0, 1.0, size=(n, n)) + 2.0 * np.eye(n)
+        _, _, u = lu_factor_double(dense)
+        data = np.zeros((m, n, n), dtype=np.float64)
+        data[0] = u
+        scale = 1.0
+        mask = np.triu(np.ones((n, n)))
+        for k in range(1, m):
+            scale *= 2.0 ** -53
+            data[k] = rng.uniform(-1.0, 1.0, size=(n, n)) * scale * mask
+        return MDArray(data)
+
+    if complex_data:
+        return MDComplexArray(one_factor(), one_factor())
+    return one_factor()
+
+
+def random_lstsq_problem(rows, cols, precision=2, rng=None, complex_data: bool = False):
+    """A random least squares problem ``(A, b)`` with ``rows >= cols``.
+
+    The matrix is dense random (well conditioned with overwhelming
+    probability for the sizes used here); the right-hand side is random,
+    so for ``rows > cols`` the residual is genuinely nonzero.
+    """
+    if rows < cols:
+        raise ValueError("least squares problems require rows >= cols")
+    rng = np.random.default_rng(rng)
+    if complex_data:
+        a = random_complex_matrix(rows, cols, precision, rng)
+        b = random_complex_vector(rows, precision, rng)
+    else:
+        a = random_matrix(rows, cols, precision, rng)
+        b = random_vector(rows, precision, rng)
+    return a, b

@@ -1,0 +1,24 @@
+"""Shared pytest fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(20220320)
+
+
+@pytest.fixture(params=[1, 2, 4, 8], ids=["1d", "2d", "4d", "8d"])
+def limbs(request):
+    """The four paper precisions, parametrized by limb count."""
+    return request.param
+
+
+@pytest.fixture(params=[2, 4, 8], ids=["2d", "4d", "8d"])
+def md_limbs(request):
+    """The three genuine multiple double precisions of the paper."""
+    return request.param

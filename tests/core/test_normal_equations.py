@@ -1,0 +1,112 @@
+"""Tests for the Cholesky / normal-equations baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import lstsq
+from repro.core.normal_equations import (
+    cholesky_factor,
+    solve_normal_equations,
+)
+from repro.vec import MDArray, linalg
+from repro.vec import random as mdrandom
+
+
+def spd_matrix(n, limbs, rng, complex_data=False):
+    """A well conditioned Hermitian positive definite test matrix."""
+    if complex_data:
+        a = mdrandom.random_complex_matrix(n, n, limbs, rng)
+        return linalg.matmul(linalg.conjugate_transpose(a), a) + linalg.identity(
+            n, limbs, complex_data=True
+        ) * 4.0
+    a = mdrandom.random_matrix(n, n, limbs, rng)
+    return linalg.matmul(linalg.conjugate_transpose(a), a) + linalg.identity(n, limbs) * 4.0
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("limbs,tol", [(2, 1e-28), (4, 1e-59)])
+    def test_factorization_residual(self, limbs, tol, rng):
+        a = spd_matrix(8, limbs, rng)
+        r = cholesky_factor(a)
+        recon = linalg.matmul(linalg.conjugate_transpose(r), r)
+        assert linalg.max_abs_entry(recon - a) < 8 * tol
+
+    def test_factor_is_upper_triangular_with_positive_diagonal(self, rng):
+        a = spd_matrix(6, 2, rng)
+        r = cholesky_factor(a)
+        head = r.to_double()
+        assert np.max(np.abs(np.tril(head, -1))) == 0.0
+        assert np.all(np.diag(head) > 0)
+
+    def test_complex_factorization(self, rng):
+        a = spd_matrix(5, 2, rng, complex_data=True)
+        r = cholesky_factor(a)
+        recon = linalg.matmul(linalg.conjugate_transpose(r), r)
+        assert np.max(np.abs(recon.to_complex() - a.to_complex())) < 1e-26
+
+    def test_matches_numpy_in_double(self, rng):
+        a = spd_matrix(7, 2, rng)
+        r = cholesky_factor(a)
+        reference = np.linalg.cholesky(a.to_double()).T
+        assert np.allclose(r.to_double(), reference, rtol=1e-12, atol=1e-12)
+
+    def test_rejects_indefinite(self):
+        a = MDArray.from_double(np.diag([1.0, -1.0]), 2)
+        with pytest.raises(ZeroDivisionError):
+            cholesky_factor(a)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            cholesky_factor(MDArray.zeros((2, 3), 2))
+
+
+class TestNormalEquationsSolver:
+    @pytest.mark.parametrize("limbs,tol", [(2, 1e-24), (4, 1e-55)])
+    def test_solves_well_conditioned_problems(self, limbs, tol, rng):
+        a, b = mdrandom.random_lstsq_problem(16, 8, limbs, rng)
+        result = solve_normal_equations(a, b)
+        gradient = linalg.matvec(linalg.conjugate_transpose(a), b - linalg.matvec(a, result.x))
+        assert linalg.max_abs_entry(gradient) < 16 * tol
+
+    def test_agrees_with_qr_solver(self, rng):
+        a, b = mdrandom.random_lstsq_problem(12, 6, 4, rng)
+        x_ne = solve_normal_equations(a, b).x
+        x_qr = lstsq(a, b, tile_size=3).x
+        assert x_ne.allclose(x_qr, tol=1e-50)
+
+    def test_complex_problem(self, rng):
+        a, b = mdrandom.random_lstsq_problem(10, 5, 2, rng, complex_data=True)
+        result = solve_normal_equations(a, b)
+        gradient = linalg.matvec(linalg.conjugate_transpose(a), b - linalg.matvec(a, result.x))
+        assert linalg.max_abs_entry(gradient) < 1e-23
+
+    def test_trace_stages_recorded(self, rng):
+        a, b = mdrandom.random_lstsq_problem(12, 6, 2, rng)
+        result = solve_normal_equations(a, b)
+        assert len(result.trace) == 3
+        assert result.trace.total_flops() > 0
+
+    def test_rhs_validation(self, rng):
+        a, _ = mdrandom.random_lstsq_problem(8, 4, 2, rng)
+        with pytest.raises(ValueError):
+            solve_normal_equations(a, MDArray.zeros((7,), 2))
+
+    def test_accuracy_loss_vs_qr_on_ill_conditioned_problem(self, rng):
+        """The normal equations square the condition number: on a graded
+        matrix the QR solution is orders of magnitude more accurate."""
+        n = 10
+        # singular values 1 .. 1e-9 with random left/right singular vectors:
+        # the ill conditioning cannot be absorbed by a column scaling, so the
+        # cond^2 error growth of the normal equations is fully exposed
+        u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        v, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        a = MDArray.from_double(u @ np.diag(10.0 ** -np.arange(n, dtype=float)) @ v.T, 2)
+        x_true = mdrandom.random_vector(n, 2, rng)
+        b = linalg.matvec(a, x_true)
+        x_ne = solve_normal_equations(a, b).x
+        x_qr = lstsq(a, b, tile_size=5).x
+        err_ne = linalg.max_abs_entry(x_ne - x_true)
+        err_qr = linalg.max_abs_entry(x_qr - x_true)
+        assert err_qr < 1e-3 * err_ne

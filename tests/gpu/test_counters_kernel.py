@@ -1,0 +1,158 @@
+"""Tests for operation tallies, kernel launches and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import KernelLaunch, KernelTrace, OperationTally, flop_cost_model
+
+
+class TestOperationTally:
+    def test_flops_with_paper_table1(self):
+        tally = OperationTally(additions=2, multiplications=3, divisions=1)
+        # quad double: 2*89 + 3*336 + 1*893
+        assert tally.flops(4) == 2 * 89 + 3 * 336 + 893
+
+    def test_flops_double_precision(self):
+        tally = OperationTally(additions=5, subtractions=5, multiplications=5, divisions=5)
+        assert tally.flops(1) == 20
+
+    def test_sqrt_charged_as_division(self):
+        tally = OperationTally(square_roots=2)
+        assert tally.flops(2) == 2 * 70
+
+    def test_measured_source(self):
+        tally = OperationTally(additions=1)
+        assert tally.flops(2, source="measured") >= 20
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            flop_cost_model(2, source="guessed")
+
+    def test_axpy_constructors(self):
+        real = OperationTally.axpy(10)
+        assert real.additions == 10 and real.multiplications == 10
+        cplx = OperationTally.complex_axpy(10)
+        assert cplx.additions == 40 and cplx.multiplications == 40
+
+    def test_algebra(self):
+        a = OperationTally(additions=1, divisions=2)
+        b = OperationTally(multiplications=3)
+        c = a + b
+        assert c.additions == 1 and c.multiplications == 3 and c.divisions == 2
+        a += b
+        assert a.multiplications == 3
+        scaled = b.scaled(2.5)
+        assert scaled.multiplications == 7.5
+
+    def test_md_operations_and_empty(self):
+        assert OperationTally().is_empty()
+        assert OperationTally(additions=2, square_roots=1).md_operations == 3
+
+    def test_as_dict(self):
+        d = OperationTally(additions=1, subtractions=2).as_dict()
+        assert d["add"] == 1 and d["sub"] == 2
+
+
+class TestKernelLaunch:
+    def test_flops_and_intensity(self):
+        launch = KernelLaunch(
+            name="k",
+            stage="stage",
+            blocks=4,
+            threads_per_block=128,
+            limbs=4,
+            tally=OperationTally(additions=100, multiplications=100),
+            bytes_read=1000,
+            bytes_written=600,
+        )
+        assert launch.threads == 512
+        assert launch.bytes_total == 1600
+        assert launch.flops() == 100 * 89 + 100 * 336
+        assert launch.arithmetic_intensity == pytest.approx(launch.flops() / 1600)
+
+    def test_zero_bytes_infinite_intensity(self):
+        launch = KernelLaunch("k", "s", 1, 32, 2, OperationTally(additions=1))
+        assert launch.arithmetic_intensity == float("inf")
+
+
+class TestKernelTrace:
+    def _trace(self):
+        trace = KernelTrace("V100", label="unit")
+        trace.add(
+            "inv",
+            "invert diagonal tiles",
+            blocks=80,
+            threads_per_block=64,
+            limbs=4,
+            tally=OperationTally(additions=10, multiplications=10, divisions=5),
+            bytes_read=800,
+            bytes_written=800,
+        )
+        trace.add(
+            "mv",
+            "multiply with inverses",
+            blocks=1,
+            threads_per_block=64,
+            limbs=4,
+            tally=OperationTally.axpy(64),
+            bytes_read=640,
+            bytes_written=64,
+        )
+        trace.launches[0].elapsed_ms = 2.0
+        trace.launches[1].elapsed_ms = 1.0
+        return trace
+
+    def test_totals(self):
+        trace = self._trace()
+        assert len(trace) == 2
+        assert trace.kernel_launch_count == 2
+        expected = (10 * 89 + 10 * 336 + 5 * 893) + 64 * (89 + 336)
+        assert trace.total_flops() == expected
+        assert trace.total_bytes() == 800 + 800 + 640 + 64
+        assert trace.total_md_operations() == 25 + 128
+
+    def test_times_and_rates(self):
+        trace = self._trace()
+        assert trace.kernel_time_ms() == 3.0
+        trace.transfer_ms = 1.5
+        trace.host_ms = 0.5
+        assert trace.wall_clock_ms() == 5.0
+        assert trace.kernel_gigaflops() == pytest.approx(
+            trace.total_flops() / 3.0e-3 / 1e9
+        )
+        assert trace.wall_gigaflops() < trace.kernel_gigaflops()
+
+    def test_zero_time_rates(self):
+        trace = KernelTrace("P100")
+        assert trace.kernel_gigaflops() == 0.0
+        assert trace.wall_gigaflops() == 0.0
+
+    def test_stage_breakdown(self):
+        trace = self._trace()
+        stages = trace.stages()
+        assert stages == ["invert diagonal tiles", "multiply with inverses"]
+        summary = trace.stage_summary("invert diagonal tiles")
+        assert summary.launches == 1
+        assert summary.elapsed_ms == 2.0
+        assert summary.gigaflop_rate > 0
+        times = trace.stage_times_ms()
+        assert times["multiply with inverses"] == 1.0
+        tallies = trace.stage_tallies()
+        assert tallies["multiply with inverses"].additions == 64
+
+    def test_extend(self):
+        a, b = self._trace(), self._trace()
+        b.transfer_ms = 2.0
+        a.extend(b)
+        assert len(a) == 4
+        assert a.transfer_ms == 2.0
+
+    def test_device_resolution(self):
+        assert KernelTrace("p100").device.multiprocessors == 56
+
+    def test_arithmetic_intensity(self):
+        trace = self._trace()
+        assert trace.arithmetic_intensity() == pytest.approx(
+            trace.total_flops() / trace.total_bytes()
+        )

@@ -1,0 +1,77 @@
+"""Tests for the device catalog (paper Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import DEVICES, DeviceSpec, get_device, list_devices
+
+
+class TestCatalog:
+    def test_table2_multiprocessors(self):
+        assert DEVICES["C2050"].multiprocessors == 14
+        assert DEVICES["K20C"].multiprocessors == 13
+        assert DEVICES["P100"].multiprocessors == 56
+        assert DEVICES["V100"].multiprocessors == 80
+        assert DEVICES["RTX2080"].multiprocessors == 46
+
+    def test_table2_cores(self):
+        assert DEVICES["C2050"].cores == 448
+        assert DEVICES["K20C"].cores == 2496
+        assert DEVICES["P100"].cores == 3584
+        assert DEVICES["V100"].cores == 5120
+        assert DEVICES["RTX2080"].cores == 2944
+
+    def test_table2_clocks(self):
+        assert DEVICES["P100"].clock_ghz == pytest.approx(1.33)
+        assert DEVICES["V100"].clock_ghz == pytest.approx(1.91)
+
+    def test_table2_cuda_capabilities(self):
+        caps = [d.cuda_capability for d in list_devices()]
+        assert caps == ["2.0", "3.5", "6.0", "7.0", "7.5"]
+
+    def test_peaks_from_section_4_3(self):
+        assert DEVICES["P100"].peak_double_gflops == pytest.approx(4700.0)
+        assert DEVICES["V100"].peak_double_gflops == pytest.approx(7900.0)
+        # expected V100/P100 speedup quoted in the paper
+        assert DEVICES["V100"].peak_double_gflops / DEVICES["P100"].peak_double_gflops == pytest.approx(1.68, abs=0.01)
+
+    def test_v100_ridge_point(self):
+        # the paper computes 7900 / 870 = 9.08
+        assert DEVICES["V100"].ridge_point == pytest.approx(9.08, abs=0.01)
+
+    def test_host_ram_asymmetry(self):
+        # the P100 host has 256 GB, the V100 host only 32 GB (paper §4.3/4.7)
+        assert DEVICES["P100"].host_ram_gb == 256
+        assert DEVICES["V100"].host_ram_gb == 32
+
+    def test_list_devices_order(self):
+        names = [d.name for d in list_devices()]
+        assert names[0].endswith("C2050") and names[-1].endswith("RTX 2080")
+
+
+class TestLookup:
+    def test_lookup_by_key_and_alias(self):
+        assert get_device("V100").multiprocessors == 80
+        assert get_device("volta v100").multiprocessors == 80
+        assert get_device("rtx 2080").cores == 2944
+
+    def test_lookup_passthrough(self):
+        spec = DEVICES["P100"]
+        assert get_device(spec) is spec
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+    def test_with_overrides(self):
+        faster = get_device("V100").with_overrides(memory_bandwidth_gb_s=1600.0)
+        assert faster.memory_bandwidth_gb_s == 1600.0
+        assert faster.multiprocessors == 80
+        assert get_device("V100").memory_bandwidth_gb_s == 870.0
+
+    def test_derived_units(self):
+        v100 = get_device("V100")
+        assert v100.peak_double_flops == pytest.approx(7.9e12)
+        assert v100.memory_bandwidth_bytes_s == pytest.approx(8.7e11)
+        assert v100.pcie_bandwidth_bytes_s > 0

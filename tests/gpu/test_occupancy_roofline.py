@@ -1,0 +1,130 @@
+"""Tests for the occupancy, roofline and memory models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import memory, roofline
+from repro.gpu.occupancy import (
+    LaunchConfiguration,
+    block_efficiency,
+    occupancy,
+    thread_efficiency,
+    wave_count,
+)
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        config = LaunchConfiguration(blocks=80, threads_per_block=128)
+        assert occupancy(config, "V100") == pytest.approx(1.0)
+
+    def test_half_occupancy_for_32_threads_on_v100(self):
+        # the paper's explanation of the leftmost outlier in Figure 5
+        assert thread_efficiency(32, "V100") == pytest.approx(0.5)
+        config = LaunchConfiguration(blocks=80, threads_per_block=32)
+        assert occupancy(config, "V100") == pytest.approx(0.5)
+
+    def test_32_threads_saturate_c2050(self):
+        # the C2050 has 32 cores per multiprocessor
+        assert thread_efficiency(32, "C2050") == pytest.approx(1.0)
+
+    def test_single_block_uses_one_multiprocessor(self):
+        assert block_efficiency(1, "V100") == pytest.approx(1.0 / 80.0)
+
+    def test_waves(self):
+        assert wave_count(80, "V100") == 1
+        assert wave_count(81, "V100") == 2
+        assert wave_count(160, "V100") == 2
+        assert wave_count(0, "V100") == 0.0
+
+    def test_partial_wave_penalty(self):
+        assert block_efficiency(81, "V100") == pytest.approx(81 / 160)
+        assert block_efficiency(160, "V100") == pytest.approx(1.0)
+
+    def test_threads_rounded_to_warps(self):
+        assert thread_efficiency(33, "V100") == pytest.approx(1.0)
+        assert thread_efficiency(1, "V100") == pytest.approx(0.5)
+
+    def test_degenerate_configurations(self):
+        assert occupancy(LaunchConfiguration(0, 128), "V100") == 0.0
+        assert occupancy(LaunchConfiguration(4, 0), "V100") == 0.0
+        assert thread_efficiency(4096, "V100") == 1.0
+
+    def test_more_blocks_never_reduce_occupancy_at_multiples(self):
+        effs = [block_efficiency(80 * k, "V100") for k in range(1, 5)]
+        assert all(e == pytest.approx(1.0) for e in effs)
+
+
+class TestRoofline:
+    def test_arithmetic_intensity(self):
+        assert roofline.arithmetic_intensity(100.0, 50.0) == 2.0
+        assert roofline.arithmetic_intensity(1.0, 0.0) == float("inf")
+
+    def test_attainable_follows_roofline(self):
+        # memory bound region: bandwidth * intensity
+        assert roofline.attainable_gflops(1.0, "V100") == pytest.approx(870.0)
+        # compute bound region: peak
+        assert roofline.attainable_gflops(100.0, "V100") == pytest.approx(7900.0)
+        assert roofline.attainable_gflops(float("inf"), "V100") == pytest.approx(7900.0)
+
+    def test_ridge_point_boundary(self):
+        v100_ridge = 7900.0 / 870.0
+        assert not roofline.is_compute_bound(v100_ridge * 0.99, "V100")
+        assert roofline.is_compute_bound(v100_ridge * 1.01, "V100")
+
+    def test_cgma_example_from_paper(self):
+        # one quad double division: 893 double operations on 8 doubles
+        # (using the per-operation average of Table 1 as the flop weight,
+        # a division alone weighs 893/439.3 of the average)
+        ratio = roofline.cgma_ratio(1, 8, 4)
+        assert ratio == pytest.approx(439.3 / 8, rel=0.01)
+
+    def test_cgma_grows_with_precision(self):
+        ratios = [roofline.cgma_ratio(1, 2 * m, m) for m in (2, 4, 8)]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_cgma_zero_access(self):
+        assert roofline.cgma_ratio(1, 0, 4) == float("inf")
+
+    def test_roofline_point_logs(self):
+        point = roofline.RooflinePoint("n=32", intensity=10.0, gflops=100.0)
+        assert point.log10_intensity == pytest.approx(1.0)
+        assert point.log10_gflops == pytest.approx(2.0)
+
+    def test_roofline_table(self):
+        points = [
+            roofline.RooflinePoint("memory", 1.0, 500.0),
+            roofline.RooflinePoint("compute", 100.0, 2000.0),
+        ]
+        rows = roofline.roofline_table(points, "V100")
+        assert rows[0]["compute_bound"] is False
+        assert rows[1]["compute_bound"] is True
+        assert rows[0]["attainable_gflops"] == pytest.approx(870.0)
+        assert 0 < rows[1]["fraction_of_roof"] < 1
+
+
+class TestMemoryModel:
+    def test_md_bytes(self):
+        assert memory.md_bytes(10, 4) == 10 * 4 * 8
+        assert memory.md_bytes(10, 4, complex_data=True) == 2 * 10 * 4 * 8
+        assert memory.matrix_bytes(3, 5, 2) == 3 * 5 * 2 * 8
+        assert memory.vector_bytes(7, 8) == 7 * 8 * 8
+
+    def test_transfer_time_scales_linearly(self):
+        t1 = memory.transfer_time_ms(1e6, "V100")
+        t2 = memory.transfer_time_ms(2e6, "V100")
+        assert t2 == pytest.approx(2 * t1)
+        assert memory.transfer_time_ms(0, "V100") == 0.0
+
+    def test_host_overhead(self):
+        base = memory.host_overhead_ms(1e6, "V100")
+        assert base > 0
+        assert memory.host_overhead_ms(0, "V100") == 0.0
+        swamped = memory.host_overhead_ms(1e6, "V100", oversubscribed=True)
+        assert swamped > 10 * base
+
+    def test_host_overhead_faster_host_is_faster(self):
+        v100 = memory.host_overhead_ms(1e7, "V100")  # 3.6 GHz host
+        p100 = memory.host_overhead_ms(1e7, "P100")  # 2.2 GHz host
+        assert v100 < p100

@@ -1,0 +1,123 @@
+"""Unit tests for the error-free transformations."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import eft
+
+finite_doubles = st.floats(
+    min_value=-1e150, max_value=1e150, allow_nan=False, allow_infinity=False
+)
+
+
+class TestTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_exactness(self, a, b):
+        s, e = eft.two_sum(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) + Fraction(b)
+
+    @given(finite_doubles, finite_doubles)
+    def test_head_is_float_sum(self, a, b):
+        s, _ = eft.two_sum(a, b)
+        assert s == a + b
+
+    def test_error_captures_lost_bits(self):
+        s, e = eft.two_sum(1.0, 2.0 ** -60)
+        assert s == 1.0
+        assert e == 2.0 ** -60
+
+    def test_zero_operands(self):
+        assert eft.two_sum(0.0, 0.0) == (0.0, 0.0)
+
+    def test_vectorized(self):
+        a = np.array([1.0, 1e16, -3.5])
+        b = np.array([2.0 ** -60, 1.0, 3.5])
+        s, e = eft.two_sum(a, b)
+        for i in range(3):
+            ss, ee = eft.two_sum(float(a[i]), float(b[i]))
+            assert s[i] == ss and e[i] == ee
+
+
+class TestQuickTwoSum:
+    @given(finite_doubles, finite_doubles)
+    def test_exact_when_ordered(self, a, b):
+        hi, lo = (a, b) if abs(a) >= abs(b) else (b, a)
+        s, e = eft.quick_two_sum(hi, lo)
+        assert Fraction(s) + Fraction(e) == Fraction(hi) + Fraction(lo)
+
+    def test_matches_two_sum_when_ordered(self):
+        s1, e1 = eft.quick_two_sum(1.0, 2.0 ** -70)
+        s2, e2 = eft.two_sum(1.0, 2.0 ** -70)
+        assert (s1, e1) == (s2, e2)
+
+
+class TestTwoDiff:
+    @given(finite_doubles, finite_doubles)
+    def test_exactness(self, a, b):
+        s, e = eft.two_diff(a, b)
+        assert Fraction(s) + Fraction(e) == Fraction(a) - Fraction(b)
+
+
+class TestSplit:
+    @given(st.floats(min_value=-1e290, max_value=1e290, allow_nan=False))
+    def test_exact_split(self, a):
+        hi, lo = eft.split(a)
+        assert Fraction(hi) + Fraction(lo) == Fraction(a)
+
+    @given(st.floats(min_value=-1e290, max_value=1e290, allow_nan=False))
+    def test_halves_fit_in_26_bits(self, a):
+        hi, lo = eft.split(a)
+        for half in (hi, lo):
+            if half == 0.0:
+                continue
+            mantissa, _ = math.frexp(half)
+            # 26 or fewer significant bits => mantissa * 2**26 is an integer
+            assert (abs(mantissa) * 2.0 ** 27) % 1.0 in (0.0, 0.5) or float(
+                abs(mantissa) * 2.0 ** 27
+            ).is_integer()
+
+
+#: Operands whose products neither overflow nor underflow: Dekker's
+#: TwoProd is exact only when the rounding error of the product is
+#: itself representable, which fails in the subnormal range.
+product_safe = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=1e-100, max_value=1e100, allow_nan=False),
+    st.floats(min_value=-1e100, max_value=-1e-100, allow_nan=False),
+)
+
+
+class TestTwoProd:
+    @given(product_safe, product_safe)
+    def test_exactness(self, a, b):
+        p, e = eft.two_prod(a, b)
+        assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+
+    @given(product_safe)
+    def test_two_sqr_matches_two_prod(self, a):
+        p1, e1 = eft.two_sqr(a)
+        p2, e2 = eft.two_prod(a, a)
+        assert Fraction(p1) + Fraction(e1) == Fraction(p2) + Fraction(e2)
+
+    def test_vectorized(self):
+        a = np.array([1.0 / 3.0, 7.1e8])
+        b = np.array([3.0, 1.0 / 7.1e8])
+        p, e = eft.two_prod(a, b)
+        for i in range(2):
+            pp, ee = eft.two_prod(float(a[i]), float(b[i]))
+            assert p[i] == pp and e[i] == ee
+
+
+class TestSplitterConstants:
+    def test_splitter_value(self):
+        assert eft.SPLITTER == 2.0 ** 27 + 1.0
+
+    def test_threshold_is_below_overflow(self):
+        assert eft.SPLITTER * eft.SPLIT_THRESHOLD < math.inf

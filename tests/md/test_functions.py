@@ -1,0 +1,119 @@
+"""Tests for the elementary functions in multiple double precision."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.md import MultiDouble
+from repro.md.functions import atan, cos, exp, log, pi, power, sin, sin_cos
+
+
+def relative_error(value: MultiDouble, reference: Fraction) -> float:
+    if reference == 0:
+        return abs(float(value.to_fraction()))
+    return abs(float((value.to_fraction() - reference) / reference))
+
+
+#: Reference value of pi to 66 decimal digits (enough to validate the
+#: double double and quad double constants directly; octo double is
+#: validated by cross-consistency against a higher-precision computation).
+PI_66 = Fraction(
+    3141592653589793238462643383279502884197169399375105820974944592307,
+    10 ** 66,
+)
+
+
+@pytest.mark.parametrize("limbs,tol", [(2, 1e-30), (4, 1e-62), (8, 1e-124)])
+class TestConstantsAndExpLog:
+    def test_pi(self, limbs, tol):
+        value = pi(limbs)
+        assert float(value) == pytest.approx(math.pi)
+        # direct check against the 66-digit literal where it suffices
+        assert relative_error(value, PI_66) < max(tol, 1e-64)
+        # cross-consistency with a higher-precision computation
+        reference = pi(2 * limbs).to_fraction()
+        assert relative_error(value, reference) < tol
+
+    def test_exp_of_one_matches_e(self, limbs, tol):
+        # e to 60+ digits via the exactly summed series
+        reference = sum(Fraction(1, math.factorial(k)) for k in range(150))
+        assert relative_error(exp(MultiDouble(1, limbs)), reference) < 10 * tol
+
+    def test_exp_zero_is_one(self, limbs, tol):
+        assert exp(MultiDouble(0, limbs)).to_fraction() == 1
+
+    def test_exp_addition_law(self, limbs, tol):
+        a = MultiDouble(Fraction(1, 3), limbs)
+        b = MultiDouble(Fraction(2, 7), limbs)
+        lhs = exp(a + b)
+        rhs = exp(a) * exp(b)
+        assert relative_error(lhs, rhs.to_fraction()) < 100 * tol
+
+    def test_log_inverts_exp(self, limbs, tol):
+        x = MultiDouble(Fraction(5, 4), limbs)
+        assert relative_error(log(exp(x)), x.to_fraction()) < 100 * tol
+
+    def test_exp_inverts_log(self, limbs, tol):
+        x = MultiDouble(Fraction(22, 7), limbs)
+        assert relative_error(exp(log(x)), x.to_fraction()) < 100 * tol
+
+    def test_log_of_one_is_zero(self, limbs, tol):
+        assert abs(float(log(MultiDouble(1, limbs)).to_fraction())) < tol
+
+
+@pytest.mark.parametrize("limbs,tol", [(2, 1e-29), (4, 1e-61), (8, 1e-122)])
+class TestTrigonometry:
+    def test_pythagorean_identity(self, limbs, tol):
+        x = MultiDouble(Fraction(3, 7), limbs)
+        s, c = sin_cos(x)
+        assert relative_error(s * s + c * c, Fraction(1)) < 10 * tol
+
+    def test_sine_of_pi_over_six(self, limbs, tol):
+        x = pi(limbs) * MultiDouble(Fraction(1, 6), limbs)
+        assert relative_error(sin(x), Fraction(1, 2)) < 100 * tol
+
+    def test_cosine_of_pi_is_minus_one(self, limbs, tol):
+        assert relative_error(cos(pi(limbs)), Fraction(-1)) < 100 * tol
+
+    def test_quadrant_identities(self, limbs, tol):
+        x = MultiDouble(Fraction(2, 5), limbs)
+        half_pi = pi(limbs) * MultiDouble(Fraction(1, 2), limbs)
+        assert relative_error(sin(x + half_pi), cos(x).to_fraction()) < 100 * tol
+        assert relative_error(cos(x + half_pi), (-sin(x)).to_fraction()) < 100 * tol
+
+    def test_atan_inverts_tangent(self, limbs, tol):
+        y = MultiDouble(Fraction(1, 3), limbs)
+        s, c = sin_cos(y)
+        assert relative_error(atan(s / c), y.to_fraction()) < 100 * tol
+
+    def test_atan_of_one_is_quarter_pi(self, limbs, tol):
+        quarter_pi = pi(limbs).to_fraction() / 4
+        assert relative_error(atan(MultiDouble(1, limbs)), quarter_pi) < 100 * tol
+
+
+class TestPowerAndEdgeCases:
+    def test_integer_power(self):
+        x = MultiDouble(Fraction(3, 2), 4)
+        assert power(x, 5).to_fraction() == Fraction(243, 32)
+
+    def test_real_power_matches_sqrt(self):
+        x = MultiDouble(2, 4)
+        result = power(x, MultiDouble(Fraction(1, 2), 4))
+        assert relative_error(result, MultiDouble(2, 8).sqrt().to_fraction()) < 1e-60
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log(MultiDouble(0, 2))
+        with pytest.raises(ValueError):
+            log(MultiDouble(-1, 2))
+
+    def test_exp_overflow_guard(self):
+        with pytest.raises(OverflowError):
+            exp(MultiDouble(1000, 2))
+
+    def test_plain_float_inputs_are_promoted(self):
+        assert relative_error(exp(0.5, precision=4), exp(MultiDouble(0.5, 4)).to_fraction()) == 0
+        assert abs(float(sin(0.0, precision=2).to_fraction())) == 0

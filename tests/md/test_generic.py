@@ -1,0 +1,275 @@
+"""Property and unit tests for the generic expansion arithmetic.
+
+Every operation is validated against exact rational arithmetic on the
+*stored* operands (the rounding of the decimal inputs themselves is not
+attributed to the operation under test).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.md import generic
+from repro.md.number import MultiDouble
+
+
+def exact(limbs):
+    return sum((Fraction(float(v)) for v in limbs), Fraction(0))
+
+
+def relative_error(limbs, reference):
+    if reference == 0:
+        return abs(exact(limbs))
+    return abs((exact(limbs) - reference) / reference)
+
+
+def md_operand(m, seed_fraction):
+    """Build a full-precision m-limb operand from an exact rational."""
+    return MultiDouble(seed_fraction, m).limbs
+
+
+rationals = st.fractions(
+    min_value=Fraction(-10 ** 6), max_value=Fraction(10 ** 6), max_denominator=10 ** 9
+)
+nonzero_rationals = rationals.filter(lambda f: abs(f) > Fraction(1, 10 ** 6))
+
+
+@pytest.mark.parametrize("m", [2, 3, 4, 8])
+class TestConstruction:
+    def test_from_double(self, m):
+        x = generic.from_double(1.5, m)
+        assert len(x) == m
+        assert x[0] == 1.5
+        assert all(v == 0.0 for v in x[1:])
+
+    def test_zero(self, m):
+        z = generic.zero(m)
+        assert len(z) == m and all(v == 0.0 for v in z)
+
+    def test_from_doubles_renormalizes(self, m):
+        x = generic.from_doubles([1.0, 1.0, 2.0 ** -70], m)
+        assert exact(x) == Fraction(2) + Fraction(2) ** -70 if m > 1 else exact(x) == 2.0
+
+    def test_to_double(self, m):
+        x = generic.from_double(-2.25, m)
+        assert generic.to_double(x) == -2.25
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+class TestAddSub:
+    @given(fa=rationals, fb=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_add_accuracy(self, m, fa, fb):
+        x, y = md_operand(m, fa), md_operand(m, fb)
+        reference = exact(x) + exact(y)
+        result = generic.add(x, y, m)
+        assert len(result) == m
+        assert relative_error(result, reference) <= Fraction(1, 2 ** (50 * m))
+
+    @given(fa=rationals, fb=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_sub_accuracy(self, m, fa, fb):
+        x, y = md_operand(m, fa), md_operand(m, fb)
+        reference = exact(x) - exact(y)
+        result = generic.sub(x, y, m)
+        assert relative_error(result, reference) <= Fraction(1, 2 ** (50 * m))
+
+    @given(fa=rationals)
+    @settings(max_examples=25, deadline=None)
+    def test_add_negate_is_zero(self, m, fa):
+        x = md_operand(m, fa)
+        result = generic.add(x, generic.negate(x), m)
+        assert exact(result) == 0
+
+    def test_commutativity(self, m):
+        x = md_operand(m, Fraction(1, 3))
+        y = md_operand(m, Fraction(2, 7))
+        assert exact(generic.add(x, y, m)) == exact(generic.add(y, x, m))
+
+    def test_identity(self, m):
+        x = md_operand(m, Fraction(22, 7))
+        z = generic.zero(m)
+        assert exact(generic.add(x, z, m)) == exact(x)
+
+    def test_add_double(self, m):
+        x = md_operand(m, Fraction(1, 3))
+        result = generic.add_double(x, 0.25, m)
+        assert relative_error(result, exact(x) + Fraction(1, 4)) <= Fraction(1, 2 ** (50 * m))
+
+    def test_cancellation_to_tiny_difference(self, m):
+        x = md_operand(m, Fraction(1, 3))
+        y = generic.add_double(x, 2.0 ** -140, m) if m > 2 else generic.add_double(x, 2.0 ** -80, m)
+        diff = generic.sub(y, x, m)
+        reference = exact(y) - exact(x)
+        assert relative_error(diff, reference) <= Fraction(1, 2 ** 45)
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+class TestMul:
+    @given(fa=rationals, fb=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_accuracy(self, m, fa, fb):
+        x, y = md_operand(m, fa), md_operand(m, fb)
+        reference = exact(x) * exact(y)
+        result = generic.mul(x, y, m)
+        assert relative_error(result, reference) <= Fraction(1, 2 ** (50 * m))
+
+    @given(fa=rationals)
+    @settings(max_examples=25, deadline=None)
+    def test_sqr_matches_mul(self, m, fa):
+        x = md_operand(m, fa)
+        reference = exact(x) ** 2
+        assert relative_error(generic.sqr(x, m), reference) <= Fraction(1, 2 ** (50 * m))
+
+    def test_mul_by_one(self, m):
+        x = md_operand(m, Fraction(355, 113))
+        one = generic.from_double(1.0, m)
+        assert exact(generic.mul(x, one, m)) == exact(x)
+
+    def test_mul_by_zero(self, m):
+        x = md_operand(m, Fraction(355, 113))
+        z = generic.zero(m)
+        assert exact(generic.mul(x, z, m)) == 0
+
+    def test_mul_double(self, m):
+        x = md_operand(m, Fraction(1, 7))
+        result = generic.mul_double(x, 3.0, m)
+        assert relative_error(result, exact(x) * 3) <= Fraction(1, 2 ** (50 * m))
+
+    def test_mul_pow2_is_exact(self, m):
+        x = md_operand(m, Fraction(1, 3))
+        result = generic.mul_pow2(x, 0.5)
+        assert exact(result) == exact(x) / 2
+
+    def test_fma(self, m):
+        x = md_operand(m, Fraction(1, 3))
+        y = md_operand(m, Fraction(2, 7))
+        z = md_operand(m, Fraction(5, 11))
+        reference = exact(x) * exact(y) + exact(z)
+        assert relative_error(generic.fma(x, y, z, m), reference) <= Fraction(1, 2 ** (50 * m))
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+class TestDivSqrt:
+    @given(fa=rationals, fb=nonzero_rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_div_accuracy(self, m, fa, fb):
+        x, y = md_operand(m, fa), md_operand(m, fb)
+        assume(exact(y) != 0)
+        reference = exact(x) / exact(y)
+        result = generic.div(x, y, m)
+        assert relative_error(result, reference) <= Fraction(1, 2 ** (50 * m))
+
+    @given(fb=nonzero_rationals)
+    @settings(max_examples=25, deadline=None)
+    def test_reciprocal_times_self_is_one(self, m, fb):
+        y = md_operand(m, fb)
+        assume(exact(y) != 0)
+        recip = generic.reciprocal(y, m)
+        product = generic.mul(recip, y, m)
+        assert relative_error(product, Fraction(1)) <= Fraction(1, 2 ** (50 * m - 2))
+
+    def test_div_by_one(self, m):
+        x = md_operand(m, Fraction(17, 13))
+        one = generic.from_double(1.0, m)
+        assert relative_error(generic.div(x, one, m), exact(x)) <= Fraction(1, 2 ** (50 * m))
+
+    def test_div_double(self, m):
+        x = md_operand(m, Fraction(17, 13))
+        result = generic.div_double(x, 4.0, m)
+        assert relative_error(result, exact(x) / 4) <= Fraction(1, 2 ** (50 * m))
+
+    @given(fa=st.fractions(min_value=Fraction(1, 10 ** 6), max_value=Fraction(10 ** 6), max_denominator=10 ** 9))
+    @settings(max_examples=30, deadline=None)
+    def test_sqrt_squared(self, m, fa):
+        x = md_operand(m, fa)
+        root = generic.sqrt(x, m)
+        squared = generic.sqr(root, m)
+        assert relative_error(squared, exact(x)) <= Fraction(1, 2 ** (50 * m - 2))
+
+    def test_sqrt_of_four(self, m):
+        root = generic.sqrt(generic.from_double(4.0, m), m)
+        assert exact(root) == 2
+
+
+class TestDoubleDoubleFastPath:
+    """The QDlib-style dd specialisations must agree with the generic path."""
+
+    @given(fa=rationals, fb=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_dd_add_accuracy(self, fa, fb):
+        x, y = md_operand(2, fa), md_operand(2, fb)
+        result = generic.dd_add(x, y)
+        assert relative_error(result, exact(x) + exact(y)) <= Fraction(1, 2 ** 101)
+
+    @given(fa=rationals, fb=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_dd_mul_accuracy(self, fa, fb):
+        x, y = md_operand(2, fa), md_operand(2, fb)
+        result = generic.dd_mul(x, y)
+        assert relative_error(result, exact(x) * exact(y)) <= Fraction(1, 2 ** 100)
+
+    @given(fa=rationals, fb=nonzero_rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_dd_div_accuracy(self, fa, fb):
+        x, y = md_operand(2, fa), md_operand(2, fb)
+        assume(exact(y) != 0)
+        result = generic.dd_div(x, y)
+        assert relative_error(result, exact(x) / exact(y)) <= Fraction(1, 2 ** 99)
+
+    def test_dispatch_from_generic_add(self):
+        x, y = md_operand(2, Fraction(1, 3)), md_operand(2, Fraction(2, 7))
+        assert exact(generic.add(x, y, 2)) == exact(generic.dd_add(x, y))
+
+
+class TestVectorizedLimbArrays:
+    """The same generic code must operate element-wise on ndarray limbs."""
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_add_matches_scalar(self, m):
+        rng = np.random.default_rng(3)
+        shape = (6,)
+        x = tuple(rng.standard_normal(shape) * 10.0 ** (-16 * k) for k in range(m))
+        y = tuple(rng.standard_normal(shape) * 10.0 ** (-16 * k) for k in range(m))
+        out = generic.add(x, y, m)
+        assert all(o.shape == shape for o in out)
+        for j in range(shape[0]):
+            xs = tuple(float(v[j]) for v in x)
+            ys = tuple(float(v[j]) for v in y)
+            expected = generic.add(xs, ys, m)
+            for limb_arr, limb_exp in zip(out, expected):
+                assert limb_arr[j] == limb_exp
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_mul_matches_scalar(self, m):
+        rng = np.random.default_rng(4)
+        shape = (5,)
+        x = tuple(rng.standard_normal(shape) * 10.0 ** (-16 * k) for k in range(m))
+        y = tuple(rng.standard_normal(shape) * 10.0 ** (-16 * k) for k in range(m))
+        out = generic.mul(x, y, m)
+        for j in range(shape[0]):
+            xs = tuple(float(v[j]) for v in x)
+            ys = tuple(float(v[j]) for v in y)
+            expected = generic.mul(xs, ys, m)
+            for limb_arr, limb_exp in zip(out, expected):
+                assert limb_arr[j] == limb_exp
+
+    def test_div_broadcasting(self):
+        m = 2
+        x = (np.full((3,), 1.0), np.zeros(3))
+        y = (np.full((3,), 3.0), np.zeros(3))
+        out = generic.div(x, y, m)
+        scalar = generic.div((1.0, 0.0), (3.0, 0.0), m)
+        for limb_arr, limb_exp in zip(out, scalar):
+            assert np.all(limb_arr == limb_exp)
+
+    def test_sqrt_vectorized(self):
+        m = 4
+        x = tuple(np.array([4.0, 9.0, 2.0]) if k == 0 else np.zeros(3) for k in range(m))
+        out = generic.sqrt(x, m)
+        assert np.allclose(out[0], [2.0, 3.0, np.sqrt(2.0)])

@@ -1,0 +1,144 @@
+"""Tests for operation counting and the Table 1 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.md import generic
+from repro.md.counting import CountingFloat, OpCounter, count_operation
+from repro.md.opcounts import (
+    PAPER_AVERAGES,
+    PAPER_TABLE1,
+    cost_table,
+    measured_costs,
+    paper_costs,
+)
+
+
+class TestCountingFloat:
+    def test_basic_counts(self):
+        counter = OpCounter()
+        a = CountingFloat(2.0, counter)
+        b = CountingFloat(3.0, counter)
+        c = (a + b) * a - b / a
+        assert float(c) == 2.0 * 5.0 - 1.5
+        assert counter.additions == 1
+        assert counter.multiplications == 1
+        assert counter.subtractions == 1
+        assert counter.divisions == 1
+        assert counter.total == 4
+
+    def test_mixed_operands_counted(self):
+        counter = OpCounter()
+        a = CountingFloat(2.0, counter)
+        _ = 1.0 + a
+        _ = a * 3.0
+        _ = 5.0 / a
+        assert counter.additions == 1
+        assert counter.multiplications == 1
+        assert counter.divisions == 1
+
+    def test_negation_free(self):
+        counter = OpCounter()
+        a = CountingFloat(2.0, counter)
+        _ = -a
+        assert counter.total == 0
+
+    def test_sqrt_counted_separately(self):
+        counter = OpCounter()
+        a = CountingFloat(2.0, counter)
+        _ = a.sqrt()
+        assert counter.sqrts == 1
+        assert counter.total == 0
+
+    def test_comparisons_counted_separately(self):
+        counter = OpCounter()
+        a = CountingFloat(2.0, counter)
+        _ = a < 3.0
+        assert counter.comparisons == 1
+        assert counter.total == 0
+
+    def test_reset(self):
+        counter = OpCounter()
+        a = CountingFloat(1.0, counter)
+        _ = a + a
+        counter.reset()
+        assert counter.total == 0
+
+    def test_counter_addition(self):
+        c1 = OpCounter(additions=2, multiplications=1)
+        c2 = OpCounter(divisions=3)
+        merged = c1 + c2
+        assert merged.additions == 2 and merged.divisions == 3 and merged.total == 6
+
+    def test_as_dict(self):
+        counter = OpCounter(additions=1, subtractions=2, multiplications=3, divisions=4)
+        d = counter.as_dict()
+        assert d["total"] == 10 and d["mul"] == 3
+
+
+class TestPaperTable1:
+    def test_reference_values(self):
+        assert PAPER_TABLE1[2].add == 20
+        assert PAPER_TABLE1[2].mul == 23
+        assert PAPER_TABLE1[2].div == 70
+        assert PAPER_TABLE1[4].div == 893
+        assert PAPER_TABLE1[8].mul == 1742
+
+    def test_averages_match_paper(self):
+        for limbs, avg in PAPER_AVERAGES.items():
+            assert PAPER_TABLE1[limbs].average == pytest.approx(avg, abs=0.06)
+
+    def test_double_costs_one(self):
+        costs = paper_costs(1)
+        assert costs.add == costs.mul == costs.div == 1
+
+    def test_cost_of_fma(self):
+        costs = paper_costs(4)
+        assert costs.cost_of("fma") == costs.add + costs.mul
+
+    def test_unknown_precision_falls_back_to_measured(self):
+        assert paper_costs(3).limbs == 3
+
+
+class TestMeasuredCounts:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_counts_are_positive_and_grow(self, m):
+        costs = measured_costs(m)
+        assert costs.add > 0 and costs.mul >= costs.add and costs.div > costs.mul
+
+    def test_growth_with_precision(self):
+        c2, c4, c8 = measured_costs(2), measured_costs(4), measured_costs(8)
+        assert c4.average > 2 * c2.average
+        assert c8.average > 2 * c4.average
+
+    def test_count_operation_returns_counter(self):
+        counter = count_operation(generic.add, 4)
+        assert isinstance(counter, OpCounter)
+        assert counter.total > 0
+
+    def test_measured_double_is_identity(self):
+        costs = measured_costs(1)
+        assert costs.add == 1 and costs.div == 1
+
+    def test_same_order_of_magnitude_as_paper(self):
+        """Our branch-free renormalization is costlier than CAMPARY's, but
+        the counts must stay within a small constant factor."""
+        for m in (2, 4, 8):
+            ours = measured_costs(m)
+            paper = paper_costs(m)
+            for kind in ("add", "mul", "div"):
+                ratio = ours.cost_of(kind) / paper.cost_of(kind)
+                assert 0.5 < ratio < 8.0
+
+
+class TestCostTable:
+    def test_paper_table_shape(self):
+        table = cost_table(source="paper")
+        assert set(table) == {2, 4, 8}
+        assert table[4]["div"] == 893
+
+    def test_measured_table(self):
+        table = cost_table(limb_counts=(2, 4), source="measured")
+        assert set(table) == {2, 4}
+        assert table[2]["add"] == measured_costs(2).add

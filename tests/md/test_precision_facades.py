@@ -1,0 +1,95 @@
+"""Tests for the precision-specific facade modules (dd/qd/od)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.md import double_double, generic, octo_double, quad_double
+
+
+def exact(limbs):
+    return sum((Fraction(float(v)) for v in limbs), Fraction(0))
+
+
+FACADES = {
+    2: double_double,
+    4: quad_double,
+    8: octo_double,
+}
+
+
+@pytest.mark.parametrize("m", [2, 4, 8])
+class TestFacadeConsistency:
+    def test_limb_count_and_eps(self, m):
+        mod = FACADES[m]
+        assert mod.LIMBS == m
+        assert mod.EPS == mod.PRECISION.eps
+        assert 0 < mod.EPS < 2.0 ** (-50 * m + 4)
+
+    def test_from_double_and_zero(self, m):
+        mod = FACADES[m]
+        x = mod.from_double(2.5)
+        assert len(x) == m and x[0] == 2.5
+        z = mod.zero()
+        assert exact(z) == 0 and len(z) == m
+
+    def test_roundtrip_third(self, m):
+        mod = FACADES[m]
+        third = mod.div(mod.from_double(1.0), mod.from_double(3.0))
+        back = mod.mul(third, mod.from_double(3.0))
+        assert abs(exact(back) - 1) < Fraction(1, 2 ** (50 * m))
+
+    def test_add_sub_inverse(self, m):
+        mod = FACADES[m]
+        x = mod.div(mod.from_double(1.0), mod.from_double(7.0))
+        y = mod.div(mod.from_double(2.0), mod.from_double(11.0))
+        s = mod.add(x, y)
+        d = mod.sub(s, y)
+        assert abs(exact(d) - exact(x)) < Fraction(1, 2 ** (50 * m))
+
+    def test_sqr_matches_mul(self, m):
+        mod = FACADES[m]
+        x = mod.div(mod.from_double(3.0), mod.from_double(7.0))
+        assert abs(exact(mod.sqr(x)) - exact(mod.mul(x, x))) < Fraction(1, 2 ** (50 * m + 40))
+
+    def test_sqrt(self, m):
+        mod = FACADES[m]
+        r = mod.sqrt(mod.from_double(2.0))
+        assert abs(exact(r) ** 2 - 2) < Fraction(1, 2 ** (50 * m))
+
+    def test_negate(self, m):
+        mod = FACADES[m]
+        x = mod.div(mod.from_double(1.0), mod.from_double(3.0))
+        assert exact(mod.negate(x)) == -exact(x)
+
+    def test_fma(self, m):
+        mod = FACADES[m]
+        x = mod.div(mod.from_double(1.0), mod.from_double(3.0))
+        y = mod.div(mod.from_double(1.0), mod.from_double(5.0))
+        z = mod.from_double(2.0)
+        result = mod.fma(x, y, z)
+        reference = exact(x) * exact(y) + 2
+        assert abs((exact(result) - reference) / reference) < Fraction(1, 2 ** (50 * m))
+
+
+class TestCrossPrecision:
+    def test_dd_truncation_of_qd(self):
+        qd_third = quad_double.div(quad_double.from_double(1.0), quad_double.from_double(3.0))
+        dd_third = double_double.div(double_double.from_double(1.0), double_double.from_double(3.0))
+        # the first two limbs agree
+        assert qd_third[0] == dd_third[0]
+        assert abs(Fraction(qd_third[1]) - Fraction(dd_third[1])) < Fraction(1, 2 ** 150)
+
+    def test_precision_improves_with_limbs(self):
+        errors = []
+        for mod, m in ((double_double, 2), (quad_double, 4), (octo_double, 8)):
+            third = mod.div(mod.from_double(1.0), mod.from_double(3.0))
+            errors.append(abs(exact(third) - Fraction(1, 3)))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_generic_matches_facade(self):
+        x = quad_double.from_double(1.0)
+        y = quad_double.from_double(3.0)
+        assert exact(quad_double.div(x, y)) == exact(generic.div(x, y, 4))

@@ -1,0 +1,118 @@
+"""Unit and property tests for expansion renormalization."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import renorm
+
+limb_floats = st.floats(min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False)
+
+
+def exact_sum(limbs):
+    return sum((Fraction(float(v)) for v in limbs), Fraction(0))
+
+
+class TestVecSum:
+    @given(st.lists(limb_floats, min_size=1, max_size=12))
+    def test_preserves_exact_sum(self, limbs):
+        out = renorm.vecsum(limbs)
+        assert exact_sum(out) == exact_sum(limbs)
+
+    @given(st.lists(limb_floats, min_size=1, max_size=12))
+    def test_length_preserved(self, limbs):
+        assert len(renorm.vecsum(limbs)) == len(limbs)
+
+    def test_single_element(self):
+        assert renorm.vecsum([3.5]) == [3.5]
+
+
+class TestExtractLeading:
+    @given(st.lists(limb_floats, min_size=2, max_size=12))
+    def test_value_preserved(self, limbs):
+        head, rest = renorm.extract_leading(limbs)
+        assert Fraction(head) + exact_sum(rest) == exact_sum(limbs)
+
+    @given(st.lists(limb_floats, min_size=2, max_size=12))
+    def test_head_close_to_sum(self, limbs):
+        head, rest = renorm.extract_leading(limbs)
+        total = exact_sum(limbs)
+        biggest = max(abs(Fraction(float(v))) for v in limbs)
+        # head is within one ulp of the total; under deep cancellation the
+        # residual of the two distillation passes is bounded by the square
+        # of the unit roundoff applied to the largest input limb
+        tolerance = max(abs(total) * Fraction(1, 2 ** 50), biggest * Fraction(1, 2 ** 100))
+        assert abs(Fraction(head) - total) <= tolerance
+
+
+class TestRenormalize:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 8])
+    def test_zero_input(self, m):
+        out = renorm.renormalize([0.0, 0.0, 0.0], m)
+        assert len(out) == m
+        assert all(v == 0.0 for v in out)
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    @given(limbs=st.lists(limb_floats, min_size=1, max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_relative_accuracy(self, limbs, m):
+        out = renorm.renormalize(limbs, m)
+        assert len(out) == m
+        total = exact_sum(limbs)
+        kept = exact_sum(out)
+        biggest = max(abs(Fraction(float(v))) for v in limbs)
+        # relative accuracy at the target precision, with an absolute
+        # floor proportional to the largest input limb for the deeply
+        # cancelling cases (where the result is far below the inputs)
+        tolerance = max(abs(total), biggest * Fraction(1, 2 ** 100)) * Fraction(1, 2 ** (50 * m))
+        assert abs(kept - total) <= tolerance
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_nonoverlap_of_output(self, m):
+        # a deliberately overlapping input expansion
+        limbs = [1.0, 0.75, 0.5, 2.0 ** -30, 2.0 ** -31]
+        out = renorm.renormalize(limbs, m)
+        for hi, lo in zip(out, out[1:]):
+            if lo == 0.0:
+                continue
+            assert abs(lo) <= abs(hi) * 2.0 ** -50
+
+    def test_cancellation_keeps_low_order_value(self):
+        # the leading terms cancel exactly; the value lives far below
+        limbs = [1.0, -1.0, 3e-40, 2e-57]
+        out = renorm.renormalize(limbs, 2)
+        assert exact_sum(out) == exact_sum(limbs)
+
+    def test_near_cancellation_does_not_waste_limbs(self):
+        a = 0.5776581600882187
+        limbs = [a, -a * (1 + 2.0 ** -52), 1e-33, -2e-50]
+        out = renorm.renormalize(limbs, 3)
+        total = exact_sum(limbs)
+        rel = abs(exact_sum(out) - total) / abs(total)
+        assert rel < Fraction(1, 2 ** 140)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        arrays = [rng.standard_normal(5) * 10.0 ** (-15 * k) for k in range(6)]
+        out_vec = renorm.renormalize(arrays, 4)
+        for j in range(5):
+            scalar = renorm.renormalize([float(a[j]) for a in arrays], 4)
+            for limb_vec, limb_scalar in zip(out_vec, scalar):
+                assert limb_vec[j] == limb_scalar
+
+    def test_pads_with_zeros(self):
+        out = renorm.renormalize([1.0], 4)
+        assert out[0] == 1.0
+        assert out[1:] == [0.0, 0.0, 0.0]
+
+
+class TestCompact:
+    def test_preserves_sum(self):
+        limbs = [1.0, 2.0 ** -53, 2.0 ** -54]
+        out = renorm.compact(limbs)
+        assert exact_sum(out) == exact_sum(limbs)

@@ -1,0 +1,116 @@
+"""The analytic cost model must agree exactly with the numeric drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.back_substitution import tiled_back_substitution
+from repro.core.blocked_qr import blocked_qr
+from repro.core.least_squares import lstsq
+from repro.perf.costmodel import (
+    back_substitution_trace,
+    lstsq_trace,
+    problem_bytes,
+    qr_trace,
+)
+from repro.vec import random as mdrandom
+
+
+def assert_traces_match(analytic, numeric):
+    """Launch-by-launch comparison of two traces."""
+    assert len(analytic) == len(numeric)
+    for model_launch, real_launch in zip(analytic.launches, numeric.launches):
+        assert model_launch.stage == real_launch.stage
+        assert model_launch.name == real_launch.name
+        assert model_launch.blocks == real_launch.blocks
+        assert model_launch.threads_per_block == real_launch.threads_per_block
+        assert model_launch.limbs == real_launch.limbs
+        assert model_launch.efficiency == real_launch.efficiency
+        assert model_launch.bytes_read == pytest.approx(real_launch.bytes_read)
+        assert model_launch.bytes_written == pytest.approx(real_launch.bytes_written)
+        assert model_launch.tally.as_dict() == pytest.approx(real_launch.tally.as_dict())
+
+
+class TestQRTraceAgreement:
+    @pytest.mark.parametrize(
+        "rows,cols,tile,limbs,complex_data",
+        [
+            (16, 16, 4, 2, False),
+            (20, 12, 4, 2, False),
+            (12, 12, 6, 4, False),
+            (10, 10, 5, 2, True),
+        ],
+    )
+    def test_matches_numeric_trace(self, rows, cols, tile, limbs, complex_data, rng):
+        if complex_data:
+            a = mdrandom.random_complex_matrix(rows, cols, limbs, rng)
+        else:
+            a = mdrandom.random_matrix(rows, cols, limbs, rng)
+        numeric = blocked_qr(a, tile).trace
+        analytic = qr_trace(rows, cols, tile, limbs, complex_data=complex_data)
+        assert_traces_match(analytic, numeric)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            qr_trace(8, 16, 4, 2)
+        with pytest.raises(ValueError):
+            qr_trace(16, 16, 5, 2)
+
+    def test_total_flops_scale_cubically_with_proportional_tiles(self):
+        # keeping the number of panels fixed, the work is cubic in the dimension
+        small = qr_trace(256, 256, 32, 4).total_flops()
+        large = qr_trace(512, 512, 64, 4).total_flops()
+        assert 6 < large / small < 9
+
+    def test_fixed_tile_size_grows_faster_than_cubic(self):
+        # with a fixed panel width the explicit Y*W^T / Q*WY^T products add a
+        # quartic term, which is why the paper's Table 6 times grow by more
+        # than a factor of eight per dimension doubling
+        small = qr_trace(256, 256, 32, 4).total_flops()
+        large = qr_trace(512, 512, 32, 4).total_flops()
+        assert large / small > 9
+
+
+class TestBackSubstitutionTraceAgreement:
+    @pytest.mark.parametrize(
+        "tiles,tile,limbs,complex_data",
+        [(4, 4, 2, False), (3, 5, 4, False), (5, 2, 2, True), (1, 6, 2, False)],
+    )
+    def test_matches_numeric_trace(self, tiles, tile, limbs, complex_data, rng):
+        dim = tiles * tile
+        u = mdrandom.random_well_conditioned_upper_triangular(dim, limbs, rng, complex_data=complex_data)
+        if complex_data:
+            b = mdrandom.random_complex_vector(dim, limbs, rng)
+        else:
+            b = mdrandom.random_vector(dim, limbs, rng)
+        numeric = tiled_back_substitution(u, b, tile).trace
+        analytic = back_substitution_trace(tiles, tile, limbs, complex_data=complex_data)
+        assert_traces_match(analytic, numeric)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            back_substitution_trace(0, 4, 2)
+        with pytest.raises(ValueError):
+            back_substitution_trace(4, 0, 2)
+
+    def test_total_flops_scale_quadratically(self):
+        small = back_substitution_trace(40, 32, 4).total_flops()
+        large = back_substitution_trace(80, 32, 4).total_flops()
+        assert 3 < large / small < 5
+
+
+class TestLstsqTraceAgreement:
+    def test_matches_numeric_traces(self, rng):
+        a = mdrandom.random_matrix(16, 16, 2, rng)
+        b = mdrandom.random_vector(16, 2, rng)
+        result = lstsq(a, b, tile_size=4)
+        qr_model, bs_model = lstsq_trace(16, 16, 4, 2)
+        assert_traces_match(qr_model, result.qr_trace)
+        assert_traces_match(bs_model, result.bs_trace)
+
+    def test_problem_bytes(self):
+        base = problem_bytes(100, 50, 4, with_q=False)
+        assert base == (100 * 50 + 100) * 4 * 8
+        assert problem_bytes(100, 50, 4) > base
+        assert problem_bytes(10, 10, 2, complex_data=True) == 2 * problem_bytes(10, 10, 2)

@@ -1,0 +1,182 @@
+"""Tests for the experiment harness (tables/figures) and the report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import experiments, paper_data, report
+
+
+class TestTable1And2:
+    def test_table1_contains_paper_and_measured(self):
+        result = experiments.table1_operation_counts()
+        assert [row["limbs"] for row in result.rows] == [2, 4, 8]
+        for row in result.rows:
+            assert row["paper_div"] == paper_data.TABLE1_COUNTS[row["limbs"]]["div"]
+            assert row["measured_div"] > 0
+
+    def test_table2_matches_catalog(self):
+        result = experiments.table2_devices()
+        assert len(result.rows) == 5
+        v100 = next(r for r in result.rows if "V100" in r["device"])
+        assert v100["multiprocessors"] == 80 and v100["cores"] == 5120
+
+
+class TestQRTables:
+    def test_table3_five_devices_and_stages(self):
+        result = experiments.table3_qr_dd_five_gpus()
+        assert len(result.rows) == 5
+        for row in result.rows:
+            assert row["kernel_ms"] > 0
+            assert row["paper_kernel_ms"] is not None
+            assert "stage[compute W]" in row
+        rates = {row["device"]: row["kernel_gflops"] for row in result.rows}
+        assert rates["P100"] > 1000 and rates["V100"] > 1000
+        assert rates["V100"] > rates["P100"] > rates["RTX2080"]
+        assert rates["C2050"] < 200
+
+    def test_table4_precisions_and_reference(self):
+        result = experiments.table4_qr_four_precisions()
+        assert len(result.rows) == 12
+        v100 = {row["limbs"]: row for row in result.rows if row["device"] == "V100"}
+        assert v100[8]["kernel_ms"] > v100[4]["kernel_ms"] > v100[2]["kernel_ms"]
+        assert v100[4]["paper_kernel_gflops"] == pytest.approx(3214.0)
+        # the reproduced flop rates stay within 20% of the paper's
+        for limbs in (2, 4, 8):
+            ratio = v100[limbs]["kernel_gflops"] / v100[limbs]["paper_kernel_gflops"]
+            assert 0.8 < ratio < 1.2
+
+    def test_figure1_log_times(self):
+        result = experiments.figure1_qr_precision_scaling()
+        assert all(row["limbs"] in (2, 4, 8) for row in result.rows)
+        assert all(row["log2_kernel_ms"] > 0 for row in result.rows)
+
+    def test_table5_real_vs_complex(self):
+        result = experiments.table5_real_vs_complex()
+        assert len(result.rows) == 8
+        real = {row["tiling"]: row for row in result.rows if row["data"] == "real"}
+        cplx = {row["tiling"]: row for row in result.rows if row["data"] == "complex"}
+        for tiling in real:
+            assert 2.0 < cplx[tiling]["kernel_ms"] / real[tiling]["kernel_ms"] < 5.0
+
+    def test_table6_dimension_scaling(self):
+        result = experiments.table6_qr_dimensions()
+        qd = {row["dimension"]: row for row in result.rows if row["limbs"] == 4}
+        # cubic work, but the time factor per dimension doubling stays below 8
+        assert 3.0 < qd[1024]["kernel_ms"] / qd[512]["kernel_ms"] < 8.0
+
+    def test_figure2_has_all_combinations(self):
+        result = experiments.figure2_qr_dimension_scaling()
+        assert len(result.rows) == 12
+
+
+class TestBackSubstitutionTables:
+    def test_table7_rows_and_anomaly(self):
+        result = experiments.table7_backsub_precisions()
+        assert len(result.rows) == 12
+        od_20480 = next(r for r in result.rows if r["limbs"] == 8 and r["dimension"] == 20480)
+        # the host-oversubscribed octo double run has a pathological wall time
+        assert od_20480["wall_ms"] > 20 * od_20480["kernel_ms"]
+
+    def test_table7_times_grow_with_dimension(self):
+        result = experiments.table7_backsub_precisions()
+        dd = [r for r in result.rows if r["limbs"] == 2]
+        assert dd[0]["kernel_ms"] < dd[1]["kernel_ms"] < dd[2]["kernel_ms"]
+
+    def test_figure3_rows(self):
+        result = experiments.figure3_backsub_scaling()
+        assert len(result.rows) == 12
+
+    def test_table8_wall_clock_tradeoff(self):
+        result = experiments.table8_backsub_tilings()
+        assert len(result.rows) == 3
+        by_tiling = {row["tiling"]: row for row in result.rows}
+        # larger tiles: more kernel time, better performance (paper Table 8)
+        assert by_tiling["80x256"]["kernel_ms"] > by_tiling["320x64"]["kernel_ms"]
+        assert by_tiling["80x256"]["kernel_gflops"] > by_tiling["320x64"]["kernel_gflops"]
+
+    def test_table9_performance_grows_with_tile_size(self):
+        result = experiments.table9_backsub_three_gpus()
+        for device in ("RTX2080", "P100", "V100"):
+            rows = [r for r in result.rows if r["device"] == device]
+            rates = [r["kernel_gflops"] for r in rows]
+            assert rates == sorted(rates)
+        v100 = [r for r in result.rows if r["device"] == "V100"]
+        p100 = [r for r in result.rows if r["device"] == "P100"]
+        assert all(v["kernel_ms"] < p["kernel_ms"] for v, p in zip(v100, p100))
+
+    def test_table9_v100_reaches_teraflop_only_at_large_dimension(self):
+        result = experiments.table9_backsub_three_gpus(devices=("V100",))
+        rows = {r["tile"]: r for r in result.rows}
+        assert rows[32]["kernel_gflops"] < 500
+        assert rows[256]["kernel_gflops"] > 1000
+
+    def test_figure4_rows(self):
+        result = experiments.figure4_backsub_three_gpus()
+        assert len(result.rows) == 24
+
+    def test_table10_intensity_grows_and_compute_bound(self):
+        result = experiments.table10_roofline()
+        intensities = [row["intensity"] for row in result.rows]
+        assert intensities == sorted(intensities)
+        assert all(row["compute_bound"] for row in result.rows)
+        assert all(row["kernel_gflops"] <= row["attainable_gflops"] for row in result.rows)
+
+    def test_figure5_log_coordinates(self):
+        result = experiments.figure5_roofline()
+        assert len(result.rows) == 8
+        assert result.rows[0]["log10_intensity"] < result.rows[-1]["log10_intensity"]
+
+
+class TestTable11AndOverhead:
+    def test_table11_qr_dominates(self):
+        result = experiments.table11_least_squares()
+        assert len(result.rows) == 12
+        for row in result.rows:
+            assert row["qr_over_bs_kernel_time"] > 10
+        v100_qd = next(r for r in result.rows if r["device"] == "V100" and r["limbs"] == 4)
+        assert v100_qd["total_kernel_gflops"] > 1000
+
+    def test_overhead_factors_below_prediction(self):
+        result = experiments.overhead_factors()
+        assert len(result.rows) == 6
+        assert all(row["below_prediction"] for row in result.rows)
+        for row in result.rows:
+            if row["paper_observed_factor"]:
+                assert row["observed_factor"] == pytest.approx(
+                    row["paper_observed_factor"], rel=0.35
+                )
+
+    def test_registry_complete(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+            "table8", "table9", "table10", "table11",
+            "figure1", "figure2", "figure3", "figure4", "figure5", "overhead",
+        }
+        assert set(experiments.ALL_EXPERIMENTS) == expected
+
+
+class TestReport:
+    def test_format_table(self):
+        result = experiments.table2_devices()
+        text = report.format_table(result)
+        assert "Volta V100" in text and "multiprocessors" in text
+
+    def test_format_table_empty(self):
+        empty = experiments.ExperimentResult("x", "empty experiment")
+        assert "(no rows)" in report.format_table(empty)
+
+    def test_format_bars(self):
+        result = experiments.figure1_qr_precision_scaling(devices=("V100",))
+        text = report.format_bars(result, "log2_kernel_ms", ["device", "limbs"], log2=False)
+        assert "#" in text
+
+    def test_format_experiment_dispatch(self):
+        table_text = report.format_experiment(experiments.table2_devices())
+        figure_text = report.format_experiment(experiments.figure5_roofline())
+        assert "cores" in table_text
+        assert "#" in figure_text
+
+    def test_column_helper(self):
+        result = experiments.table2_devices()
+        assert len(result.column("device")) == 5

@@ -1,0 +1,145 @@
+"""Tests for the kernel/wall time performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import KernelLaunch, OperationTally, get_device
+from repro.perf.costmodel import back_substitution_trace, problem_bytes, qr_trace
+from repro.perf.model import DEFAULT_ILP, PerformanceModel
+
+
+def qr_run(device, limbs, dim=1024, tile=128):
+    model = PerformanceModel(device)
+    trace = qr_trace(dim, dim, tile, limbs, device)
+    return model.attribute(trace, problem_bytes=problem_bytes(dim, dim, limbs))
+
+
+class TestLaunchModel:
+    def _launch(self, **kwargs):
+        defaults = dict(
+            name="k",
+            stage="s",
+            blocks=80,
+            threads_per_block=128,
+            limbs=4,
+            tally=OperationTally.axpy(1_000_000),
+            bytes_read=1e6,
+            bytes_written=1e6,
+        )
+        defaults.update(kwargs)
+        return KernelLaunch(**defaults)
+
+    def test_time_positive_and_additive_overhead(self):
+        model = PerformanceModel("V100")
+        empty = self._launch(tally=OperationTally(), bytes_read=0, bytes_written=0)
+        assert model.kernel_time_ms(empty) == pytest.approx(
+            get_device("V100").kernel_launch_overhead_us * 1e-3
+        )
+        assert model.kernel_time_ms(self._launch()) > model.kernel_time_ms(empty)
+
+    def test_more_flops_take_longer(self):
+        model = PerformanceModel("V100")
+        small = self._launch(tally=OperationTally.axpy(1e5))
+        large = self._launch(tally=OperationTally.axpy(1e7))
+        assert model.kernel_time_ms(large) > model.kernel_time_ms(small)
+
+    def test_low_occupancy_is_slower(self):
+        model = PerformanceModel("V100")
+        full = self._launch(blocks=80)
+        single = self._launch(blocks=1)
+        assert model.kernel_time_ms(single) > model.kernel_time_ms(full)
+
+    def test_small_blocks_hide_less_latency(self):
+        model = PerformanceModel("V100")
+        wide = self._launch(threads_per_block=128)
+        narrow = self._launch(threads_per_block=32)
+        assert model.kernel_time_ms(narrow) > model.kernel_time_ms(wide)
+
+    def test_efficiency_hint_slows_kernel(self):
+        model = PerformanceModel("V100")
+        streaming = self._launch()
+        serial = self._launch(efficiency=0.4)
+        assert model.kernel_time_ms(serial) > model.kernel_time_ms(streaming)
+
+    def test_memory_bound_kernel_limited_by_bandwidth(self):
+        model = PerformanceModel("V100")
+        launch = self._launch(tally=OperationTally.axpy(10), bytes_read=1e9, bytes_written=1e9)
+        # 2 GB over ~0.6 TB/s effective: milliseconds, far above the compute time
+        assert model.kernel_time_ms(launch) > 1.0
+
+    def test_ilp_factor_interpolation(self):
+        model = PerformanceModel("V100")
+        assert model.ilp_factor(2) == pytest.approx(DEFAULT_ILP[2])
+        assert DEFAULT_ILP[2] < model.ilp_factor(3) < DEFAULT_ILP[4]
+        assert model.ilp_factor(16) == pytest.approx(DEFAULT_ILP[8])
+
+    def test_rtx_precision_scaling_flatter(self):
+        volta = PerformanceModel("V100")
+        turing = PerformanceModel("RTX2080")
+        assert turing.ilp_factor(8) / turing.ilp_factor(2) < volta.ilp_factor(8) / volta.ilp_factor(2)
+
+    def test_attainable_never_exceeds_scaled_peak(self):
+        model = PerformanceModel("P100")
+        launch = self._launch(blocks=560, threads_per_block=1024, limbs=8)
+        peak = get_device("P100").peak_double_gflops
+        assert model.attainable_gflops(launch) <= peak * 1.6  # ILP(8) * efficiency bound
+
+
+class TestTraceAttribution:
+    def test_attribute_fills_elapsed(self):
+        trace = back_substitution_trace(8, 32, 4)
+        run = PerformanceModel("V100").attribute(trace, problem_bytes=1e6)
+        assert all(launch.elapsed_ms is not None for launch in trace.launches)
+        assert run.kernel_ms == pytest.approx(trace.kernel_time_ms())
+        assert run.wall_ms > run.kernel_ms
+        assert run.wall_gigaflops < run.kernel_gigaflops
+
+    def test_oversubscription_penalty(self):
+        trace_a = back_substitution_trace(8, 32, 8)
+        trace_b = back_substitution_trace(8, 32, 8)
+        model = PerformanceModel("V100")
+        normal = model.attribute(trace_a, problem_bytes=1e8)
+        swamped = model.attribute(trace_b, problem_bytes=1e8, oversubscribed=True)
+        assert swamped.host_ms > 10 * normal.host_ms
+        assert swamped.wall_ms > normal.wall_ms
+
+
+class TestPaperShapeClaims:
+    """The headline observations of the paper must hold in the model."""
+
+    def test_teraflop_qr_at_1024_dd_on_p100_and_v100(self):
+        for device in ("P100", "V100"):
+            assert qr_run(device, 2).kernel_gigaflops > 1000.0
+
+    def test_no_teraflop_on_older_or_consumer_gpus(self):
+        for device in ("C2050", "K20C", "RTX2080"):
+            assert qr_run(device, 2).kernel_gigaflops < 1000.0
+
+    def test_performance_increases_with_precision(self):
+        for device in ("P100", "V100"):
+            rates = [qr_run(device, limbs).kernel_gigaflops for limbs in (1, 2, 4, 8)]
+            assert rates == sorted(rates)
+
+    def test_overhead_factors_below_predicted(self):
+        for device in ("P100", "V100", "RTX2080"):
+            t = {limbs: qr_run(device, limbs).kernel_ms for limbs in (2, 4, 8)}
+            assert t[4] / t[2] < 11.7
+            assert t[8] / t[4] < 5.4
+
+    def test_v100_faster_than_p100(self):
+        assert qr_run("V100", 4).kernel_ms < qr_run("P100", 4).kernel_ms
+
+    def test_backsub_needs_large_dimensions_for_teraflop(self):
+        model = PerformanceModel("V100")
+        small = model.attribute(back_substitution_trace(80, 32, 4))
+        large = model.attribute(back_substitution_trace(80, 256, 4))
+        assert small.trace.kernel_gigaflops() < 500.0
+        assert large.trace.kernel_gigaflops() > small.trace.kernel_gigaflops() * 3
+
+    def test_wall_clock_much_larger_than_kernel_time_for_backsub(self):
+        model = PerformanceModel("V100")
+        dim = 80 * 128
+        trace = back_substitution_trace(80, 128, 4)
+        run = model.attribute(trace, problem_bytes=dim * dim / 2 * 4 * 8)
+        assert run.wall_ms > 3 * run.kernel_ms

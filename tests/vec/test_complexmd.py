@@ -1,0 +1,154 @@
+"""Tests for complex multiple double arrays."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.md import ComplexMultiDouble, MultiDouble
+from repro.vec import MDArray, MDComplexArray
+
+
+class TestConstruction:
+    def test_zeros(self):
+        z = MDComplexArray.zeros((2, 3), 4)
+        assert z.shape == (2, 3) and z.limbs == 4
+        assert np.all(z.to_complex() == 0)
+
+    def test_from_complex(self):
+        values = np.array([1 + 2j, -3.5j, 4.0])
+        z = MDComplexArray.from_complex(values, 2)
+        assert np.array_equal(z.to_complex(), values)
+
+    def test_from_parts(self):
+        z = MDComplexArray.from_parts(np.array([1.0]), np.array([2.0]), 2)
+        assert z.to_complex()[0] == 1 + 2j
+
+    def test_real_imag_must_match(self):
+        with pytest.raises(ValueError):
+            MDComplexArray(MDArray.zeros((2,), 2), MDArray.zeros((3,), 2))
+        with pytest.raises(TypeError):
+            MDComplexArray(np.zeros(3))
+
+    def test_default_imaginary_is_zero(self):
+        z = MDComplexArray(MDArray.from_double(np.array([1.0, 2.0]), 2))
+        assert np.array_equal(z.to_complex(), [1.0, 2.0])
+
+    def test_nbytes_counts_both_parts(self):
+        z = MDComplexArray.zeros((5,), 4)
+        assert z.nbytes == 2 * 4 * 5 * 8
+
+
+class TestArithmetic:
+    def test_matches_numpy_complex(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        za = MDComplexArray.from_complex(a, 2)
+        zb = MDComplexArray.from_complex(b, 2)
+        assert np.allclose((za + zb).to_complex(), a + b, rtol=1e-15)
+        assert np.allclose((za - zb).to_complex(), a - b, rtol=1e-15)
+        assert np.allclose((za * zb).to_complex(), a * b, rtol=1e-14)
+        assert np.allclose((za / zb).to_complex(), a / b, rtol=1e-14)
+
+    def test_scalar_and_plain_operands(self):
+        z = MDComplexArray.from_complex(np.array([1 + 1j]), 2)
+        assert (z + 1).to_complex()[0] == 2 + 1j
+        assert (2 * z).to_complex()[0] == 2 + 2j
+        assert (1j * z).to_complex()[0] == pytest.approx(-1 + 1j)
+        assert (1 - z).to_complex()[0] == -1j
+        assert np.allclose((1 / z).to_complex()[0], 1 / (1 + 1j))
+
+    def test_multidouble_scalar_operand(self):
+        z = MDComplexArray.from_complex(np.array([2 + 0j]), 4)
+        third = MultiDouble(Fraction(1, 3), 4)
+        w = z * third
+        assert abs(w.real.to_multidouble(0).to_fraction() - Fraction(2, 3)) < Fraction(1, 2 ** 200)
+
+    def test_complexmultidouble_operand(self):
+        z = MDComplexArray.from_complex(np.array([1 + 0j]), 2)
+        w = z * ComplexMultiDouble(0.0, 1.0, precision=2)
+        assert w.to_complex()[0] == 1j
+
+    def test_negation(self):
+        z = MDComplexArray.from_complex(np.array([1 + 2j]), 2)
+        assert (-z).to_complex()[0] == -1 - 2j
+
+    def test_unsupported_operand_raises(self):
+        with pytest.raises(TypeError):
+            MDComplexArray.zeros((1,), 2) + object()
+
+
+class TestStructure:
+    def test_transpose_and_hermitian(self):
+        values = np.array([[1 + 1j, 2 - 1j], [0 + 3j, -1 + 0j]])
+        z = MDComplexArray.from_complex(values, 2)
+        assert np.array_equal(z.T.to_complex(), values.T)
+        assert np.array_equal(z.H.to_complex(), values.conj().T)
+
+    def test_conj(self):
+        values = np.array([1 + 2j, -3j])
+        z = MDComplexArray.from_complex(values, 2)
+        assert np.array_equal(z.conj().to_complex(), values.conj())
+
+    def test_indexing(self):
+        values = np.arange(6).reshape(2, 3) * (1 + 1j)
+        z = MDComplexArray.from_complex(values, 2)
+        assert np.array_equal(z[1].to_complex(), values[1])
+        assert np.array_equal(z[:, 1:].to_complex(), values[:, 1:])
+
+    def test_setitem(self):
+        z = MDComplexArray.zeros((3,), 2)
+        z[0] = 1 + 2j
+        z[1] = MDComplexArray.from_complex(np.array(3j), 2)
+        assert z.to_complex()[0] == 1 + 2j
+        assert z.to_complex()[1] == 3j
+
+    def test_reshape_and_len(self):
+        z = MDComplexArray.from_complex(np.arange(6) * 1j, 2)
+        assert z.reshape(2, 3).shape == (2, 3)
+        assert len(z) == 6
+
+    def test_scale_pow2(self):
+        z = MDComplexArray.from_complex(np.array([2 + 4j]), 2)
+        assert z.scale_pow2(0.5).to_complex()[0] == 1 + 2j
+
+    def test_copy_independent(self):
+        z = MDComplexArray.from_complex(np.array([1 + 1j]), 2)
+        w = z.copy()
+        w[0] = 0
+        assert z.to_complex()[0] == 1 + 1j
+
+
+class TestReductions:
+    def test_sum_and_dot(self):
+        values = np.array([1 + 1j, 2 - 1j, -3 + 0.5j])
+        z = MDComplexArray.from_complex(values, 4)
+        assert z.sum().to_complex() == pytest.approx(values.sum())
+        w = MDComplexArray.from_complex(values[::-1].copy(), 4)
+        assert z.dot(w).to_complex() == pytest.approx(np.sum(values * values[::-1]))
+        assert z.vdot(w).to_complex() == pytest.approx(np.sum(values.conj() * values[::-1]))
+
+    def test_abs_and_norm(self):
+        values = np.array([3 + 4j, 1 + 0j])
+        z = MDComplexArray.from_complex(values, 4)
+        assert np.allclose(z.abs().to_double(), [5.0, 1.0])
+        assert float(z.norm2().to_double()) == pytest.approx(np.sqrt(26.0))
+
+    def test_abs2_exact(self):
+        z = MDComplexArray.from_complex(np.array([3 + 4j]), 4)
+        assert z.abs2().to_multidouble(0).to_fraction() == 25
+
+    def test_equals_allclose(self):
+        z = MDComplexArray.from_complex(np.array([1 + 1j]), 2)
+        assert z.equals(z.copy())
+        w = z + 1e-25
+        assert not z.equals(w)
+        assert z.allclose(w, tol=1e-20)
+
+    def test_to_scalar(self):
+        z = MDComplexArray.from_complex(np.array([[1 + 2j]]), 4)
+        s = z.to_scalar((0, 0))
+        assert s.real.to_fraction() == 1 and s.imag.to_fraction() == 2

@@ -1,0 +1,270 @@
+"""Tests for the limb-major MDArray container."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md import MultiDouble
+from repro.vec import MDArray
+
+
+def element_fraction(array: MDArray, index) -> Fraction:
+    return array.to_multidouble(index).to_fraction()
+
+
+class TestConstruction:
+    def test_zeros(self, md_limbs):
+        a = MDArray.zeros((3, 4), md_limbs)
+        assert a.shape == (3, 4)
+        assert a.limbs == md_limbs
+        assert np.all(a.data == 0.0)
+
+    def test_zeros_from_int_shape(self):
+        assert MDArray.zeros(5, 2).shape == (5,)
+
+    def test_from_double(self, md_limbs):
+        values = np.arange(6.0).reshape(2, 3)
+        a = MDArray.from_double(values, md_limbs)
+        assert np.array_equal(a.to_double(), values)
+        assert np.all(a.data[1:] == 0.0)
+
+    def test_from_limbs_roundtrip(self):
+        limbs = [np.array([1.0, 2.0]), np.array([1e-20, -1e-20])]
+        a = MDArray.from_limbs(limbs)
+        assert a.limbs == 2
+        assert element_fraction(a, 0) == Fraction(1) + Fraction(1e-20)
+
+    def test_from_multidoubles(self):
+        values = [MultiDouble(Fraction(1, 3), 4), MultiDouble(Fraction(2, 7), 4)]
+        a = MDArray.from_multidoubles(values)
+        assert a.shape == (2,)
+        assert element_fraction(a, 1) == values[1].to_fraction()
+
+    def test_from_multidoubles_empty_raises(self):
+        with pytest.raises(ValueError):
+            MDArray.from_multidoubles([])
+
+    def test_scalar_storage_rejected(self):
+        with pytest.raises(ValueError):
+            MDArray(np.float64(3.0))
+
+    def test_precision_property(self):
+        assert MDArray.zeros((2,), "qd").precision.name == "4d"
+
+    def test_nbytes(self):
+        a = MDArray.zeros((10, 10), 4)
+        assert a.nbytes == 4 * 100 * 8
+
+
+class TestIndexing:
+    def test_getitem_row(self):
+        a = MDArray.from_double(np.arange(12.0).reshape(3, 4), 2)
+        row = a[1]
+        assert row.shape == (4,)
+        assert np.array_equal(row.to_double(), [4.0, 5.0, 6.0, 7.0])
+
+    def test_getitem_slice_block(self):
+        a = MDArray.from_double(np.arange(16.0).reshape(4, 4), 2)
+        block = a[1:3, 2:]
+        assert block.shape == (2, 2)
+        assert np.array_equal(block.to_double(), [[6.0, 7.0], [10.0, 11.0]])
+
+    def test_setitem_with_mdarray(self):
+        a = MDArray.zeros((3, 3), 2)
+        a[0:2, 0:2] = MDArray.from_double(np.ones((2, 2)), 2)
+        assert a.to_double().sum() == 4.0
+
+    def test_setitem_with_scalar(self):
+        a = MDArray.zeros((3,), 4)
+        a[1] = 2.5
+        assert element_fraction(a, 1) == Fraction(5, 2)
+
+    def test_setitem_with_multidouble(self):
+        a = MDArray.zeros((3,), 4)
+        third = MultiDouble(Fraction(1, 3), 4)
+        a[2] = third
+        assert element_fraction(a, 2) == third.to_fraction()
+
+    def test_setitem_broadcast_scalar_region(self):
+        a = MDArray.zeros((4, 4), 2)
+        a[1:3, 1:3] = 7.0
+        assert a.to_double().sum() == 28.0
+
+    def test_len(self):
+        assert len(MDArray.zeros((5, 2), 2)) == 5
+
+    def test_transpose(self):
+        a = MDArray.from_double(np.arange(6.0).reshape(2, 3), 2)
+        assert a.T.shape == (3, 2)
+        assert np.array_equal(a.T.to_double(), a.to_double().T)
+
+    def test_transpose_requires_matrix(self):
+        with pytest.raises(ValueError):
+            _ = MDArray.zeros((3,), 2).T
+
+    def test_reshape(self):
+        a = MDArray.from_double(np.arange(6.0), 2)
+        b = a.reshape(2, 3)
+        assert b.shape == (2, 3)
+        assert np.array_equal(b.to_double(), np.arange(6.0).reshape(2, 3))
+
+
+class TestArithmetic:
+    def test_add_matches_scalar_reference(self, md_limbs):
+        rng = np.random.default_rng(11)
+        a = MDArray.from_limbs(
+            [rng.standard_normal(4) * 2.0 ** (-50 * k) for k in range(md_limbs)]
+        )
+        b = MDArray.from_limbs(
+            [rng.standard_normal(4) * 2.0 ** (-50 * k) for k in range(md_limbs)]
+        )
+        c = a + b
+        for j in range(4):
+            expected = a.to_multidouble(j) + b.to_multidouble(j)
+            assert c.to_multidouble(j).to_fraction() == expected.to_fraction()
+
+    def test_mul_matches_scalar_reference(self, md_limbs):
+        rng = np.random.default_rng(12)
+        a = MDArray.from_limbs(
+            [rng.standard_normal(3) * 2.0 ** (-50 * k) for k in range(md_limbs)]
+        )
+        b = MDArray.from_limbs(
+            [rng.standard_normal(3) * 2.0 ** (-50 * k) for k in range(md_limbs)]
+        )
+        c = a * b
+        for j in range(3):
+            expected = a.to_multidouble(j) * b.to_multidouble(j)
+            assert c.to_multidouble(j).to_fraction() == expected.to_fraction()
+
+    def test_div_matches_scalar_reference(self):
+        a = MDArray.from_double(np.array([1.0, 2.0, 5.0]), 4)
+        b = MDArray.from_double(np.array([3.0, 7.0, 11.0]), 4)
+        c = a / b
+        for j in range(3):
+            expected = a.to_multidouble(j) / b.to_multidouble(j)
+            assert c.to_multidouble(j).to_fraction() == expected.to_fraction()
+
+    def test_scalar_operands(self):
+        a = MDArray.from_double(np.array([1.0, 2.0]), 2)
+        assert np.array_equal((a + 1).to_double(), [2.0, 3.0])
+        assert np.array_equal((2 * a).to_double(), [2.0, 4.0])
+        assert np.array_equal((a - 0.5).to_double(), [0.5, 1.5])
+        assert np.allclose((1 / a).to_double(), [1.0, 0.5])
+        assert np.array_equal((1 - a).to_double(), [0.0, -1.0])
+
+    def test_multidouble_scalar_operand(self):
+        a = MDArray.from_double(np.array([3.0, 6.0]), 4)
+        third = MultiDouble(Fraction(1, 3), 4)
+        b = a * third
+        assert abs(element_fraction(b, 0) - 1) < Fraction(1, 2 ** 200)
+
+    def test_precision_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MDArray.zeros((2,), 2) + MDArray.zeros((2,), 4)
+
+    def test_broadcasting_outer_product_shape(self):
+        col = MDArray.from_double(np.arange(3.0).reshape(3, 1), 2)
+        row = MDArray.from_double(np.arange(4.0).reshape(1, 4), 2)
+        product = col * row
+        assert product.shape == (3, 4)
+        assert np.array_equal(product.to_double(), np.outer(np.arange(3.0), np.arange(4.0)))
+
+    def test_negation_and_abs(self):
+        a = MDArray.from_double(np.array([-1.5, 2.0]), 2)
+        assert np.array_equal((-a).to_double(), [1.5, -2.0])
+        assert np.array_equal(a.abs().to_double(), [1.5, 2.0])
+        assert np.array_equal(abs(a).to_double(), [1.5, 2.0])
+
+    def test_scale_pow2_exact(self):
+        a = MDArray.from_limbs([np.array([1.0]), np.array([2.0 ** -70])])
+        b = a.scale_pow2(0.5)
+        assert element_fraction(b, 0) == (Fraction(1) + Fraction(2) ** -70) / 2
+
+    def test_fma(self):
+        a = MDArray.from_double(np.array([2.0]), 4)
+        b = MDArray.from_double(np.array([3.0]), 4)
+        c = MDArray.from_double(np.array([1.0]), 4)
+        assert element_fraction(a.fma(b, c), 0) == 7
+
+    def test_sqrt(self):
+        a = MDArray.from_double(np.array([4.0, 2.0]), 4)
+        r = a.sqrt()
+        assert element_fraction(r, 0) == 2
+        err = abs(r.to_multidouble(1).to_fraction() ** 2 - 2)
+        assert err < Fraction(1, 2 ** 200)
+
+
+class TestReductionsAndHelpers:
+    def test_sum_axis(self):
+        values = np.arange(12.0).reshape(3, 4)
+        a = MDArray.from_double(values, 2)
+        assert np.array_equal(a.sum(axis=0).to_double(), values.sum(axis=0))
+        assert np.array_equal(a.sum(axis=1).to_double(), values.sum(axis=1))
+
+    def test_sum_all(self):
+        values = np.arange(10.0)
+        a = MDArray.from_double(values, 4)
+        assert element_fraction(a.sum(), ()) == 45
+
+    def test_sum_odd_length(self):
+        values = np.arange(7.0)
+        a = MDArray.from_double(values, 2)
+        assert a.sum(axis=0).to_double() == 21.0
+
+    def test_sum_exactness_beyond_double(self):
+        # 1 + 2^-80 + ... cannot be summed exactly in double precision
+        limbs = [np.array([1.0, 2.0 ** -80, -1.0, 2.0 ** -81]), np.zeros(4)]
+        a = MDArray.from_limbs(limbs)
+        total = a.sum(axis=0).to_multidouble(()).to_fraction()
+        assert total == Fraction(2) ** -80 + Fraction(2) ** -81
+
+    def test_dot(self):
+        x = MDArray.from_double(np.array([1.0, 2.0, 3.0]), 2)
+        y = MDArray.from_double(np.array([4.0, 5.0, 6.0]), 2)
+        assert element_fraction(x.dot(y), ()) == 32
+
+    def test_norm2(self):
+        x = MDArray.from_double(np.array([3.0, 4.0]), 4)
+        assert abs(element_fraction(x.norm2(), ()) - 5) < Fraction(1, 2 ** 200)
+
+    def test_dot_requires_vectors(self):
+        with pytest.raises(ValueError):
+            MDArray.zeros((2, 2), 2).dot(MDArray.zeros((2, 2), 2))
+
+    def test_max_abs_double(self):
+        a = MDArray.from_double(np.array([-7.0, 3.0]), 2)
+        assert a.max_abs_double() == 7.0
+
+    def test_astype_upcast_and_downcast(self):
+        a = MDArray.from_double(np.array([1.0 / 3.0]), 2) + MDArray.from_limbs(
+            [np.array([0.0]), np.array([1e-20])]
+        )
+        up = a.astype(4)
+        assert up.limbs == 4
+        assert up.to_multidouble(0).to_fraction() == a.to_multidouble(0).to_fraction()
+        down = up.astype(2)
+        assert down.limbs == 2
+
+    def test_equals_and_allclose(self):
+        a = MDArray.from_double(np.array([1.0, 2.0]), 2)
+        b = a.copy()
+        assert a.equals(b)
+        c = a + MDArray.from_double(np.array([1e-25, 0.0]), 2)
+        assert not a.equals(c)
+        assert a.allclose(c, tol=1e-20)
+        assert not a.allclose(c, tol=1e-30)
+
+    def test_copy_is_independent(self):
+        a = MDArray.from_double(np.array([1.0]), 2)
+        b = a.copy()
+        b[0] = 5.0
+        assert a.to_double()[0] == 1.0
+
+    def test_to_multidouble_of_matrix_element(self):
+        a = MDArray.from_double(np.arange(4.0).reshape(2, 2), 2)
+        assert a.to_multidouble((1, 0)).to_fraction() == 2
