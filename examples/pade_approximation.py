@@ -10,11 +10,13 @@ systems that determine the Padé denominator coefficients are extremely
 ill conditioned.
 
 This example computes the [m/m] Padé approximant of log(1+x)/x from its
-Taylor coefficients.  The denominator coefficients solve a Hankel-type
-linear system that loses roughly two decimal digits per degree, so
-hardware doubles break down around m = 8 while double double, quad
+Taylor coefficients.  All approximant logic is delegated to
+:func:`repro.series.pade`: the Taylor coefficients are wrapped in a
+:class:`repro.series.TruncatedSeries` and the subsystem solves the
+Hankel-type system — which loses roughly two decimal digits per degree,
+so hardware doubles break down around m = 8 while double double, quad
 double and octo double keep delivering accurate approximants for much
-larger degrees.  The solves use this library's least squares solver.
+larger degrees — with this library's least squares solver.
 
 Run with:  python examples/pade_approximation.py
 """
@@ -23,11 +25,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import numpy as np
-
-from repro.core import lstsq
-from repro.md import MultiDouble
-from repro.vec import MDArray, linalg
+from repro.series import TruncatedSeries, pade
 
 #: Degrees of the [m/m] approximants to compute.
 DEGREES = (4, 8, 12)
@@ -41,33 +39,11 @@ def taylor_coefficients(order: int) -> list:
     return [Fraction((-1) ** k, k + 1) for k in range(order + 1)]
 
 
-def pade_denominator(coeffs, m: int, limbs: int) -> list:
-    """Solve the Hankel system for the denominator of the [m/m] approximant.
-
-    With f = sum c_k x^k, the denominator q(x) = 1 + q_1 x + ... + q_m x^m
-    satisfies sum_{j=1..m} c_{m+i-j} q_j = -c_{m+i} for i = 1..m.
-    """
-    system = MDArray.zeros((m, m), limbs)
-    rhs = MDArray.zeros((m,), limbs)
-    for i in range(1, m + 1):
-        for j in range(1, m + 1):
-            system[i - 1, j - 1] = MultiDouble(coeffs[m + i - j], limbs)
-        rhs[i - 1] = MultiDouble(-coeffs[m + i], limbs)
+def pade_approximant(coeffs, m: int, limbs: int):
+    """The [m/m] approximant at a working precision (via repro.series)."""
+    series = TruncatedSeries.from_fractions(coeffs, limbs)
     tile = max(1, m // 2 if m % 2 == 0 else 1)
-    solution = lstsq(system, rhs, tile_size=tile).x
-    return [MultiDouble(1, limbs)] + [solution.to_multidouble(j) for j in range(m)]
-
-
-def pade_numerator(coeffs, denominator, m: int, limbs: int) -> list:
-    """p_k = sum_{j=0..k} c_{k-j} q_j for k = 0..m."""
-    numerator = []
-    for k in range(m + 1):
-        acc = MultiDouble(0, limbs)
-        for j in range(0, k + 1):
-            if j < len(denominator):
-                acc = acc + MultiDouble(coeffs[k - j], limbs) * denominator[j]
-        numerator.append(acc)
-    return numerator
+    return pade(series, m, m, tile_size=tile)
 
 
 def exact_denominator(coeffs, m: int) -> list:
@@ -91,39 +67,28 @@ def exact_denominator(coeffs, m: int) -> list:
     return [Fraction(1)] + solution
 
 
-def evaluate(poly, x: Fraction) -> Fraction:
-    """Exact Horner evaluation of a multiple double polynomial."""
-    total = Fraction(0)
-    for coeff in reversed(poly):
-        total = total * x + coeff.to_fraction()
-    return total
-
-
 def reference_value(x: Fraction, terms: int = 400) -> Fraction:
     """log(1+x)/x summed exactly far beyond the approximant's accuracy."""
     return sum(Fraction((-1) ** k, k + 1) * x ** k for k in range(terms))
 
 
-def main() -> None:
-    reference = reference_value(EVALUATION_POINT)
+def main(degrees=DEGREES, evaluation_point: Fraction = EVALUATION_POINT) -> None:
+    reference = reference_value(evaluation_point)
     print("Pade approximants of log(1+x)/x at x = 1/2")
     print(
         f"{'m':>4s}  {'precision':>10s}  {'max denominator coeff error':>28s}"
         f"  {'|approximant - f(x)|':>22s}"
     )
-    for m in DEGREES:
+    for m in degrees:
         coeffs = taylor_coefficients(2 * m + 1)
         exact_q = exact_denominator(coeffs, m)
         for limbs, label in ((1, "double"), (2, "dd"), (4, "qd"), (8, "od")):
-            denominator = pade_denominator(coeffs, m, limbs)
+            approximant = pade_approximant(coeffs, m, limbs)
             coeff_error = max(
                 abs(computed.to_fraction() - exact)
-                for computed, exact in zip(denominator, exact_q)
+                for computed, exact in zip(approximant.denominator, exact_q)
             )
-            numerator = pade_numerator(coeffs, denominator, m, limbs)
-            value = evaluate(numerator, EVALUATION_POINT) / evaluate(
-                denominator, EVALUATION_POINT
-            )
+            value = approximant.evaluate_fraction(evaluation_point)
             error = abs(float(value - reference))
             print(
                 f"{m:>4d}  {label:>10s}  {float(coeff_error):28.3e}  {error:22.3e}"

@@ -14,11 +14,14 @@ The example computes the series solution x(t) of the polynomial system
     x1(t) * x2(t)  = 1
 
 around t = 0, i.e. x1 = sqrt(1+t) and x2 = 1/sqrt(1+t), whose exact
-Taylor coefficients are binomial(±1/2, k).  Each series order requires
-one linear solve with the Jacobian, performed with this library's
-multiple double solver; the error of the computed coefficients is then
-compared against the exact rational values for hardware double, double
-double, quad double and octo double precision.
+Taylor coefficients are binomial(±1/2, k).  All series logic is
+delegated to :func:`repro.series.newton_series`: the system is handed
+over as a plain residual callable (evaluated with truncated series
+arithmetic — no hand-derived convolutions) plus its Jacobian head, and
+the subsystem performs one multiple double solve per series order.  The
+error of the computed coefficients is then compared against the exact
+rational values for hardware double, double double, quad double and
+octo double precision.
 
 Run with:  python examples/power_series_newton.py
 """
@@ -27,13 +30,24 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-import numpy as np
-
-from repro.md import MultiDouble
-from repro.vec import MDArray, linalg
-from repro.core import solve
+from repro.series import newton_series
 
 ORDER = 32
+
+#: The four precisions of the accuracy table.
+PRECISIONS = ((1, "double"), (2, "dd"), (4, "qd"), (8, "od"))
+
+
+def polynomial_system(x, t):
+    """Residual of the system, evaluated with series arithmetic."""
+    x1, x2 = x
+    return [x1 * x1 - 1 - t, x1 * x2 - 1]
+
+
+def jacobian_head(x0):
+    """Jacobian of the system with respect to (x1, x2) at the head."""
+    x1, x2 = x0
+    return [[2 * x1, 0], [x2, x1]]
 
 
 def exact_binomial_series(alpha: Fraction, order: int) -> list:
@@ -46,44 +60,24 @@ def exact_binomial_series(alpha: Fraction, order: int) -> list:
     return coefficients
 
 
-def series_solve(limbs: int, order: int) -> list:
+def series_solve(limbs: int, order: int):
     """Compute the series coefficients with one linear solve per order."""
-    one = MultiDouble(1, limbs)
-    x1 = [one]  # x1_0 = 1
-    x2 = [one]  # x2_0 = 1
-    # Jacobian at the series head: [[2*x1_0, 0], [x2_0, x1_0]]
-    jacobian = MDArray.from_multidoubles(
-        [2 * one, MultiDouble(0, limbs), one, one], limbs
-    ).reshape(2, 2)
-
-    for k in range(1, order + 1):
-        # coefficient of t^k in x1^2: sum_{i+j=k} x1_i x1_j; the unknown
-        # term 2*x1_0*x1_k goes to the left-hand side
-        conv11 = MultiDouble(0, limbs)
-        for i in range(1, k):
-            conv11 = conv11 + x1[i] * x1[k - i]
-        rhs1 = (one if k == 1 else MultiDouble(0, limbs)) - conv11
-        # coefficient of t^k in x1*x2 = 0 for k >= 1
-        conv12 = MultiDouble(0, limbs)
-        for i in range(1, k):
-            conv12 = conv12 + x1[i] * x2[k - i]
-        rhs2 = -conv12
-        rhs = MDArray.from_multidoubles([rhs1, rhs2], limbs)
-        update = solve(jacobian, rhs, tile_size=1)
-        x1.append(update.to_multidouble(0))
-        x2.append(update.to_multidouble(1))
-    return x1, x2
+    result = newton_series(
+        polynomial_system, jacobian_head, [1, 1], order, limbs, tile_size=1
+    )
+    x1, x2 = result.series
+    return list(x1.coefficients), list(x2.coefficients)
 
 
-def main() -> None:
-    exact_x1 = exact_binomial_series(Fraction(1, 2), ORDER)
-    print(f"Power series solution up to order {ORDER}")
+def main(order: int = ORDER, precisions=PRECISIONS) -> None:
+    exact_x1 = exact_binomial_series(Fraction(1, 2), order)
+    print(f"Power series solution up to order {order}")
     print(
         f"{'precision':>10s}  {'max relative coeff error':>26s}  "
-        f"{'rel. error at order ' + str(ORDER):>24s}"
+        f"{'rel. error at order ' + str(order):>24s}"
     )
-    for limbs, label in ((1, "double"), (2, "dd"), (4, "qd"), (8, "od")):
-        x1, _ = series_solve(limbs, ORDER)
+    for limbs, label in precisions:
+        x1, _ = series_solve(limbs, order)
         errors = [
             abs((coeff.to_fraction() - exact) / exact)
             for coeff, exact in zip(x1[1:], exact_x1[1:])

@@ -13,6 +13,14 @@ see the subpackages for the full API:
   least squares solver
 * :mod:`repro.perf` — analytic cost model, experiment harness for every
   table and figure of the paper
+* :mod:`repro.series` — truncated power series arithmetic, linearized
+  block Toeplitz series solves, Newton's method on series, Padé
+  approximants and the adaptive-precision path tracker (the paper's
+  motivating application); lazily exported here as
+  :class:`~repro.series.truncated.TruncatedSeries`,
+  :func:`~repro.series.pade.pade`,
+  :func:`~repro.series.newton.newton_series` and
+  :func:`~repro.series.tracker.track_path`
 """
 
 from __future__ import annotations
@@ -50,6 +58,11 @@ def __getattr__(name):
         "tiled_back_substitution": ("repro.core", "tiled_back_substitution"),
         "lstsq": ("repro.core", "lstsq"),
         "solve_upper_triangular": ("repro.core", "solve_upper_triangular"),
+        "TruncatedSeries": ("repro.series", "TruncatedSeries"),
+        "pade": ("repro.series", "pade"),
+        "newton_series": ("repro.series", "newton_series"),
+        "solve_matrix_series": ("repro.series", "solve_matrix_series"),
+        "track_path": ("repro.series", "track_path"),
     }
     if name in lazy:
         import importlib

@@ -19,7 +19,7 @@ from .back_substitution import tiled_back_substitution
 from .blocked_qr import blocked_qr
 from . import stages
 
-__all__ = ["LeastSquaresResult", "lstsq", "solve"]
+__all__ = ["LeastSquaresResult", "lstsq", "solve", "resolve_tile_sizes"]
 
 #: Stage name of the ``Q^H b`` matrix-vector product that links the QR
 #: factorization to the triangular solve.
@@ -70,10 +70,7 @@ def lstsq(matrix, rhs, tile_size=None, bs_tile_size=None, device="V100"):
     rows, cols = matrix.shape
     if rhs.shape[0] != rows:
         raise ValueError("right-hand side length does not match the matrix")
-    if tile_size is None:
-        tile_size = _default_tile_size(cols)
-    if bs_tile_size is None:
-        bs_tile_size = tile_size if cols % tile_size == 0 else _default_tile_size(cols)
+    tile_size, bs_tile_size = resolve_tile_sizes(cols, tile_size, bs_tile_size)
 
     qr = blocked_qr(matrix, tile_size, device=device)
 
@@ -123,3 +120,18 @@ def _default_tile_size(cols: int) -> int:
         if cols % candidate == 0:
             return candidate
     return 1
+
+
+def resolve_tile_sizes(cols: int, tile_size=None, bs_tile_size=None) -> tuple:
+    """Resolve the QR panel width and back substitution tile defaults.
+
+    The single source of the default rule shared by :func:`lstsq`, the
+    series solvers (:mod:`repro.series`) and their analytic cost-model
+    twins (:mod:`repro.perf.costmodel`) — keeping it in one place is
+    what preserves the launch-identical numeric/analytic contract.
+    """
+    if tile_size is None:
+        tile_size = _default_tile_size(cols)
+    if bs_tile_size is None:
+        bs_tile_size = tile_size if cols % tile_size == 0 else _default_tile_size(cols)
+    return tile_size, bs_tile_size

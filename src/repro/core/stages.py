@@ -33,6 +33,8 @@ __all__ = [
     "STAGE_INVERT_TILES",
     "STAGE_MULTIPLY_INVERSE",
     "STAGE_BACK_SUBSTITUTION",
+    "STAGE_SERIES_CONVOLVE",
+    "ceil_div",
     "tally_matvec",
     "tally_matmul",
     "tally_rank1_update",
@@ -43,6 +45,7 @@ __all__ = [
     "tally_householder_vector",
     "tally_compute_w_column",
     "tally_update_rhs",
+    "tally_series_convolution",
 ]
 
 # ---------------------------------------------------------------------------
@@ -83,10 +86,20 @@ BS_STAGES = (
     STAGE_BACK_SUBSTITUTION,
 )
 
+#: Right-hand-side convolution of the linearized power series solves
+#: (:mod:`repro.series.matrix_series`): the block Toeplitz structure of
+#: the Jacobian couples series order ``k`` to all earlier orders.
+STAGE_SERIES_CONVOLVE = "series convolution"
+
 
 # ---------------------------------------------------------------------------
 # tally formulas
 # ---------------------------------------------------------------------------
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division (block counts of the kernel launch geometries)."""
+    return -(-a // b)
+
 
 def _complex_factor_mul(complex_data: bool) -> float:
     """Real multiplications per (possibly complex) multiplication."""
@@ -214,3 +227,17 @@ def tally_update_rhs(n: int, complex_data: bool = False) -> OperationTally:
     ``n``-by-``n`` matrix-vector product and one vector subtraction."""
     tally = tally_matvec(n, n, complex_data)
     return tally + OperationTally(subtractions=n * _complex_factor_add(complex_data))
+
+
+def tally_series_convolution(n: int, terms: int, complex_data: bool = False) -> OperationTally:
+    """``r_k = b_k - sum_{j=1..terms} A_j x_{k-j}`` on an ``n``-vector.
+
+    One ``n``-by-``n`` matrix-vector product and one vector subtraction
+    per already-computed series order that couples into order ``k``
+    (the block Toeplitz right-hand-side update of the linearized power
+    series solve)."""
+    tally = OperationTally()
+    for _ in range(terms):
+        tally = tally + tally_matvec(n, n, complex_data)
+        tally = tally + OperationTally(subtractions=n * _complex_factor_add(complex_data))
+    return tally

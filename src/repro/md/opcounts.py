@@ -31,6 +31,12 @@ __all__ = [
     "measured_counts",
     "measured_costs",
     "cost_table",
+    "SeriesOperationCounts",
+    "SERIES_OPERATIONS",
+    "series_newton_orders",
+    "series_counts",
+    "series_flops",
+    "series_cost_table",
 ]
 
 
@@ -144,5 +150,184 @@ def cost_table(limb_counts=(2, 4, 8), source: str = "paper"):
             "mul": costs.mul,
             "div": costs.div,
             "average": costs.average,
+        }
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# truncated power series operations (repro.series workloads)
+# ---------------------------------------------------------------------------
+
+#: Series operations catalogued by :func:`series_counts`.
+SERIES_OPERATIONS = ("add", "sub", "scale", "mul", "reciprocal", "div", "sqrt", "exp", "log")
+
+
+@dataclass(frozen=True)
+class SeriesOperationCounts:
+    """Multiple double operation counts of one truncated series
+    operation at truncation order ``K`` (``K + 1`` coefficients).
+
+    The counts mirror, term for term, the loops executed by
+    :class:`repro.series.truncated.TruncatedSeries`; the scalar
+    transcendental head evaluations of ``exp`` and ``log`` (one call
+    into :mod:`repro.md.functions`, independent of the order) are
+    excluded, as they are negligible against the ``O(K^2)``
+    convolution work.
+    """
+
+    operation: str
+    order: int
+    add: float = 0.0
+    sub: float = 0.0
+    mul: float = 0.0
+    div: float = 0.0
+    sqrt: float = 0.0
+
+    @property
+    def md_operations(self) -> float:
+        """Total multiple double operations."""
+        return self.add + self.sub + self.mul + self.div + self.sqrt
+
+    def flops(self, limbs: int, source: str = "paper") -> float:
+        """Double precision flop count at a precision.
+
+        Square roots are charged like divisions, consistent with
+        :meth:`repro.gpu.counters.OperationTally.flops`.
+        """
+        costs = paper_costs(limbs) if source == "paper" else measured_costs(limbs)
+        return (
+            self.add * costs.add
+            + self.sub * costs.sub
+            + self.mul * costs.mul
+            + (self.div + self.sqrt) * costs.div
+        )
+
+    def __add__(self, other: "SeriesOperationCounts") -> "SeriesOperationCounts":
+        return SeriesOperationCounts(
+            self.operation,
+            max(self.order, other.order),
+            self.add + other.add,
+            self.sub + other.sub,
+            self.mul + other.mul,
+            self.div + other.div,
+            self.sqrt + other.sqrt,
+        )
+
+    def scaled_ops(self, factor: float) -> "SeriesOperationCounts":
+        """The counts of ``factor`` repetitions of this operation."""
+        return SeriesOperationCounts(
+            self.operation,
+            self.order,
+            self.add * factor,
+            self.sub * factor,
+            self.mul * factor,
+            self.div * factor,
+            self.sqrt * factor,
+        )
+
+    def _renamed(self, operation: str, order: int) -> "SeriesOperationCounts":
+        return SeriesOperationCounts(
+            operation, order, self.add, self.sub, self.mul, self.div, self.sqrt
+        )
+
+
+def series_newton_orders(order: int) -> tuple:
+    """Truncation-order schedule of the Newton iterations on series.
+
+    An iterate correct through order ``n`` becomes correct through
+    ``2 n + 1`` after one Newton pass, so starting from the exact head
+    (order 0) the schedule is ``1, 3, 7, ...`` clipped at ``order``.
+    """
+    orders = []
+    n = 0
+    while n < order:
+        n = min(2 * n + 1, order)
+        orders.append(n)
+    return tuple(orders)
+
+
+@lru_cache(maxsize=None)
+def series_counts(operation: str, order: int) -> SeriesOperationCounts:
+    """Multiple double operation counts of one series operation.
+
+    Supported operations: ``add``, ``sub``, ``scale`` (coefficient-wise
+    scalar multiply), ``mul`` (Cauchy product), ``reciprocal``, ``div``,
+    ``sqrt``, ``exp`` and ``log``, all between series truncated at
+    ``order``.
+    """
+    if order < 0:
+        raise ValueError("the truncation order must be nonnegative")
+    K = order
+    terms = K + 1
+    if operation == "add":
+        return SeriesOperationCounts("add", K, add=terms)
+    if operation == "sub":
+        return SeriesOperationCounts("sub", K, sub=terms)
+    if operation == "scale":
+        return SeriesOperationCounts("scale", K, mul=terms)
+    if operation == "mul":
+        return SeriesOperationCounts(
+            "mul", K, mul=terms * (K + 2) / 2.0, add=K * terms / 2.0
+        )
+    if operation == "reciprocal":
+        # one exact head division, then y <- y * (2 - x y) per pass
+        total = SeriesOperationCounts("reciprocal", K, div=1.0)
+        for target in series_newton_orders(K):
+            total = total + series_counts("mul", target).scaled_ops(2.0)
+            total = total + SeriesOperationCounts("reciprocal", target, sub=target + 1.0)
+        return total._renamed("reciprocal", K)
+    if operation == "div":
+        return (
+            series_counts("reciprocal", K) + series_counts("mul", K)
+        )._renamed("div", K)
+    if operation == "sqrt":
+        # one head square root, then y <- (y + x / y) / 2 per pass
+        total = SeriesOperationCounts("sqrt", K, sqrt=1.0)
+        for target in series_newton_orders(K):
+            total = total + series_counts("div", target)
+            total = total + SeriesOperationCounts(
+                "sqrt", target, add=target + 1.0, mul=target + 1.0
+            )
+        return total._renamed("sqrt", K)
+    if operation == "exp":
+        # y <- y * (1 + x - log y) per pass (head exp excluded)
+        total = SeriesOperationCounts("exp", K)
+        for target in series_newton_orders(K):
+            total = total + series_counts("log", target)
+            total = total + SeriesOperationCounts(
+                "exp", target, sub=target + 1.0, add=target + 1.0
+            )
+            total = total + series_counts("mul", target)
+        return total._renamed("exp", K)
+    if operation == "log":
+        # log x = log c_0 + integral of x' / x (head log excluded)
+        if K == 0:
+            return SeriesOperationCounts("log", 0)
+        total = SeriesOperationCounts("log", K, mul=float(K))  # derivative
+        total = total + series_counts("div", K - 1)
+        total = total + SeriesOperationCounts("log", K, div=float(K))  # integral
+        return total._renamed("log", K)
+    raise ValueError(f"unknown series operation {operation!r}")
+
+
+def series_flops(operation: str, order: int, limbs: int, source: str = "paper") -> float:
+    """Double precision flop count of one series operation at a
+    precision, using the Table 1 multipliers (or the measured ones)."""
+    return series_counts(operation, order).flops(limbs, source)
+
+
+def series_cost_table(order: int, limb_counts=(1, 2, 4, 8), source: str = "paper"):
+    """Flop costs of every series operation at one truncation order.
+
+    Returns a dict mapping operation name to a dict with the multiple
+    double operation total and the per-precision double flop counts,
+    the series analogue of :func:`cost_table`.
+    """
+    rows = {}
+    for operation in SERIES_OPERATIONS:
+        counts = series_counts(operation, order)
+        rows[operation] = {
+            "md_operations": counts.md_operations,
+            **{m: counts.flops(m, source) for m in limb_counts},
         }
     return rows

@@ -11,7 +11,16 @@
 """
 
 from . import costmodel, experiments, model, paper_data, report
-from .costmodel import back_substitution_trace, lstsq_trace, problem_bytes, qr_trace
+from .costmodel import (
+    back_substitution_trace,
+    lstsq_trace,
+    matrix_series_trace,
+    newton_series_trace,
+    pade_trace,
+    path_step_trace,
+    problem_bytes,
+    qr_trace,
+)
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .model import DEFAULT_ILP, PerformanceModel, TimedRun
 
@@ -25,6 +34,10 @@ __all__ = [
     "back_substitution_trace",
     "lstsq_trace",
     "problem_bytes",
+    "matrix_series_trace",
+    "newton_series_trace",
+    "pade_trace",
+    "path_step_trace",
     "PerformanceModel",
     "TimedRun",
     "DEFAULT_ILP",

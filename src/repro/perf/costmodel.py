@@ -19,11 +19,20 @@ from ..core.back_substitution import (
     BS_UPDATE_EFFICIENCY,
     TILE_INVERSION_EFFICIENCY,
 )
-from ..core.least_squares import STAGE_APPLY_QT
+from ..core.least_squares import STAGE_APPLY_QT, _default_tile_size, resolve_tile_sizes
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 
-__all__ = ["qr_trace", "back_substitution_trace", "lstsq_trace", "problem_bytes"]
+__all__ = [
+    "qr_trace",
+    "back_substitution_trace",
+    "lstsq_trace",
+    "problem_bytes",
+    "matrix_series_trace",
+    "newton_series_trace",
+    "pade_trace",
+    "path_step_trace",
+]
 
 
 def _ceil_div(a: int, b: int) -> int:
@@ -243,3 +252,192 @@ def problem_bytes(rows, cols, limbs, complex_data=False, with_q=True) -> float:
     if with_q:
         total += md_bytes(rows * rows + rows * cols, limbs, complex_data)
     return total
+
+
+# ---------------------------------------------------------------------------
+# power series / Padé / path tracking workloads (repro.series)
+# ---------------------------------------------------------------------------
+
+#: The tile defaults of the series solvers are the numeric drivers'
+#: own rule — sharing it is what keeps the traces launch-identical.
+_series_tiles = resolve_tile_sizes
+
+
+def matrix_series_trace(
+    dimension,
+    order,
+    limbs,
+    *,
+    matrix_terms=1,
+    tile_size=None,
+    bs_tile_size=None,
+    device="V100",
+    complex_data=False,
+    trace=None,
+):
+    """Analytic trace of a linearized block Toeplitz series solve.
+
+    Mirrors :func:`repro.series.matrix_series.solve_matrix_series`
+    launch for launch: one blocked QR of the head matrix, then one
+    right-hand-side convolution (when earlier orders couple in), one
+    ``Q^H r`` product and one tiled back substitution per series order.
+    ``matrix_terms`` is the number of matrix series coefficients
+    (1 for a constant Jacobian head).
+    """
+    n = dimension
+    tile_size, bs_tile_size = _series_tiles(n, tile_size, bs_tile_size)
+    if trace is None:
+        trace = KernelTrace(
+            device, label=f"matrix series model dim={n} order={order}"
+        )
+    qr_trace(n, n, tile_size, limbs, device, complex_data, trace=trace)
+    for k in range(order + 1):
+        terms = min(k, matrix_terms - 1)
+        if terms > 0:
+            trace.add(
+                "series_convolve",
+                stages.STAGE_SERIES_CONVOLVE,
+                blocks=max(1, _ceil_div(n, tile_size)),
+                threads_per_block=tile_size,
+                limbs=limbs,
+                tally=stages.tally_series_convolution(n, terms, complex_data),
+                bytes_read=md_bytes(terms * (n * n + n) + n, limbs, complex_data),
+                bytes_written=md_bytes(n, limbs, complex_data),
+            )
+        trace.add(
+            "apply_qt",
+            STAGE_APPLY_QT,
+            blocks=max(1, _ceil_div(n, tile_size)),
+            threads_per_block=tile_size,
+            limbs=limbs,
+            tally=stages.tally_matvec(n, n, complex_data),
+            bytes_read=md_bytes(n * n + n, limbs, complex_data),
+            bytes_written=md_bytes(n, limbs, complex_data),
+        )
+        back_substitution_trace(
+            n // bs_tile_size, bs_tile_size, limbs, device, complex_data, trace=trace
+        )
+    return trace
+
+
+def newton_series_trace(
+    dimension,
+    order,
+    limbs,
+    *,
+    tile_size=None,
+    bs_tile_size=None,
+    device="V100",
+    trace=None,
+):
+    """Analytic trace of the order-by-order series Newton staircase.
+
+    Mirrors :func:`repro.series.newton.newton_series`: one blocked QR of
+    the Jacobian head, then one ``Q^H r`` product and one tiled back
+    substitution per series order ``1 .. order``.  The residual
+    convolutions happen in scalar series arithmetic on the host side of
+    the simulation; their multiple double operation counts are
+    catalogued separately by :func:`repro.md.opcounts.series_counts`.
+    """
+    n = dimension
+    tile_size, bs_tile_size = _series_tiles(n, tile_size, bs_tile_size)
+    if trace is None:
+        trace = KernelTrace(
+            device, label=f"newton series model dim={n} order={order}"
+        )
+    qr_trace(n, n, tile_size, limbs, device, complex_data=False, trace=trace)
+    for _ in range(order):
+        trace.add(
+            "apply_qt",
+            STAGE_APPLY_QT,
+            blocks=max(1, _ceil_div(n, tile_size)),
+            threads_per_block=tile_size,
+            limbs=limbs,
+            tally=stages.tally_matvec(n, n),
+            bytes_read=md_bytes(n * n + n, limbs),
+            bytes_written=md_bytes(n, limbs),
+        )
+        back_substitution_trace(
+            n // bs_tile_size, bs_tile_size, limbs, device, trace=trace
+        )
+    return trace
+
+
+def pade_trace(
+    numerator_degree,
+    denominator_degree,
+    limbs,
+    *,
+    tile_size=None,
+    device="V100",
+    complex_data=False,
+    trace=None,
+):
+    """Analytic trace of one ``[L/M]`` Padé construction.
+
+    Mirrors :func:`repro.series.pade.pade`: the ``M``-by-``M`` Hankel
+    system is solved with the least squares solver (QR plus back
+    substitution); an ``M = 0`` approximant needs no solve at all.
+    """
+    M = denominator_degree
+    if trace is None:
+        trace = KernelTrace(
+            device,
+            label=f"pade model [{numerator_degree}/{M}]",
+        )
+    if M == 0:
+        return trace
+    if tile_size is None:
+        tile_size = _default_tile_size(M)
+    qr, bs = lstsq_trace(M, M, tile_size, limbs, device, complex_data)
+    trace.extend(qr)
+    trace.extend(bs)
+    return trace
+
+
+def path_step_trace(
+    dimension,
+    order,
+    limbs,
+    *,
+    tile_size=None,
+    bs_tile_size=None,
+    numerator_degree=None,
+    denominator_degree=None,
+    device="V100",
+    trace=None,
+):
+    """Analytic trace of one adaptive path tracking step.
+
+    One series Newton expansion of the local solution plus one Padé
+    construction per solution component, the work
+    :func:`repro.series.tracker.track_path` performs (at one precision)
+    per accepted or rejected step.
+    """
+    if numerator_degree is None:
+        numerator_degree = (order - 1) // 2
+    if denominator_degree is None:
+        denominator_degree = (order - 1) // 2
+    if trace is None:
+        trace = KernelTrace(
+            device,
+            label=f"path step model dim={dimension} order={order}",
+        )
+    newton_series_trace(
+        dimension,
+        order,
+        limbs,
+        tile_size=tile_size,
+        bs_tile_size=bs_tile_size,
+        device=device,
+        trace=trace,
+    )
+    for _ in range(dimension):
+        pade_trace(
+            numerator_degree,
+            denominator_degree,
+            limbs,
+            device=device,
+            trace=trace,
+        )
+    return trace

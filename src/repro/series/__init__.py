@@ -1,0 +1,51 @@
+"""Power series, Padé approximants and path tracking workloads.
+
+This subpackage assembles the paper's motivating application (Section
+1.1) on top of the multiple double least squares stack:
+
+* :mod:`repro.series.truncated` — truncated power series arithmetic
+  over multiple double coefficients (Cauchy products, Newton-iteration
+  reciprocal / sqrt / exp / log, calculus, evaluation, convergence
+  diagnostics);
+* :mod:`repro.series.matrix_series` — linearized block Toeplitz series
+  solves: one :mod:`repro.core` solve per series order against the
+  head matrix;
+* :mod:`repro.series.newton` — Newton's method on power series for
+  user-supplied polynomial systems (callable residual + Jacobian);
+* :mod:`repro.series.pade` — ``[L/M]`` Padé approximants via the least
+  squares solver on the ill-conditioned Hankel systems;
+* :mod:`repro.series.tracker` — the adaptive-precision path tracker
+  that escalates d → dd → qd → od when the error estimates degrade and
+  reports predicted GPU cost through :mod:`repro.perf`.
+
+The per-operation costs of the series arithmetic are catalogued in
+:func:`repro.md.opcounts.series_counts`; the kernel-level cost of the
+solver-backed stages is produced by the analytic hooks in
+:mod:`repro.perf.costmodel` (``matrix_series_trace``,
+``newton_series_trace``, ``pade_trace``, ``path_step_trace``).
+"""
+
+from .matrix_series import (
+    MatrixSeriesSolveResult,
+    series_from_vectors,
+    solve_matrix_series,
+)
+from .newton import NewtonSeriesResult, newton_series, newton_series_quadratic
+from .pade import PadeApproximant, pade
+from .tracker import PathResult, PathStep, track_path
+from .truncated import TruncatedSeries
+
+__all__ = [
+    "TruncatedSeries",
+    "MatrixSeriesSolveResult",
+    "solve_matrix_series",
+    "series_from_vectors",
+    "NewtonSeriesResult",
+    "newton_series",
+    "newton_series_quadratic",
+    "PadeApproximant",
+    "pade",
+    "PathStep",
+    "PathResult",
+    "track_path",
+]

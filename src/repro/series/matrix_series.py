@@ -1,0 +1,194 @@
+"""Linearized block-Toeplitz power series solves.
+
+A matrix series ``A(t) = A_0 + A_1 t + ... `` acting on an unknown
+vector series ``x(t)`` produces the block *lower triangular Toeplitz*
+system the paper's Section 1.1 describes: order ``k`` of
+``A(t) x(t) = b(t)`` reads
+
+    ``A_0 x_k = b_k - sum_{j=1..k} A_j x_{k-j}``.
+
+Solving it therefore takes **one linear solve per series order, always
+against the head matrix** ``A_0``.  This module factors ``A_0`` once
+with the blocked Householder QR of :mod:`repro.core` and then performs
+one ``Q^H r`` product plus one tiled back substitution per order — the
+same per-order kernel sequence as :func:`repro.core.least_squares.lstsq`
+— while the right-hand-side convolutions are recorded as their own
+kernel stage (:data:`repro.core.stages.STAGE_SERIES_CONVOLVE`).
+
+The analytic twin of the trace produced here is
+:func:`repro.perf.costmodel.matrix_series_trace`; the test-suite checks
+that both agree launch by launch, the same contract the QR and back
+substitution traces obey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import stages
+from ..core.back_substitution import tiled_back_substitution
+from ..core.blocked_qr import blocked_qr
+from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
+from ..core.stages import ceil_div
+from ..gpu.kernel import KernelTrace
+from ..gpu.memory import md_bytes
+from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
+from ..vec.mdarray import MDArray
+from .truncated import TruncatedSeries
+
+__all__ = ["MatrixSeriesSolveResult", "solve_matrix_series", "series_from_vectors"]
+
+
+@dataclass
+class MatrixSeriesSolveResult:
+    """Series solution of ``A(t) x(t) = b(t)`` with its kernel trace."""
+
+    #: series coefficients of the solution, one ``(n,)`` array per order
+    coefficients: list
+    trace: KernelTrace
+    tile_size: int
+    bs_tile_size: int
+
+    @property
+    def order(self) -> int:
+        return len(self.coefficients) - 1
+
+    @property
+    def dimension(self) -> int:
+        return self.coefficients[0].shape[0]
+
+    def series(self) -> list:
+        """One :class:`TruncatedSeries` per solution component."""
+        return series_from_vectors(self.coefficients)
+
+    def component(self, index: int) -> TruncatedSeries:
+        """The series of one solution component."""
+        return self.series()[index]
+
+
+def series_from_vectors(vectors) -> list:
+    """Transpose a list of per-order ``(n,)`` coefficient vectors into a
+    list of ``n`` :class:`TruncatedSeries`."""
+    vectors = list(vectors)
+    if not vectors:
+        raise ValueError("need at least the order-zero coefficient vector")
+    n = vectors[0].shape[0]
+    limbs = vectors[0].limbs
+    return [
+        TruncatedSeries([v.to_multidouble(i) for v in vectors], limbs)
+        for i in range(n)
+    ]
+
+
+def _normalize_matrix_coefficients(matrix_coefficients):
+    """Accept a single head matrix or a list of per-order matrices."""
+    if isinstance(matrix_coefficients, (MDArray, MDComplexArray)):
+        matrix_coefficients = [matrix_coefficients]
+    matrix_coefficients = list(matrix_coefficients)
+    if not matrix_coefficients:
+        raise ValueError("need at least the head matrix A_0")
+    head = matrix_coefficients[0]
+    rows, cols = head.shape
+    if rows != cols:
+        raise ValueError("matrix series solves expect square matrices")
+    for coefficient in matrix_coefficients[1:]:
+        if coefficient.shape != head.shape:
+            raise ValueError("all matrix series coefficients must share the shape")
+        if coefficient.limbs != head.limbs:
+            raise ValueError("all matrix series coefficients must share the precision")
+    return matrix_coefficients
+
+
+def solve_matrix_series(
+    matrix_coefficients,
+    rhs_coefficients,
+    *,
+    tile_size=None,
+    bs_tile_size=None,
+    device="V100",
+) -> MatrixSeriesSolveResult:
+    """Solve ``A(t) x(t) = b(t)`` order by order.
+
+    Parameters
+    ----------
+    matrix_coefficients:
+        The series coefficients ``[A_0, A_1, ...]`` of the matrix (each
+        an ``(n, n)`` :class:`~repro.vec.mdarray.MDArray`), or a single
+        head matrix ``A_0`` for a constant (Jacobian-head) system.
+    rhs_coefficients:
+        The series coefficients ``[b_0, b_1, ..., b_K]`` of the right
+        hand side (each an ``(n,)`` array); their count fixes the
+        truncation order ``K`` of the solution.
+    tile_size:
+        Panel width of the one-off QR factorization of ``A_0``
+        (defaults as in :func:`repro.core.least_squares.lstsq`).
+    bs_tile_size:
+        Tile size of the per-order back substitutions (defaults to
+        ``tile_size``).
+    device:
+        Simulated device the kernel launches are attributed to.
+    """
+    matrix_coefficients = _normalize_matrix_coefficients(matrix_coefficients)
+    rhs_coefficients = list(rhs_coefficients)
+    if not rhs_coefficients:
+        raise ValueError("need at least the order-zero right-hand side")
+    head = matrix_coefficients[0]
+    n = head.shape[0]
+    for rhs in rhs_coefficients:
+        if rhs.shape[0] != n:
+            raise ValueError("right-hand side length does not match the matrix")
+    tile_size, bs_tile_size = resolve_tile_sizes(n, tile_size, bs_tile_size)
+
+    order = len(rhs_coefficients) - 1
+    complex_data = isinstance(head, MDComplexArray)
+    limbs = head.limbs
+
+    qr = blocked_qr(head, tile_size, device=device)
+    q_conjugate = linalg.conjugate_transpose(qr.Q)
+    upper = qr.R[:n, :n]
+
+    trace = KernelTrace(
+        device, label=f"matrix series solve dim={n} order={order}"
+    )
+    trace.extend(qr.trace)
+
+    solution = []
+    for k in range(order + 1):
+        rhs = rhs_coefficients[k]
+        terms = min(k, len(matrix_coefficients) - 1)
+        if terms > 0:
+            for j in range(1, terms + 1):
+                rhs = rhs - linalg.matvec(matrix_coefficients[j], solution[k - j])
+            trace.add(
+                "series_convolve",
+                stages.STAGE_SERIES_CONVOLVE,
+                blocks=max(1, ceil_div(n, tile_size)),
+                threads_per_block=tile_size,
+                limbs=limbs,
+                tally=stages.tally_series_convolution(n, terms, complex_data),
+                bytes_read=md_bytes(terms * (n * n + n) + n, limbs, complex_data),
+                bytes_written=md_bytes(n, limbs, complex_data),
+            )
+        qhb = linalg.matvec(q_conjugate, rhs)
+        trace.add(
+            "apply_qt",
+            STAGE_APPLY_QT,
+            blocks=max(1, ceil_div(n, tile_size)),
+            threads_per_block=tile_size,
+            limbs=limbs,
+            tally=stages.tally_matvec(n, n, complex_data),
+            bytes_read=md_bytes(n * n + n, limbs, complex_data),
+            bytes_written=md_bytes(n, limbs, complex_data),
+        )
+        bs = tiled_back_substitution(
+            upper, qhb[:n], bs_tile_size, device=device, trace=trace
+        )
+        solution.append(bs.x)
+
+    return MatrixSeriesSolveResult(
+        coefficients=solution,
+        trace=trace,
+        tile_size=tile_size,
+        bs_tile_size=bs_tile_size,
+    )

@@ -1,0 +1,302 @@
+"""Adaptive-precision Padé path tracking.
+
+This is the paper's motivating application assembled end to end: a
+robust tracker for a solution path ``x(t)``, ``t in [t_0, t_end]``, of a
+polynomial homotopy ``F(x, t) = 0``.  At the current point the local
+solution is developed as a power series
+(:func:`repro.series.newton.newton_series` — one multiple double solve
+against the Jacobian head per order), summed with Padé approximants
+(:func:`repro.series.pade.pade` — one ill-conditioned Hankel least
+squares solve per component), and the step size follows from the
+approximants' defect term.
+
+Two a posteriori error estimates control the step:
+
+* the **truncation estimate** — the Padé defect extrapolated to the
+  trial step — shrinks with the step size and governs *step control*;
+* the **precision estimate** — the working precision's unit roundoff
+  times the series' coefficient condition number
+  (:meth:`~repro.series.truncated.TruncatedSeries.coefficient_condition`)
+  — does *not* shrink with the step size.  When it degrades past the
+  error budget (or the coefficient noise floor keeps the truncation
+  estimate from converging while the step collapses), the tracker
+  *escalates the precision* along the ladder d → dd → qd → od and
+  re-expands, which is exactly the scenario in which the paper argues
+  multiprecision adds significant value.
+
+The predicted GPU cost of every step is reported through the analytic
+cost model (:func:`repro.perf.costmodel.path_step_trace` timed by
+:class:`repro.perf.model.PerformanceModel`), so a tracked path yields
+the same kind of kernel-time accounting as the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.least_squares import lstsq
+from ..md.constants import get_precision
+from ..md.number import MultiDouble
+from ..vec.mdarray import MDArray
+from .newton import _coerce_jacobian, _coerce_residual, newton_series
+from .pade import pade
+from .truncated import TruncatedSeries
+
+__all__ = ["PathStep", "PathResult", "track_path"]
+
+#: Fraction of the error budget granted to each of the two estimates.
+_BUDGET_SPLIT = 0.5
+
+#: Safety factor between the Padé pole estimate and the accepted step.
+_POLE_SAFETY = 0.5
+
+
+@dataclass
+class PathStep:
+    """One accepted step of the tracker."""
+
+    #: parameter value the step started from
+    t: float
+    #: accepted step size
+    step: float
+    #: precision the step was accepted at
+    precision: str
+    limbs: int
+    #: Padé truncation estimate at the accepted step
+    truncation_error: float
+    #: roundoff-noise estimate at the accepted step
+    precision_noise: float
+    #: precision escalations performed while attempting this step
+    escalations: int
+    #: predicted kernel milliseconds of all expansions tried (cost model)
+    model_ms: float
+    #: leading limbs of the accepted new point
+    point: tuple
+
+
+@dataclass
+class PathResult:
+    """A tracked path with its per-step records and cost accounting."""
+
+    steps: list = field(default_factory=list)
+    #: the final point, one :class:`MultiDouble` per component
+    final_point: list = field(default_factory=list)
+    final_t: float = 0.0
+    #: whether ``t_end`` was reached within the step budget
+    reached: bool = False
+    #: total precision escalations over the whole path
+    escalations: int = 0
+    #: precision names used along the path, in first-use order
+    precisions_used: tuple = ()
+    #: predicted kernel milliseconds of the whole path (cost model)
+    total_model_ms: float = 0.0
+    device: str = "V100"
+
+    @property
+    def step_count(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_precision(self) -> str:
+        return self.steps[-1].precision if self.steps else ""
+
+
+def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, iterations=2):
+    """Polish a predicted point with scalar Newton steps at fixed ``t``."""
+    n = len(heads)
+    limbs = prec.limbs
+    for _ in range(iterations):
+        x = [TruncatedSeries([h], prec) for h in heads]
+        t = TruncatedSeries([MultiDouble(t_value, prec)], prec)
+        residuals = _coerce_residual(system(x, t), n, 0, prec)
+        matrix = _coerce_jacobian(jacobian(list(heads), t_value), n, limbs)
+        rhs = MDArray.from_multidoubles(
+            [-r.coefficient(0) for r in residuals], limbs
+        )
+        update = lstsq(matrix, rhs, tile_size=tile_size, device=device).x
+        heads = [heads[i] + update.to_multidouble(i) for i in range(n)]
+    return heads
+
+
+def track_path(
+    system,
+    jacobian,
+    start,
+    *,
+    t_start: float = 0.0,
+    t_end: float = 1.0,
+    order: int = 8,
+    tol: float = 1e-8,
+    precision_ladder=(1, 2, 4, 8),
+    numerator_degree=None,
+    denominator_degree=None,
+    initial_step=None,
+    min_step: float = 1e-10,
+    max_steps: int = 64,
+    tile_size=None,
+    correct: bool = True,
+    device: str = "V100",
+) -> PathResult:
+    """Track a solution path of ``F(x, t) = 0`` from ``t_start`` to ``t_end``.
+
+    Parameters
+    ----------
+    system:
+        Callable ``system(x, t) -> residuals`` evaluated with truncated
+        series arithmetic, as in :func:`repro.series.newton.newton_series`
+        (``t`` is the *global* parameter series).
+    jacobian:
+        Callable ``jacobian(x0, t0) -> J`` returning the Jacobian of
+        ``F`` with respect to ``x`` at the point ``x0``, ``t = t0``.
+    start:
+        The solution at ``t = t_start``.
+    order:
+        Truncation order of the local series expansions.
+    tol:
+        Per-step error budget; half is granted to the Padé truncation
+        estimate (step control), half to the roundoff-noise estimate
+        (precision control).
+    precision_ladder:
+        Limb counts the tracker may escalate through, in order.
+    numerator_degree, denominator_degree:
+        Padé degrees ``[L/M]`` (both default to ``(order - 1) // 2`` so
+        the defect coefficient is always available).
+    initial_step:
+        First trial step (defaults to the full remaining distance).
+    min_step:
+        Smallest step the tracker will try before blaming the working
+        precision and escalating.
+    max_steps:
+        Step budget; tracking stops (with ``reached = False``) once spent.
+    correct:
+        Polish every predicted point with two scalar Newton iterations
+        (recommended; keeps the expansion points on the path).
+    device:
+        Simulated device for the cost model accounting.
+    """
+    if not precision_ladder:
+        raise ValueError("the precision ladder must not be empty")
+    if order < 2:
+        raise ValueError("path tracking needs series of order >= 2")
+    if numerator_degree is None:
+        numerator_degree = (order - 1) // 2
+    if denominator_degree is None:
+        denominator_degree = (order - 1) // 2
+    if numerator_degree + denominator_degree >= order:
+        raise ValueError(
+            "the Padé degrees must satisfy L + M + 1 <= order so the "
+            "defect coefficient exists"
+        )
+
+    from ..perf.costmodel import path_step_trace
+    from ..perf.model import PerformanceModel
+
+    model = PerformanceModel(device)
+    ladder = [get_precision(p).limbs for p in precision_ladder]
+    rung = 0
+
+    prec = get_precision(ladder[rung])
+    heads = [MultiDouble(value, prec) for value in start]
+    n = len(heads)
+
+    result = PathResult(device=device)
+    precisions_used = [prec.name]
+    t_current = float(t_start)
+    trial_step = float(initial_step) if initial_step else None
+
+    while t_current < t_end - 1e-14 and len(result.steps) < max_steps:
+        remaining = t_end - t_current
+        step_escalations = 0
+        step_model_ms = 0.0
+
+        while True:
+            prec = get_precision(ladder[rung])
+            heads = [MultiDouble(h, prec) for h in heads]
+
+            def local_system(x, s, _t0=t_current, _prec=prec):
+                shifted = TruncatedSeries.variable(s.order, _prec, head=_t0)
+                return system(x, shifted)
+
+            expansion = newton_series(
+                local_system,
+                lambda x0, _t0=t_current: jacobian(x0, _t0),
+                heads,
+                order,
+                prec,
+                tile_size=tile_size,
+                device=device,
+            )
+            approximants = [
+                pade(s, numerator_degree, denominator_degree, device=device)
+                for s in expansion.series
+            ]
+            timed = model.attribute(
+                path_step_trace(
+                    n,
+                    order,
+                    prec.limbs,
+                    tile_size=tile_size,
+                    numerator_degree=numerator_degree,
+                    denominator_degree=denominator_degree,
+                    device=device,
+                )
+            )
+            step_model_ms += timed.kernel_ms
+
+            # step control on the Padé truncation estimate
+            h = min(remaining, trial_step) if trial_step else remaining
+            pole = min(a.pole_estimate() for a in approximants)
+            if pole != float("inf"):
+                h = min(h, _POLE_SAFETY * pole)
+            h = min(remaining, max(h, min_step))
+            truncation = max(a.error_estimate(h) for a in approximants)
+            while truncation > _BUDGET_SPLIT * tol and h > min_step:
+                h = max(h / 2.0, min_step)
+                truncation = max(a.error_estimate(h) for a in approximants)
+
+            # precision control on the coefficient-condition estimate
+            noise = prec.eps * max(
+                s.coefficient_condition(h) * max(abs(float(s.evaluate(h))), 1.0)
+                for s in expansion.series
+            )
+            converged = truncation <= _BUDGET_SPLIT * tol
+            clean = noise <= _BUDGET_SPLIT * tol
+            if (clean and converged) or rung == len(ladder) - 1:
+                break
+            rung += 1
+            step_escalations += 1
+            next_name = get_precision(ladder[rung]).name
+            if next_name not in precisions_used:
+                precisions_used.append(next_name)
+
+        # advance to the predicted point
+        new_heads = [a.evaluate(h) for a in approximants]
+        t_next = t_current + h
+        if correct:
+            new_heads = _newton_correct(
+                system, jacobian, new_heads, t_next, prec, tile_size, device
+            )
+        result.steps.append(
+            PathStep(
+                t=t_current,
+                step=h,
+                precision=prec.name,
+                limbs=prec.limbs,
+                truncation_error=truncation,
+                precision_noise=noise,
+                escalations=step_escalations,
+                model_ms=step_model_ms,
+                point=tuple(float(value) for value in new_heads),
+            )
+        )
+        result.escalations += step_escalations
+        result.total_model_ms += step_model_ms
+        heads = new_heads
+        t_current = t_next
+        trial_step = 2.0 * h  # gentle growth for the next trial
+
+    result.final_point = list(heads)
+    result.final_t = t_current
+    result.reached = t_current >= t_end - 1e-14
+    result.precisions_used = tuple(precisions_used)
+    return result

@@ -1,0 +1,485 @@
+"""Truncated power series arithmetic over multiple double coefficients.
+
+The paper's motivating application (Section 1.1) develops the solution
+of a polynomial homotopy as a power series ``x(t) = sum_k c_k t^k``
+whose coefficients are multiple double numbers.  A
+:class:`TruncatedSeries` holds the coefficients ``c_0 .. c_K`` of such a
+series truncated at order ``K``, all at the same limb count, and
+provides the series-level arithmetic the path tracking workload needs:
+
+* ring operations — addition, subtraction, Cauchy-product
+  multiplication, integer powers;
+* Newton-iteration kernels on series — :meth:`reciprocal`
+  (``y <- y * (2 - x y)``), :meth:`sqrt` (``y <- (y + x / y) / 2``) and
+  :meth:`exp` (``y <- y * (1 + x - log y)``), each doubling the number
+  of correct coefficients per pass exactly like the scalar Newton
+  methods of :mod:`repro.md.functions` double the number of correct
+  limbs;
+* calculus — :meth:`derivative`, :meth:`integral` and :meth:`log`
+  (``log x = log c_0 + integral of x'/x``);
+* evaluation — multiple double Horner (:meth:`evaluate`) and exact
+  rational evaluation (:meth:`evaluate_fraction`) for the
+  precision-versus-error studies of the examples;
+* diagnostics — :meth:`coefficient_ratios` and
+  :meth:`coefficient_condition`, the quantities the adaptive tracker
+  (:mod:`repro.series.tracker`) monitors to decide when a computed
+  series has hit the working precision's noise floor.
+
+The per-operation multiple double operation counts of everything here
+are catalogued in :func:`repro.md.opcounts.series_counts`, which mirrors
+these loops term for term so that series workloads appear in the
+analytic cost model.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..md import functions as md_functions
+from ..md.constants import Precision, get_precision
+from ..md.number import MultiDouble
+from ..md.opcounts import series_newton_orders
+
+__all__ = ["TruncatedSeries"]
+
+#: Types accepted wherever a scalar coefficient is expected.
+_SCALAR_TYPES = (int, float, Fraction, str, MultiDouble)
+
+
+class TruncatedSeries:
+    """A power series truncated at order ``K`` with multiple double
+    coefficients ``c_0 .. c_K`` (``K + 1`` coefficients in total)."""
+
+    __slots__ = ("_coefficients", "_precision")
+
+    def __init__(self, coefficients, precision=None):
+        coefficients = list(coefficients)
+        if not coefficients:
+            raise ValueError("a truncated series needs at least one coefficient")
+        if precision is None:
+            for value in coefficients:
+                if isinstance(value, MultiDouble):
+                    precision = value.precision
+                    break
+            else:
+                precision = 2
+        prec = get_precision(precision)
+        coerced = tuple(
+            value
+            if isinstance(value, MultiDouble) and value.m == prec.limbs
+            else MultiDouble(value, prec)
+            for value in coefficients
+        )
+        object.__setattr__(self, "_coefficients", coerced)
+        object.__setattr__(self, "_precision", prec)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, order: int, precision=2) -> "TruncatedSeries":
+        prec = get_precision(precision)
+        return cls([MultiDouble(0, prec)] * (order + 1), prec)
+
+    @classmethod
+    def one(cls, order: int, precision=2) -> "TruncatedSeries":
+        return cls.constant(1, order, precision)
+
+    @classmethod
+    def constant(cls, value, order: int, precision=2) -> "TruncatedSeries":
+        prec = get_precision(precision)
+        zero = MultiDouble(0, prec)
+        return cls([MultiDouble(value, prec)] + [zero] * order, prec)
+
+    @classmethod
+    def variable(cls, order: int, precision=2, *, head=0) -> "TruncatedSeries":
+        """The series ``head + t`` (the local homotopy parameter)."""
+        prec = get_precision(precision)
+        zero = MultiDouble(0, prec)
+        coeffs = [MultiDouble(head, prec)]
+        if order >= 1:
+            coeffs.append(MultiDouble(1, prec))
+            coeffs.extend([zero] * (order - 1))
+        return cls(coeffs, prec)
+
+    @classmethod
+    def from_fractions(cls, values, precision=2) -> "TruncatedSeries":
+        """Build from exact rational coefficients (each rounded once)."""
+        prec = get_precision(precision)
+        return cls([MultiDouble(Fraction(v), prec) for v in values], prec)
+
+    @classmethod
+    def from_function(cls, coefficient, order: int, precision=2) -> "TruncatedSeries":
+        """Build from a callable ``k -> c_k``."""
+        prec = get_precision(precision)
+        return cls([coefficient(k) for k in range(order + 1)], prec)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> tuple:
+        return self._coefficients
+
+    @property
+    def precision(self) -> Precision:
+        return self._precision
+
+    @property
+    def limbs(self) -> int:
+        return self._precision.limbs
+
+    @property
+    def order(self) -> int:
+        """Truncation order ``K`` (the series carries ``K + 1`` terms)."""
+        return len(self._coefficients) - 1
+
+    def coefficient(self, k: int) -> MultiDouble:
+        """``c_k``, or an exact zero beyond the truncation order."""
+        if 0 <= k < len(self._coefficients):
+            return self._coefficients[k]
+        return MultiDouble(0, self._precision)
+
+    def __getitem__(self, k: int) -> MultiDouble:
+        return self.coefficient(k)
+
+    def __len__(self) -> int:
+        return len(self._coefficients)
+
+    def __iter__(self):
+        return iter(self._coefficients)
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def truncate(self, order: int) -> "TruncatedSeries":
+        """Drop the terms beyond ``t**order`` (pads if ``order`` exceeds
+        the current truncation order)."""
+        if order == self.order:
+            return self
+        if order < self.order:
+            return TruncatedSeries(self._coefficients[: order + 1], self._precision)
+        return self.pad(order)
+
+    def pad(self, order: int) -> "TruncatedSeries":
+        """Extend with exact zero coefficients up to ``order``."""
+        if order <= self.order:
+            return self
+        zero = MultiDouble(0, self._precision)
+        return TruncatedSeries(
+            list(self._coefficients) + [zero] * (order - self.order), self._precision
+        )
+
+    def astype(self, precision) -> "TruncatedSeries":
+        """Convert every coefficient to another precision."""
+        prec = get_precision(precision)
+        if prec.limbs == self.limbs:
+            return self
+        return TruncatedSeries(
+            [MultiDouble(c, prec) for c in self._coefficients], prec
+        )
+
+    def shift(self, powers: int) -> "TruncatedSeries":
+        """Multiply by ``t**powers`` (truncation order unchanged)."""
+        if powers < 0:
+            raise ValueError("shift expects a nonnegative power")
+        if powers == 0:
+            return self
+        zero = MultiDouble(0, self._precision)
+        coeffs = [zero] * powers + list(self._coefficients)
+        return TruncatedSeries(coeffs[: self.order + 1], self._precision)
+
+    def _coerce(self, other) -> "TruncatedSeries":
+        if isinstance(other, TruncatedSeries):
+            if other.limbs != self.limbs:
+                raise ValueError(
+                    f"precision mismatch: {self.limbs} vs {other.limbs} limbs"
+                )
+            return other
+        if isinstance(other, _SCALAR_TYPES):
+            return TruncatedSeries.constant(other, self.order, self._precision)
+        raise TypeError(f"cannot combine TruncatedSeries with {type(other)!r}")
+
+    # ------------------------------------------------------------------
+    # ring arithmetic (results truncated at the shorter operand)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return TruncatedSeries(
+            [self._coefficients[k] + other._coefficients[k] for k in range(order + 1)],
+            self._precision,
+        )
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return TruncatedSeries(
+            [self._coefficients[k] - other._coefficients[k] for k in range(order + 1)],
+            self._precision,
+        )
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        if isinstance(other, _SCALAR_TYPES):
+            return self.scale(other)
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        coeffs = []
+        for k in range(order + 1):
+            acc = self._coefficients[0] * other._coefficients[k]
+            for i in range(1, k + 1):
+                acc = acc + self._coefficients[i] * other._coefficients[k - i]
+            coeffs.append(acc)
+        return TruncatedSeries(coeffs, self._precision)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def scale(self, factor) -> "TruncatedSeries":
+        """Coefficient-wise multiplication by a scalar."""
+        factor = MultiDouble(factor, self._precision)
+        return TruncatedSeries(
+            [c * factor for c in self._coefficients], self._precision
+        )
+
+    def __neg__(self):
+        return TruncatedSeries([-c for c in self._coefficients], self._precision)
+
+    def __pos__(self):
+        return self
+
+    def __truediv__(self, other):
+        if isinstance(other, _SCALAR_TYPES):
+            inverse = MultiDouble(1, self._precision) / MultiDouble(other, self._precision)
+            return self.scale(inverse)
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return (self.truncate(order) * other.truncate(order).reciprocal()).truncate(order)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: int) -> "TruncatedSeries":
+        if not isinstance(exponent, int):
+            raise TypeError("only integer powers of a series are supported")
+        if exponent < 0:
+            return self.reciprocal() ** (-exponent)
+        result = TruncatedSeries.one(self.order, self._precision)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            e >>= 1
+            if e:
+                base = base * base
+        return result
+
+    # ------------------------------------------------------------------
+    # Newton iterations on series
+    # ------------------------------------------------------------------
+    def reciprocal(self) -> "TruncatedSeries":
+        """``1 / self`` by Newton iteration ``y <- y * (2 - x y)``.
+
+        Starting from the exact reciprocal of the head coefficient, each
+        pass doubles the number of correct series coefficients (order
+        ``n`` correct becomes ``2 n + 1``), the series analogue of the
+        limb-doubling Newton iterations in :mod:`repro.md.functions`.
+        """
+        head = self._coefficients[0]
+        if head.to_fraction() == 0:
+            raise ZeroDivisionError("reciprocal of a series with zero head term")
+        inverse = TruncatedSeries([MultiDouble(1, self._precision) / head], self._precision)
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            inverse = inverse.pad(target)
+            inverse = (inverse * (2 - (x * inverse))).truncate(target)
+        return inverse
+
+    def sqrt(self) -> "TruncatedSeries":
+        """Square root by the Newton iteration ``y <- (y + x / y) / 2``."""
+        head = self._coefficients[0]
+        if head.to_fraction() <= 0:
+            raise ValueError("series sqrt needs a positive head coefficient")
+        root = TruncatedSeries([head.sqrt()], self._precision)
+        half = MultiDouble(Fraction(1, 2), self._precision)
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            root = root.pad(target)
+            root = ((root + x / root) * half).truncate(target)
+        return root
+
+    def exp(self) -> "TruncatedSeries":
+        """Exponential by the Newton iteration ``y <- y * (1 + x - log y)``."""
+        head = self._coefficients[0]
+        result = TruncatedSeries(
+            [md_functions.exp(head, self.limbs)], self._precision
+        )
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            result = result.pad(target)
+            result = (result * (1 + (x - result.log()))).truncate(target)
+        return result
+
+    def log(self) -> "TruncatedSeries":
+        """Logarithm via ``log x = log c_0 + integral of x' / x``.
+
+        The series division inside is itself a Newton iteration
+        (:meth:`reciprocal`), so the whole scheme converges at the same
+        doubling rate as the scalar logarithm of
+        :mod:`repro.md.functions`.
+        """
+        head = self._coefficients[0]
+        if head.to_fraction() <= 0:
+            raise ValueError("series log needs a positive head coefficient")
+        if self.order == 0:
+            return TruncatedSeries(
+                [md_functions.log(head, self.limbs)], self._precision
+            )
+        quotient = self.derivative() / self.truncate(self.order - 1)
+        return quotient.integral(md_functions.log(head, self.limbs))
+
+    # ------------------------------------------------------------------
+    # calculus
+    # ------------------------------------------------------------------
+    def derivative(self) -> "TruncatedSeries":
+        """Term-wise derivative (order drops by one)."""
+        if self.order == 0:
+            return TruncatedSeries.zero(0, self._precision)
+        coeffs = [
+            self._coefficients[k] * k for k in range(1, self.order + 1)
+        ]
+        return TruncatedSeries(coeffs, self._precision)
+
+    def integral(self, constant=0) -> "TruncatedSeries":
+        """Term-wise antiderivative (order grows by one)."""
+        coeffs = [MultiDouble(constant, self._precision)]
+        for k in range(self.order + 1):
+            coeffs.append(self._coefficients[k] / (k + 1))
+        return TruncatedSeries(coeffs, self._precision)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, point) -> MultiDouble:
+        """Horner evaluation at ``point`` in the working precision."""
+        point = MultiDouble(point, self._precision)
+        total = self._coefficients[-1]
+        for coefficient in reversed(self._coefficients[:-1]):
+            total = total * point + coefficient
+        return total
+
+    def evaluate_fraction(self, point: Fraction) -> Fraction:
+        """Exact rational Horner evaluation of the stored coefficients."""
+        point = Fraction(point)
+        total = Fraction(0)
+        for coefficient in reversed(self._coefficients):
+            total = total * point + coefficient.to_fraction()
+        return total
+
+    def to_fractions(self) -> list:
+        """Exact rational values of the stored coefficients."""
+        return [c.to_fraction() for c in self._coefficients]
+
+    def to_doubles(self) -> list:
+        """Leading limbs of the coefficients."""
+        return [float(c) for c in self._coefficients]
+
+    # ------------------------------------------------------------------
+    # diagnostics for the adaptive tracker
+    # ------------------------------------------------------------------
+    def coefficient_ratios(self) -> list:
+        """Successive magnitude ratios ``|c_k| / |c_{k-1}|`` (leading
+        limbs; zero coefficients are skipped), the raw material of the
+        tracker's convergence-radius and noise-floor estimates."""
+        magnitudes = [abs(float(c)) for c in self._coefficients]
+        ratios = []
+        previous = None
+        for magnitude in magnitudes:
+            if previous not in (None, 0.0) and magnitude != 0.0:
+                ratios.append(magnitude / previous)
+            previous = magnitude if magnitude != 0.0 else previous
+        return ratios
+
+    def radius_estimate(self) -> float:
+        """Convergence-radius estimate ``1 / rho`` from the geometric
+        mean of the trailing half of the coefficient ratios.  Returns
+        ``inf`` when no usable ratios exist (e.g. a polynomial)."""
+        ratios = self.coefficient_ratios()
+        if not ratios:
+            return float("inf")
+        tail = ratios[len(ratios) // 2 :]
+        product = 1.0
+        for ratio in tail:
+            product *= ratio
+        rho = product ** (1.0 / len(tail))
+        if rho <= 0.0:
+            return float("inf")
+        return 1.0 / rho
+
+    def coefficient_condition(self, point) -> float:
+        """Condition number of evaluating the series at ``point``:
+        ``sum |c_k| |t|^k / |sum c_k t^k|`` on leading limbs.
+
+        The working precision's unit roundoff times this number bounds
+        the relative evaluation noise; the adaptive tracker escalates
+        the precision when that product exceeds the error budget."""
+        t = abs(float(point))
+        absolute = 0.0
+        power = 1.0
+        for coefficient in self._coefficients:
+            absolute += abs(float(coefficient)) * power
+            power *= t
+        value = abs(float(self.evaluate(point)))
+        if value == 0.0:
+            return float("inf") if absolute > 0.0 else 1.0
+        return absolute / value
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def allclose(self, other, tol=None) -> bool:
+        """Coefficient-wise closeness at a tolerance (defaults to a few
+        ulps of the working precision, relative to the larger head)."""
+        other = self._coerce(other)
+        if tol is None:
+            tol = 16 * self._precision.eps
+        order = min(self.order, other.order)
+        for k in range(order + 1):
+            a = self._coefficients[k].to_fraction()
+            b = other._coefficients[k].to_fraction()
+            scale = max(abs(a), abs(b), Fraction(1))
+            if abs(a - b) > Fraction(tol) * scale:
+                return False
+        return True
+
+    def __eq__(self, other):
+        try:
+            other = self._coerce(other)
+        except TypeError:
+            return NotImplemented
+        except ValueError:  # precision mismatch: unequal, not an error
+            return False
+        return (
+            self.order == other.order
+            and all(
+                a == b for a, b in zip(self._coefficients, other._coefficients)
+            )
+        )
+
+    def __hash__(self):
+        return hash((self._precision.limbs, self._coefficients))
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        head = ", ".join(f"{float(c):.6g}" for c in self._coefficients[:4])
+        ellipsis = ", ..." if self.order >= 4 else ""
+        return (
+            f"TruncatedSeries([{head}{ellipsis}], order={self.order}, "
+            f"precision={self._precision.name!r})"
+        )

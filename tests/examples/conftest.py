@@ -1,0 +1,11 @@
+"""Make the example scripts importable as modules."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+if str(EXAMPLES_DIR) not in sys.path:
+    sys.path.insert(0, str(EXAMPLES_DIR))

@@ -1,0 +1,75 @@
+"""Smoke tests for the example scripts.
+
+The examples are the workloads' user-facing narratives; these tests run
+their ``main()`` entry points at reduced sizes so that refactoring the
+scripts onto :mod:`repro.series` (or future subsystems) stays
+regression-guarded without paying for the full-size tables.
+"""
+
+from __future__ import annotations
+
+import importlib
+from fractions import Fraction
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def power_series_example():
+    return importlib.import_module("power_series_newton")
+
+
+@pytest.fixture(scope="module")
+def pade_example():
+    return importlib.import_module("pade_approximation")
+
+
+def test_power_series_newton_table(power_series_example, capsys):
+    power_series_example.main(order=6)
+    out = capsys.readouterr().out
+    assert "Power series solution up to order 6" in out
+    for label in ("double", "dd", "qd", "od"):
+        assert label in out
+    # the table rows carry two scientific-notation error columns
+    rows = [line for line in out.splitlines() if "e-" in line or "e+" in line]
+    assert len(rows) >= 4
+
+
+def test_power_series_errors_shrink_with_precision(power_series_example):
+    exact = power_series_example.exact_binomial_series(Fraction(1, 2), 6)
+    worst = {}
+    for limbs in (1, 2):
+        x1, x2 = power_series_example.series_solve(limbs, 6)
+        worst[limbs] = max(
+            abs((c.to_fraction() - e) / e) for c, e in zip(x1[1:], exact[1:])
+        )
+        assert len(x1) == len(x2) == 7
+    assert worst[2] < worst[1] or worst[1] == 0
+
+
+def test_pade_approximation_table(pade_example, capsys):
+    pade_example.main(degrees=(2, 3))
+    out = capsys.readouterr().out
+    assert "Pade approximants of log(1+x)/x" in out
+    for label in ("double", "dd", "qd", "od"):
+        assert label in out
+    assert "ill" in out  # the closing narrative is printed
+
+
+def test_pade_helpers_agree_with_exact_reference(pade_example):
+    m = 3
+    coeffs = pade_example.taylor_coefficients(2 * m + 1)
+    exact = pade_example.exact_denominator(coeffs, m)
+    approximant = pade_example.pade_approximant(coeffs, m, 8)
+    worst = max(
+        abs(q.to_fraction() - e)
+        for q, e in zip(approximant.denominator, exact)
+    )
+    assert float(worst) < 1e-100
+
+
+def test_quickstart_runs(capsys):
+    quickstart = importlib.import_module("quickstart")
+    quickstart.solve_and_report(16, 8)
+    out = capsys.readouterr().out
+    assert "Least squares problem: 16 equations, 8 unknowns" in out

@@ -1,0 +1,96 @@
+"""Linearized block Toeplitz series solves."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.md import MultiDouble, get_precision
+from repro.series import TruncatedSeries, series_from_vectors, solve_matrix_series
+from repro.vec import MDArray, linalg
+
+ORDER = 5
+
+
+def _matrix(entries, limbs):
+    flat = [MultiDouble(e, limbs) for row in entries for e in row]
+    n = len(entries)
+    return MDArray.from_multidoubles(flat, limbs).reshape(n, n)
+
+
+def _vector(entries, limbs):
+    return MDArray.from_multidoubles([MultiDouble(e, limbs) for e in entries], limbs)
+
+
+def test_constant_matrix_known_solution(md_limbs):
+    """A_0 x(t) = b(t) with exactly representable data solves exactly."""
+    limbs = md_limbs
+    a0 = _matrix([[2, 0], [1, 1]], limbs)
+    # choose the solution x_k = (2^-k, -2^-k) and build b = A_0 x exactly
+    solution = [
+        [Fraction(1, 2 ** k), -Fraction(1, 2 ** k)] for k in range(ORDER + 1)
+    ]
+    rhs = [
+        _vector([2 * x1, x1 + x2], limbs)
+        for x1, x2 in solution
+    ]
+    result = solve_matrix_series(a0, rhs, tile_size=1)
+    assert result.order == ORDER
+    assert result.dimension == 2
+    eps = get_precision(limbs).eps
+    for k, (x1, x2) in enumerate(solution):
+        assert abs(result.coefficients[k].to_multidouble(0).to_fraction() - x1) <= 16 * eps
+        assert abs(result.coefficients[k].to_multidouble(1).to_fraction() - x2) <= 16 * eps
+
+
+def test_toeplitz_coupling_residual(md_limbs):
+    """A(t) with two terms: the computed series satisfies the system."""
+    limbs = md_limbs
+    rng = np.random.default_rng(20220320)
+    a0 = MDArray.from_double(rng.standard_normal((3, 3)) + 4 * np.eye(3), limbs)
+    a1 = MDArray.from_double(rng.standard_normal((3, 3)), limbs)
+    rhs = [MDArray.from_double(rng.standard_normal(3), limbs) for _ in range(ORDER + 1)]
+    result = solve_matrix_series([a0, a1], rhs, tile_size=1)
+    eps = get_precision(limbs).eps
+    for k in range(ORDER + 1):
+        recomposed = linalg.matvec(a0, result.coefficients[k])
+        if k >= 1:
+            recomposed = recomposed + linalg.matvec(a1, result.coefficients[k - 1])
+        assert (recomposed - rhs[k]).abs().max_abs_double() <= 1e4 * eps
+
+
+def test_series_view(md_limbs):
+    a0 = _matrix([[1, 0], [0, 1]], md_limbs)
+    rhs = [_vector([k + 1, -(k + 1)], md_limbs) for k in range(3)]
+    result = solve_matrix_series(a0, rhs, tile_size=1)
+    components = result.series()
+    assert len(components) == 2
+    assert isinstance(components[0], TruncatedSeries)
+    assert components[0].coefficient(2).to_fraction() == 3
+    assert result.component(1).coefficient(0).to_fraction() == -1
+
+
+def test_series_from_vectors_round_trip():
+    vectors = [_vector([1, 2], 2), _vector([3, 4], 2)]
+    series = series_from_vectors(vectors)
+    assert series[0].to_fractions() == [1, 3]
+    assert series[1].to_fractions() == [2, 4]
+    with pytest.raises(ValueError):
+        series_from_vectors([])
+
+
+def test_input_validation():
+    a0 = _matrix([[1, 0], [0, 1]], 2)
+    rect = MDArray.zeros((3, 2), 2)
+    with pytest.raises(ValueError):
+        solve_matrix_series(rect, [_vector([1, 2, 3], 2)])
+    with pytest.raises(ValueError):
+        solve_matrix_series(a0, [])
+    with pytest.raises(ValueError):
+        solve_matrix_series(a0, [_vector([1, 2, 3], 2)])
+    with pytest.raises(ValueError):
+        solve_matrix_series([a0, MDArray.zeros((3, 3), 2)], [_vector([1, 2], 2)])
+    with pytest.raises(ValueError):
+        solve_matrix_series([], [_vector([1, 2], 2)])

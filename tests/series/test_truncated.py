@@ -1,0 +1,251 @@
+"""Truncated power series arithmetic against exact rational references."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.md import MultiDouble, get_precision
+from repro.series import TruncatedSeries
+
+ORDER = 8
+
+
+def binomial_series(alpha: Fraction, order: int) -> list:
+    """Exact Taylor coefficients of (1+t)**alpha."""
+    coefficients = [Fraction(1)]
+    for k in range(1, order + 1):
+        coefficients.append(coefficients[-1] * (alpha - (k - 1)) / k)
+    return coefficients
+
+
+def assert_matches_fractions(series, exact, limbs, scale=16):
+    eps = get_precision(limbs).eps
+    for computed, reference in zip(series.coefficients, exact):
+        bound = scale * eps * max(abs(reference), Fraction(1))
+        assert abs(computed.to_fraction() - reference) <= bound
+
+
+# ---------------------------------------------------------------------------
+# construction and structure
+# ---------------------------------------------------------------------------
+
+def test_constructors(limbs):
+    assert TruncatedSeries.zero(3, limbs).order == 3
+    one = TruncatedSeries.one(2, limbs)
+    assert one.coefficient(0).to_fraction() == 1
+    assert one.coefficient(1).to_fraction() == 0
+    t = TruncatedSeries.variable(4, limbs)
+    assert t.coefficient(1).to_fraction() == 1
+    assert t.coefficient(4).to_fraction() == 0
+    shifted = TruncatedSeries.variable(4, limbs, head=Fraction(1, 3))
+    assert shifted.coefficient(0).to_fraction() == MultiDouble(
+        Fraction(1, 3), limbs
+    ).to_fraction()
+    assert len(t) == 5
+    assert t.limbs == get_precision(limbs).limbs
+
+
+def test_coefficient_beyond_order_is_exact_zero(limbs):
+    series = TruncatedSeries([1, 2, 3], limbs)
+    assert series.coefficient(17).to_fraction() == 0
+    assert series[2].to_fraction() == 3
+
+
+def test_truncate_pad_shift(limbs):
+    series = TruncatedSeries([1, 2, 3, 4], limbs)
+    assert series.truncate(1).order == 1
+    assert series.pad(6).order == 6
+    assert series.pad(6).coefficient(6).to_fraction() == 0
+    shifted = series.shift(2)
+    assert shifted.order == 3
+    assert shifted.coefficient(0).to_fraction() == 0
+    assert shifted.coefficient(2).to_fraction() == 1
+    assert shifted.coefficient(3).to_fraction() == 2
+
+
+def test_astype_round_trip():
+    series = TruncatedSeries([Fraction(1, 3), Fraction(2, 7)], 8)
+    down = series.astype(2)
+    assert down.limbs == 2
+    assert down.astype(8).limbs == 8
+
+
+def test_precision_mismatch_raises():
+    a = TruncatedSeries([1, 2], 2)
+    b = TruncatedSeries([1, 2], 4)
+    with pytest.raises(ValueError):
+        a + b
+
+
+def test_empty_coefficients_raise():
+    with pytest.raises(ValueError):
+        TruncatedSeries([])
+
+
+# ---------------------------------------------------------------------------
+# ring arithmetic
+# ---------------------------------------------------------------------------
+
+def test_add_sub_scalars(limbs):
+    series = TruncatedSeries([1, 2, 3], limbs)
+    plus = series + 5
+    assert plus.coefficient(0).to_fraction() == 6
+    assert plus.coefficient(1).to_fraction() == 2
+    minus = 5 - series
+    assert minus.coefficient(0).to_fraction() == 4
+    assert minus.coefficient(2).to_fraction() == -3
+
+
+def test_mul_truncated_geometric(limbs):
+    # (1 - t) * (1 + t + t^2 + ...) == 1 up to the truncation order
+    geometric = TruncatedSeries([1] * (ORDER + 1), limbs)
+    one_minus_t = TruncatedSeries([1, -1], limbs).pad(ORDER)
+    product = geometric * one_minus_t
+    assert product.order == ORDER
+    assert product.coefficient(0).to_fraction() == 1
+    for k in range(1, ORDER + 1):
+        assert product.coefficient(k).to_fraction() == 0
+
+
+def test_mul_matches_exact_convolution(limbs):
+    a_exact = [Fraction(1, 3), Fraction(-2, 5), Fraction(7, 11)]
+    b_exact = [Fraction(2), Fraction(1, 7), Fraction(-3, 13)]
+    a = TruncatedSeries.from_fractions(a_exact, limbs)
+    b = TruncatedSeries.from_fractions(b_exact, limbs)
+    product = a * b
+    convolution = [
+        sum(
+            (a.coefficient(i).to_fraction() * b.coefficient(k - i).to_fraction())
+            for i in range(k + 1)
+        )
+        for k in range(3)
+    ]
+    assert_matches_fractions(product, convolution, limbs)
+
+
+def test_integer_power(limbs):
+    base = TruncatedSeries.variable(4, limbs, head=1)  # 1 + t
+    cube = base ** 3
+    assert [c.to_fraction() for c in cube.coefficients] == [1, 3, 3, 1, 0]
+    assert (base ** 0).coefficient(0).to_fraction() == 1
+
+
+def test_scale_and_negate(limbs):
+    series = TruncatedSeries([1, -2, 3], limbs)
+    scaled = series.scale(Fraction(1, 2))
+    assert scaled.coefficient(1).to_fraction() == -1
+    assert (-series).coefficient(2).to_fraction() == -3
+
+
+# ---------------------------------------------------------------------------
+# Newton iterations, at all four paper precisions
+# ---------------------------------------------------------------------------
+
+def test_reciprocal_alternating(limbs):
+    # 1 / (1 + t) = sum (-1)^k t^k, exactly representable at any precision
+    series = TruncatedSeries.variable(ORDER, limbs, head=1)
+    inverse = series.reciprocal()
+    for k in range(ORDER + 1):
+        assert inverse.coefficient(k).to_fraction() == (-1) ** k
+
+
+def test_reciprocal_zero_head_raises(limbs):
+    with pytest.raises(ZeroDivisionError):
+        TruncatedSeries.variable(3, limbs).reciprocal()
+
+
+def test_division_round_trip(limbs):
+    series = TruncatedSeries.from_fractions(
+        [Fraction(2), Fraction(1, 3), Fraction(-1, 5), Fraction(1, 7)], limbs
+    )
+    quotient = series / series
+    expected = [Fraction(1), Fraction(0), Fraction(0), Fraction(0)]
+    assert_matches_fractions(quotient, expected, limbs, scale=64)
+
+
+def test_sqrt_binomial_coefficients(limbs):
+    root = TruncatedSeries.variable(ORDER, limbs, head=1).sqrt()
+    assert_matches_fractions(root, binomial_series(Fraction(1, 2), ORDER), limbs)
+
+
+def test_sqrt_negative_head_raises(limbs):
+    with pytest.raises(ValueError):
+        TruncatedSeries([-1, 1], limbs).sqrt()
+
+
+def test_exp_of_t(limbs):
+    exponential = TruncatedSeries.variable(ORDER, limbs).exp()
+    factorial = Fraction(1)
+    expected = []
+    for k in range(ORDER + 1):
+        if k:
+            factorial *= k
+        expected.append(Fraction(1, factorial))
+    assert_matches_fractions(exponential, expected, limbs, scale=64)
+
+
+def test_log_of_one_plus_t(limbs):
+    logarithm = TruncatedSeries.variable(ORDER, limbs, head=1).log()
+    expected = [Fraction(0)] + [
+        Fraction((-1) ** (k + 1), k) for k in range(1, ORDER + 1)
+    ]
+    assert_matches_fractions(logarithm, expected, limbs, scale=64)
+
+
+def test_exp_log_round_trip(md_limbs):
+    series = TruncatedSeries.from_fractions(
+        [Fraction(1), Fraction(1, 3), Fraction(-1, 7), Fraction(2, 9)], md_limbs
+    )
+    assert series.log().exp().allclose(series, tol=256 * get_precision(md_limbs).eps)
+
+
+# ---------------------------------------------------------------------------
+# calculus and evaluation
+# ---------------------------------------------------------------------------
+
+def test_derivative_and_integral(limbs):
+    series = TruncatedSeries.from_fractions(
+        [Fraction(5), Fraction(1, 2), Fraction(1, 3), Fraction(1, 4)], limbs
+    )
+    restored = series.derivative().integral(Fraction(5))
+    assert_matches_fractions(restored, series.to_fractions(), limbs)
+
+
+def test_evaluate_matches_exact_horner(limbs):
+    series = TruncatedSeries.from_fractions(
+        [Fraction(1), Fraction(-1, 2), Fraction(1, 4)], limbs
+    )
+    point = Fraction(1, 8)
+    eps = get_precision(limbs).eps
+    exact = series.evaluate_fraction(point)
+    computed = series.evaluate(point).to_fraction()
+    assert abs(computed - exact) <= 16 * eps
+
+
+# ---------------------------------------------------------------------------
+# diagnostics
+# ---------------------------------------------------------------------------
+
+def test_radius_estimate_geometric(limbs):
+    # sum (t/2)^k has convergence radius 2
+    series = TruncatedSeries.from_fractions(
+        [Fraction(1, 2 ** k) for k in range(12)], limbs
+    )
+    assert series.radius_estimate() == pytest.approx(2.0, rel=1e-9)
+    polynomial = TruncatedSeries([3, 0, 0, 0], limbs)
+    assert polynomial.radius_estimate() == float("inf")
+
+
+def test_coefficient_condition(limbs):
+    benign = TruncatedSeries([1, 1, 1], limbs)
+    assert benign.coefficient_condition(0.5) == pytest.approx(1.0)
+    # alternating cancellation inflates the condition number
+    cancelling = TruncatedSeries([1, -1], limbs)
+    assert cancelling.coefficient_condition(0.999) > 100.0
+
+
+def test_coefficient_ratios_skip_zeros(limbs):
+    series = TruncatedSeries([1, 0, 4], limbs)
+    assert series.coefficient_ratios() == [4.0]
