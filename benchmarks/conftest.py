@@ -13,6 +13,31 @@ import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="bitrot-smoke mode: skip the heavy timing benchmarks (used "
+        "by CI together with --benchmark-disable)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "heavy: long-running timing benchmark, skipped under --quick"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--quick"):
+        return
+    skip_heavy = pytest.mark.skip(reason="--quick skips heavy timing benchmarks")
+    for item in items:
+        if "heavy" in item.keywords:
+            item.add_marker(skip_heavy)
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(20220320)

@@ -12,9 +12,11 @@ ill conditioned.
 This example computes the [m/m] Padé approximant of log(1+x)/x from its
 Taylor coefficients.  All approximant logic is delegated to
 :func:`repro.series.pade`: the Taylor coefficients are wrapped in a
-:class:`repro.series.TruncatedSeries` and the subsystem solves the
-Hankel-type system — which loses roughly two decimal digits per degree,
-so hardware doubles break down around m = 8 while double double, quad
+:class:`repro.series.TruncatedSeries` (one limb-major coefficient
+array, from which the Hankel matrix, the numerator convolution and the
+defect are gathered directly) and the subsystem solves the Hankel-type
+system — which loses roughly two decimal digits per degree, so
+hardware doubles break down around m = 8 while double double, quad
 double and octo double keep delivering accurate approximants for much
 larger degrees — with this library's least squares solver.
 

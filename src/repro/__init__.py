@@ -59,6 +59,8 @@ def __getattr__(name):
         "lstsq": ("repro.core", "lstsq"),
         "solve_upper_triangular": ("repro.core", "solve_upper_triangular"),
         "TruncatedSeries": ("repro.series", "TruncatedSeries"),
+        "VectorSeries": ("repro.series", "VectorSeries"),
+        "ScalarSeries": ("repro.series", "ScalarSeries"),
         "pade": ("repro.series", "pade"),
         "newton_series": ("repro.series", "newton_series"),
         "solve_matrix_series": ("repro.series", "solve_matrix_series"),

@@ -34,8 +34,11 @@ __all__ = [
     "SeriesOperationCounts",
     "SERIES_OPERATIONS",
     "series_newton_orders",
+    "pairwise_addition_count",
+    "pairwise_reduction_levels",
     "series_counts",
     "series_flops",
+    "series_launches",
     "series_cost_table",
 ]
 
@@ -167,12 +170,25 @@ class SeriesOperationCounts:
     """Multiple double operation counts of one truncated series
     operation at truncation order ``K`` (``K + 1`` coefficients).
 
-    The counts mirror, term for term, the loops executed by
-    :class:`repro.series.truncated.TruncatedSeries`; the scalar
-    transcendental head evaluations of ``exp`` and ``log`` (one call
-    into :mod:`repro.md.functions`, independent of the order) are
-    excluded, as they are negligible against the ``O(K^2)``
-    convolution work.
+    The counts mirror, kernel for kernel, the **batched** limb-major
+    arithmetic executed by
+    :class:`repro.series.truncated.TruncatedSeries`: elementwise
+    operations touch every coefficient once, and the Cauchy product
+    executes the full ``(K+1)²`` product grid in one launch followed
+    by a zero-padded pairwise reduction tree per output coefficient
+    (see :func:`repro.vec.linalg.cauchy_product`) — the padded zero
+    additions are counted, because the kernels really execute them.
+    The scalar reference (:class:`repro.series.reference.ScalarSeries`)
+    replays the same reduction trees (its additions match these
+    counts) but forms only the ``(K+1)(K+2)/2`` products it actually
+    needs, so the ``mul`` entry of the Cauchy product describes the
+    vectorized kernel's grid, not the reference loop.  ``launches``
+    tallies the vectorized limb-kernel launches of the batched path
+    (data-movement gathers and the scalar head operations of the
+    Newton iterations are not launches).  The scalar transcendental
+    head evaluations of ``exp`` and ``log`` (one call into
+    :mod:`repro.md.functions`, independent of the order) are excluded,
+    as they are negligible against the ``O(K^2)`` convolution work.
     """
 
     operation: str
@@ -182,6 +198,7 @@ class SeriesOperationCounts:
     mul: float = 0.0
     div: float = 0.0
     sqrt: float = 0.0
+    launches: float = 0.0
 
     @property
     def md_operations(self) -> float:
@@ -211,6 +228,7 @@ class SeriesOperationCounts:
             self.mul + other.mul,
             self.div + other.div,
             self.sqrt + other.sqrt,
+            self.launches + other.launches,
         )
 
     def scaled_ops(self, factor: float) -> "SeriesOperationCounts":
@@ -223,11 +241,19 @@ class SeriesOperationCounts:
             self.mul * factor,
             self.div * factor,
             self.sqrt * factor,
+            self.launches * factor,
         )
 
     def _renamed(self, operation: str, order: int) -> "SeriesOperationCounts":
         return SeriesOperationCounts(
-            operation, order, self.add, self.sub, self.mul, self.div, self.sqrt
+            operation,
+            order,
+            self.add,
+            self.sub,
+            self.mul,
+            self.div,
+            self.sqrt,
+            self.launches,
         )
 
 
@@ -246,6 +272,31 @@ def series_newton_orders(order: int) -> tuple:
     return tuple(orders)
 
 
+def pairwise_addition_count(n: int) -> int:
+    """Additions per element reduced by the zero-padded pairwise tree.
+
+    The reduction of :meth:`MDArray.sum <repro.vec.mdarray.MDArray.sum>`
+    halves the sequence level by level (padding an odd half with an
+    exact zero), so a length-``n`` column costs
+    ``ceil(n/2) + ceil(n/4) + ...`` additions — slightly more than the
+    ``n - 1`` of a sequential sum, in exchange for logarithmic depth.
+    """
+    total = 0
+    while n > 1:
+        n = (n + 1) // 2
+        total += n
+    return total
+
+
+def pairwise_reduction_levels(n: int) -> int:
+    """Levels (vectorized addition launches) of the pairwise tree."""
+    levels = 0
+    while n > 1:
+        n = (n + 1) // 2
+        levels += 1
+    return levels
+
+
 @lru_cache(maxsize=None)
 def series_counts(operation: str, order: int) -> SeriesOperationCounts:
     """Multiple double operation counts of one series operation.
@@ -253,40 +304,51 @@ def series_counts(operation: str, order: int) -> SeriesOperationCounts:
     Supported operations: ``add``, ``sub``, ``scale`` (coefficient-wise
     scalar multiply), ``mul`` (Cauchy product), ``reciprocal``, ``div``,
     ``sqrt``, ``exp`` and ``log``, all between series truncated at
-    ``order``.
+    ``order``.  The Cauchy product is the batched kernel of
+    :func:`repro.vec.linalg.cauchy_product`: one launch over the full
+    ``(K+1)²`` product grid, then one zero-padded pairwise reduction of
+    length ``K + 1`` per output coefficient.
     """
     if order < 0:
         raise ValueError("the truncation order must be nonnegative")
     K = order
     terms = K + 1
     if operation == "add":
-        return SeriesOperationCounts("add", K, add=terms)
+        return SeriesOperationCounts("add", K, add=terms, launches=1)
     if operation == "sub":
-        return SeriesOperationCounts("sub", K, sub=terms)
+        return SeriesOperationCounts("sub", K, sub=terms, launches=1)
     if operation == "scale":
-        return SeriesOperationCounts("scale", K, mul=terms)
+        return SeriesOperationCounts("scale", K, mul=terms, launches=1)
     if operation == "mul":
         return SeriesOperationCounts(
-            "mul", K, mul=terms * (K + 2) / 2.0, add=K * terms / 2.0
+            "mul",
+            K,
+            mul=float(terms * terms),
+            add=float(terms * pairwise_addition_count(terms)),
+            launches=1 + pairwise_reduction_levels(terms),
         )
     if operation == "reciprocal":
-        # one exact head division, then y <- y * (2 - x y) per pass
+        # one exact head division (scalar), then y <- y * (2 - x y)
+        # per pass: two Cauchy products and one elementwise subtraction
         total = SeriesOperationCounts("reciprocal", K, div=1.0)
         for target in series_newton_orders(K):
             total = total + series_counts("mul", target).scaled_ops(2.0)
-            total = total + SeriesOperationCounts("reciprocal", target, sub=target + 1.0)
+            total = total + SeriesOperationCounts(
+                "reciprocal", target, sub=target + 1.0, launches=1
+            )
         return total._renamed("reciprocal", K)
     if operation == "div":
         return (
             series_counts("reciprocal", K) + series_counts("mul", K)
         )._renamed("div", K)
     if operation == "sqrt":
-        # one head square root, then y <- (y + x / y) / 2 per pass
+        # one head square root (scalar), then y <- (y + x / y) / 2 per
+        # pass: one division, one elementwise addition, one scale
         total = SeriesOperationCounts("sqrt", K, sqrt=1.0)
         for target in series_newton_orders(K):
             total = total + series_counts("div", target)
             total = total + SeriesOperationCounts(
-                "sqrt", target, add=target + 1.0, mul=target + 1.0
+                "sqrt", target, add=target + 1.0, mul=target + 1.0, launches=2
             )
         return total._renamed("sqrt", K)
     if operation == "exp":
@@ -295,7 +357,7 @@ def series_counts(operation: str, order: int) -> SeriesOperationCounts:
         for target in series_newton_orders(K):
             total = total + series_counts("log", target)
             total = total + SeriesOperationCounts(
-                "exp", target, sub=target + 1.0, add=target + 1.0
+                "exp", target, sub=target + 1.0, add=target + 1.0, launches=2
             )
             total = total + series_counts("mul", target)
         return total._renamed("exp", K)
@@ -303,9 +365,11 @@ def series_counts(operation: str, order: int) -> SeriesOperationCounts:
         # log x = log c_0 + integral of x' / x (head log excluded)
         if K == 0:
             return SeriesOperationCounts("log", 0)
-        total = SeriesOperationCounts("log", K, mul=float(K))  # derivative
+        total = SeriesOperationCounts("log", K, mul=float(K), launches=1)  # derivative
         total = total + series_counts("div", K - 1)
-        total = total + SeriesOperationCounts("log", K, div=float(K))  # integral
+        total = total + SeriesOperationCounts(
+            "log", K, div=float(K), launches=1
+        )  # integral
         return total._renamed("log", K)
     raise ValueError(f"unknown series operation {operation!r}")
 
@@ -314,6 +378,18 @@ def series_flops(operation: str, order: int, limbs: int, source: str = "paper") 
     """Double precision flop count of one series operation at a
     precision, using the Table 1 multipliers (or the measured ones)."""
     return series_counts(operation, order).flops(limbs, source)
+
+
+def series_launches(operation: str, order: int) -> float:
+    """Vectorized limb-kernel launches of one series operation.
+
+    This is the launch-count view of the batched structure: a scalar
+    implementation needs ``O(K²)`` multiple double operations for a
+    Cauchy product, the limb-major implementation needs
+    ``1 + ceil(log2(K+1))`` launches — the number the analytic cost
+    model compares against kernel launch overheads.
+    """
+    return series_counts(operation, order).launches
 
 
 def series_cost_table(order: int, limb_counts=(1, 2, 4, 8), source: str = "paper"):

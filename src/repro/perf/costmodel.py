@@ -278,11 +278,17 @@ def matrix_series_trace(
     """Analytic trace of a linearized block Toeplitz series solve.
 
     Mirrors :func:`repro.series.matrix_series.solve_matrix_series`
-    launch for launch: one blocked QR of the head matrix, then one
-    right-hand-side convolution (when earlier orders couple in), one
-    ``Q^H r`` product and one tiled back substitution per series order.
-    ``matrix_terms`` is the number of matrix series coefficients
-    (1 for a constant Jacobian head).
+    launch for launch: one blocked QR of the head matrix, then
+
+    * for a **constant head** (``matrix_terms == 1``), whose orders
+      decouple, one *batched* ``Q^H B`` matrix-matrix launch over the
+      whole ``(n, order+1)`` right-hand-side array followed by one
+      tiled back substitution per order;
+    * for a **coupled** matrix series, one right-hand-side convolution
+      (batched over the coupling terms), one ``Q^H r`` product and one
+      tiled back substitution per series order.
+
+    ``matrix_terms`` is the number of matrix series coefficients.
     """
     n = dimension
     tile_size, bs_tile_size = _series_tiles(n, tile_size, bs_tile_size)
@@ -291,6 +297,22 @@ def matrix_series_trace(
             device, label=f"matrix series model dim={n} order={order}"
         )
     qr_trace(n, n, tile_size, limbs, device, complex_data, trace=trace)
+    if matrix_terms == 1:
+        trace.add(
+            "apply_qt_batched",
+            STAGE_APPLY_QT,
+            blocks=max(1, _ceil_div(n * (order + 1), tile_size)),
+            threads_per_block=tile_size,
+            limbs=limbs,
+            tally=stages.tally_matmul(n, n, order + 1, complex_data),
+            bytes_read=md_bytes(n * n + n * (order + 1), limbs, complex_data),
+            bytes_written=md_bytes(n * (order + 1), limbs, complex_data),
+        )
+        for _ in range(order + 1):
+            back_substitution_trace(
+                n // bs_tile_size, bs_tile_size, limbs, device, complex_data, trace=trace
+            )
+        return trace
     for k in range(order + 1):
         terms = min(k, matrix_terms - 1)
         if terms > 0:
@@ -335,9 +357,11 @@ def newton_series_trace(
     Mirrors :func:`repro.series.newton.newton_series`: one blocked QR of
     the Jacobian head, then one ``Q^H r`` product and one tiled back
     substitution per series order ``1 .. order``.  The residual
-    convolutions happen in scalar series arithmetic on the host side of
-    the simulation; their multiple double operation counts are
-    catalogued separately by :func:`repro.md.opcounts.series_counts`.
+    evaluations run in the vectorized limb-major series arithmetic on
+    the host side of the simulation; their multiple double operation
+    and launch counts are catalogued separately by
+    :func:`repro.md.opcounts.series_counts` /
+    :func:`repro.md.opcounts.series_launches`.
     """
     n = dimension
     tile_size, bs_tile_size = _series_tiles(n, tile_size, bs_tile_size)

@@ -1,4 +1,4 @@
-"""Linearized block-Toeplitz power series solves.
+"""Linearized block-Toeplitz power series solves on batched right-hand sides.
 
 A matrix series ``A(t) = A_0 + A_1 t + ... `` acting on an unknown
 vector series ``x(t)`` produces the block *lower triangular Toeplitz*
@@ -9,21 +9,32 @@ system the paper's Section 1.1 describes: order ``k`` of
 
 Solving it therefore takes **one linear solve per series order, always
 against the head matrix** ``A_0``.  This module factors ``A_0`` once
-with the blocked Householder QR of :mod:`repro.core` and then performs
-one ``Q^H r`` product plus one tiled back substitution per order — the
-same per-order kernel sequence as :func:`repro.core.least_squares.lstsq`
-— while the right-hand-side convolutions are recorded as their own
-kernel stage (:data:`repro.core.stages.STAGE_SERIES_CONVOLVE`).
+with the blocked Householder QR of :mod:`repro.core` and keeps all the
+right-hand sides in one limb-major ``(n, K+1)`` coefficient array:
+
+* for a **constant head** (one matrix coefficient) every order
+  decouples, so all the ``Q^H b_k`` products collapse into a single
+  batched matrix-matrix launch against the whole right-hand-side
+  array, followed by one tiled back substitution per order;
+* when later matrix coefficients **couple** the orders, the solve
+  walks the staircase order by order, with the right-hand-side
+  convolution ``sum_j A_j x_{k-j}`` executed as one batched launch
+  over all coupling terms (:func:`repro.vec.linalg.convolve_matvec`)
+  and recorded as its own kernel stage
+  (:data:`repro.core.stages.STAGE_SERIES_CONVOLVE`).
 
 The analytic twin of the trace produced here is
 :func:`repro.perf.costmodel.matrix_series_trace`; the test-suite checks
-that both agree launch by launch, the same contract the QR and back
+that both agree launch by launch — including the batched ``Q^H B``
+launch of the constant-head path — the same contract the QR and back
 substitution traces obey.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core import stages
 from ..core.back_substitution import tiled_back_substitution
@@ -36,6 +47,7 @@ from ..vec import linalg
 from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
 from .truncated import TruncatedSeries
+from .vector import VectorSeries
 
 __all__ = ["MatrixSeriesSolveResult", "solve_matrix_series", "series_from_vectors"]
 
@@ -45,10 +57,14 @@ class MatrixSeriesSolveResult:
     """Series solution of ``A(t) x(t) = b(t)`` with its kernel trace."""
 
     #: series coefficients of the solution, one ``(n,)`` array per order
+    #: (views into :attr:`coefficient_array`)
     coefficients: list
     trace: KernelTrace
     tile_size: int
     bs_tile_size: int
+    #: the whole solution as one batched ``(n, K+1)`` coefficient array
+    #: (``None`` for complex data, which stays on the per-order layout)
+    coefficient_array: object = None
 
     @property
     def order(self) -> int:
@@ -58,27 +74,32 @@ class MatrixSeriesSolveResult:
     def dimension(self) -> int:
         return self.coefficients[0].shape[0]
 
+    def vector_series(self) -> VectorSeries:
+        """The solution as one :class:`~repro.series.vector.VectorSeries`."""
+        if self.coefficient_array is None:
+            raise TypeError(
+                "complex solutions have no real VectorSeries view; read "
+                "the per-order coefficients instead"
+            )
+        return VectorSeries(self.coefficient_array)
+
     def series(self) -> list:
         """One :class:`TruncatedSeries` per solution component."""
-        return series_from_vectors(self.coefficients)
+        return self.vector_series().components()
 
     def component(self, index: int) -> TruncatedSeries:
         """The series of one solution component."""
-        return self.series()[index]
+        return self.vector_series().component(index)
 
 
 def series_from_vectors(vectors) -> list:
     """Transpose a list of per-order ``(n,)`` coefficient vectors into a
-    list of ``n`` :class:`TruncatedSeries`."""
+    list of ``n`` :class:`TruncatedSeries` (one limb-major stack)."""
     vectors = list(vectors)
     if not vectors:
         raise ValueError("need at least the order-zero coefficient vector")
-    n = vectors[0].shape[0]
-    limbs = vectors[0].limbs
-    return [
-        TruncatedSeries([v.to_multidouble(i) for v in vectors], limbs)
-        for i in range(n)
-    ]
+    data = np.stack([v.data for v in vectors], axis=-1)
+    return VectorSeries(MDArray(data)).components()
 
 
 def _normalize_matrix_coefficients(matrix_coefficients):
@@ -100,6 +121,37 @@ def _normalize_matrix_coefficients(matrix_coefficients):
     return matrix_coefficients
 
 
+def _normalize_rhs(rhs_coefficients, n: int):
+    """Normalize the right-hand side to its batched representation.
+
+    Accepts a :class:`VectorSeries`, one batched ``(n, K+1)`` array, or
+    the legacy list of per-order ``(n,)`` vectors.  Returns
+    ``(batched, per_order, complex_data)`` where ``batched`` is the
+    ``(n, K+1)`` array (``None`` for complex data) and ``per_order``
+    the list of ``(n,)`` columns.
+    """
+    if isinstance(rhs_coefficients, VectorSeries):
+        rhs_coefficients = rhs_coefficients.coefficients
+    if isinstance(rhs_coefficients, MDArray) and rhs_coefficients.ndim == 2:
+        if rhs_coefficients.shape[0] != n:
+            raise ValueError("right-hand side length does not match the matrix")
+        if rhs_coefficients.shape[1] < 1:
+            raise ValueError("need at least the order-zero right-hand side")
+        batched = rhs_coefficients
+        per_order = [batched[:, k] for k in range(batched.shape[1])]
+        return batched, per_order, False
+    per_order = list(rhs_coefficients)
+    if not per_order:
+        raise ValueError("need at least the order-zero right-hand side")
+    for rhs in per_order:
+        if rhs.shape[0] != n:
+            raise ValueError("right-hand side length does not match the matrix")
+    if isinstance(per_order[0], MDComplexArray):
+        return None, per_order, True
+    batched = MDArray(np.stack([v.data for v in per_order], axis=-1))
+    return batched, per_order, False
+
+
 def solve_matrix_series(
     matrix_coefficients,
     rhs_coefficients,
@@ -117,9 +169,11 @@ def solve_matrix_series(
         an ``(n, n)`` :class:`~repro.vec.mdarray.MDArray`), or a single
         head matrix ``A_0`` for a constant (Jacobian-head) system.
     rhs_coefficients:
-        The series coefficients ``[b_0, b_1, ..., b_K]`` of the right
-        hand side (each an ``(n,)`` array); their count fixes the
-        truncation order ``K`` of the solution.
+        The series coefficients of the right hand side: a batched
+        ``(n, K+1)`` :class:`MDArray` (or
+        :class:`~repro.series.vector.VectorSeries`), or the legacy list
+        ``[b_0, b_1, ..., b_K]`` of ``(n,)`` arrays; the order count
+        fixes the truncation order ``K`` of the solution.
     tile_size:
         Panel width of the one-off QR factorization of ``A_0``
         (defaults as in :func:`repro.core.least_squares.lstsq`).
@@ -130,19 +184,14 @@ def solve_matrix_series(
         Simulated device the kernel launches are attributed to.
     """
     matrix_coefficients = _normalize_matrix_coefficients(matrix_coefficients)
-    rhs_coefficients = list(rhs_coefficients)
-    if not rhs_coefficients:
-        raise ValueError("need at least the order-zero right-hand side")
     head = matrix_coefficients[0]
     n = head.shape[0]
-    for rhs in rhs_coefficients:
-        if rhs.shape[0] != n:
-            raise ValueError("right-hand side length does not match the matrix")
+    batched_rhs, rhs_list, complex_data = _normalize_rhs(rhs_coefficients, n)
     tile_size, bs_tile_size = resolve_tile_sizes(n, tile_size, bs_tile_size)
 
-    order = len(rhs_coefficients) - 1
-    complex_data = isinstance(head, MDComplexArray)
+    order = len(rhs_list) - 1
     limbs = head.limbs
+    matrix_terms = len(matrix_coefficients)
 
     qr = blocked_qr(head, tile_size, device=device)
     q_conjugate = linalg.conjugate_transpose(qr.Q)
@@ -154,41 +203,101 @@ def solve_matrix_series(
     trace.extend(qr.trace)
 
     solution = []
-    for k in range(order + 1):
-        rhs = rhs_coefficients[k]
-        terms = min(k, len(matrix_coefficients) - 1)
-        if terms > 0:
-            for j in range(1, terms + 1):
-                rhs = rhs - linalg.matvec(matrix_coefficients[j], solution[k - j])
+    if matrix_terms == 1:
+        # constant head: the orders decouple, so all Q^H b_k products
+        # run as one batched matrix-matrix launch over the whole
+        # right-hand-side array
+        if complex_data:
+            rhs_matrix = _stack_complex_columns(rhs_list)
+        else:
+            rhs_matrix = batched_rhs
+        qhb_all = linalg.matmul(q_conjugate, rhs_matrix)
+        trace.add(
+            "apply_qt_batched",
+            STAGE_APPLY_QT,
+            blocks=max(1, ceil_div(n * (order + 1), tile_size)),
+            threads_per_block=tile_size,
+            limbs=limbs,
+            tally=stages.tally_matmul(n, n, order + 1, complex_data),
+            bytes_read=md_bytes(n * n + n * (order + 1), limbs, complex_data),
+            bytes_written=md_bytes(n * (order + 1), limbs, complex_data),
+        )
+        for k in range(order + 1):
+            bs = tiled_back_substitution(
+                upper, qhb_all[:n, k], bs_tile_size, device=device, trace=trace
+            )
+            solution.append(bs.x)
+    else:
+        # coupled orders: one convolution + Q^H r + back substitution
+        # per order, the convolution batched over the coupling terms
+        if not complex_data:
+            coupling = MDArray(
+                np.stack([a.data for a in matrix_coefficients[1:]], axis=1)
+            )
+        for k in range(order + 1):
+            rhs = rhs_list[k]
+            terms = min(k, matrix_terms - 1)
+            if terms > 0:
+                if complex_data:
+                    update = linalg.matvec(matrix_coefficients[1], solution[k - 1])
+                    for j in range(2, terms + 1):
+                        update = update + linalg.matvec(
+                            matrix_coefficients[j], solution[k - j]
+                        )
+                    rhs = rhs - update
+                else:
+                    previous = MDArray(
+                        np.stack(
+                            [solution[k - j].data for j in range(1, terms + 1)],
+                            axis=1,
+                        )
+                    )
+                    rhs = rhs - linalg.convolve_matvec(
+                        MDArray(coupling.data[:, :terms]), previous
+                    )
+                trace.add(
+                    "series_convolve",
+                    stages.STAGE_SERIES_CONVOLVE,
+                    blocks=max(1, ceil_div(n, tile_size)),
+                    threads_per_block=tile_size,
+                    limbs=limbs,
+                    tally=stages.tally_series_convolution(n, terms, complex_data),
+                    bytes_read=md_bytes(terms * (n * n + n) + n, limbs, complex_data),
+                    bytes_written=md_bytes(n, limbs, complex_data),
+                )
+            qhb = linalg.matvec(q_conjugate, rhs)
             trace.add(
-                "series_convolve",
-                stages.STAGE_SERIES_CONVOLVE,
+                "apply_qt",
+                STAGE_APPLY_QT,
                 blocks=max(1, ceil_div(n, tile_size)),
                 threads_per_block=tile_size,
                 limbs=limbs,
-                tally=stages.tally_series_convolution(n, terms, complex_data),
-                bytes_read=md_bytes(terms * (n * n + n) + n, limbs, complex_data),
+                tally=stages.tally_matvec(n, n, complex_data),
+                bytes_read=md_bytes(n * n + n, limbs, complex_data),
                 bytes_written=md_bytes(n, limbs, complex_data),
             )
-        qhb = linalg.matvec(q_conjugate, rhs)
-        trace.add(
-            "apply_qt",
-            STAGE_APPLY_QT,
-            blocks=max(1, ceil_div(n, tile_size)),
-            threads_per_block=tile_size,
-            limbs=limbs,
-            tally=stages.tally_matvec(n, n, complex_data),
-            bytes_read=md_bytes(n * n + n, limbs, complex_data),
-            bytes_written=md_bytes(n, limbs, complex_data),
-        )
-        bs = tiled_back_substitution(
-            upper, qhb[:n], bs_tile_size, device=device, trace=trace
-        )
-        solution.append(bs.x)
+            bs = tiled_back_substitution(
+                upper, qhb[:n], bs_tile_size, device=device, trace=trace
+            )
+            solution.append(bs.x)
 
+    coefficient_array = None
+    if not complex_data:
+        coefficient_array = MDArray(
+            np.stack([v.data for v in solution], axis=-1)
+        )
+        solution = [coefficient_array[:, k] for k in range(order + 1)]
     return MatrixSeriesSolveResult(
         coefficients=solution,
         trace=trace,
         tile_size=tile_size,
         bs_tile_size=bs_tile_size,
+        coefficient_array=coefficient_array,
     )
+
+
+def _stack_complex_columns(rhs_list):
+    """Batch complex per-order vectors into one ``(n, K+1)`` array."""
+    real = MDArray(np.stack([v.real.data for v in rhs_list], axis=-1))
+    imag = MDArray(np.stack([v.imag.data for v in rhs_list], axis=-1))
+    return MDComplexArray(real, imag)

@@ -13,11 +13,21 @@ double solves of the paper's Section 1.1, where the leading
 coefficients must be computed most accurately because roundoff
 propagates from each order into all later ones.
 
-Unlike the hand-derived convolutions the original example script
-inlined, the residual ``F`` is evaluated here with the truncated series
-arithmetic of :class:`repro.series.truncated.TruncatedSeries`: the user
-supplies plain callables (residual and Jacobian), and the Cauchy
-products happen inside the series ring.
+The solution lives in one limb-major
+:class:`~repro.series.vector.VectorSeries` coefficient array of shape
+``(m, n, K+1)``: the residual ``F`` is evaluated with the vectorized
+truncated series arithmetic (Cauchy products through
+:func:`repro.vec.linalg.cauchy_product`), the order-``k`` right-hand
+side is one column gather from the residual coefficient arrays, and the
+solved update is written back as one column store — no per-coefficient
+scalar juggling anywhere on the staircase.
+
+``backend="reference"`` runs the identical staircase on the scalar
+loop-per-coefficient :class:`~repro.series.reference.ScalarSeries`
+arithmetic instead; both backends share the linear solves and produce
+**bit-identical** coefficients (the cross-check of
+``tests/series/test_vectorized_cross.py`` and the baseline of
+``benchmarks/bench_series_vectorized.py``).
 
 :func:`newton_series` implements the order-by-order staircase (linear
 in the order, one back substitution per order, Jacobian factored once);
@@ -30,6 +40,8 @@ solve (:mod:`repro.series.matrix_series`) per pass.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core import stages
 from ..core.back_substitution import tiled_back_substitution
@@ -44,9 +56,14 @@ from ..md.opcounts import series_newton_orders
 from ..vec import linalg
 from ..vec.mdarray import MDArray
 from .matrix_series import solve_matrix_series
+from .reference import ScalarSeries
 from .truncated import TruncatedSeries
+from .vector import VectorSeries
 
 __all__ = ["NewtonSeriesResult", "newton_series", "newton_series_quadratic"]
+
+#: Series arithmetic backends of :func:`newton_series`.
+_BACKENDS = {"vectorized": TruncatedSeries, "reference": ScalarSeries}
 
 
 @dataclass
@@ -61,6 +78,8 @@ class NewtonSeriesResult:
     #: double estimate of ``max_i |F_i(x_0, 0)|`` (how well the supplied
     #: start point satisfies the system at the expansion point)
     head_residual: float
+    #: the whole solution as one limb-major coefficient array
+    vector: VectorSeries = None
 
     @property
     def order(self) -> int:
@@ -108,7 +127,7 @@ def _coerce_jacobian(value, n: int, limbs: int):
     return matrix
 
 
-def _coerce_residual(values, n: int, order: int, prec) -> list:
+def _coerce_residual(values, n: int, order: int, prec, series_cls=TruncatedSeries) -> list:
     values = list(values)
     if len(values) != n:
         raise ValueError(
@@ -116,11 +135,20 @@ def _coerce_residual(values, n: int, order: int, prec) -> list:
         )
     out = []
     for value in values:
-        if isinstance(value, TruncatedSeries):
+        if isinstance(value, series_cls):
             out.append(value.pad(order))
         else:
-            out.append(TruncatedSeries.constant(value, order, prec))
+            out.append(series_cls.constant(value, order, prec))
     return out
+
+
+def _residual_column(residuals, k: int) -> MDArray:
+    """The negated order-``k`` coefficient of every residual component
+    as one ``(n,)`` array (a limb-major column gather)."""
+    data = np.stack(
+        [residual.coefficients.data[:, k] for residual in residuals], axis=-1
+    )
+    return MDArray(-data)
 
 
 def newton_series(
@@ -133,6 +161,7 @@ def newton_series(
     tile_size=None,
     bs_tile_size=None,
     device="V100",
+    backend="vectorized",
 ) -> NewtonSeriesResult:
     """Power series solution of ``F(x, t) = 0`` around ``t = 0``.
 
@@ -157,7 +186,16 @@ def newton_series(
     tile_size, bs_tile_size, device:
         Passed to the QR factorization and the per-order back
         substitutions, as in :func:`repro.core.least_squares.lstsq`.
+    backend:
+        ``"vectorized"`` (default) evaluates the residuals with the
+        limb-major :class:`TruncatedSeries` arithmetic;
+        ``"reference"`` replays the staircase on the scalar
+        :class:`~repro.series.reference.ScalarSeries` arithmetic.  The
+        two produce bit-identical coefficients.
     """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}")
+    series_cls = _BACKENDS[backend]
     prec = get_precision(precision)
     limbs = prec.limbs
     heads = _coerce_start(start, prec)
@@ -167,9 +205,9 @@ def newton_series(
     head_matrix = _coerce_jacobian(jacobian(list(heads)), n, limbs)
 
     # how far the supplied start point is from solving the system at t=0
-    t_head = TruncatedSeries([MultiDouble(0, prec)], prec)
-    x_head = [TruncatedSeries([h], prec) for h in heads]
-    head_residuals = _coerce_residual(system(x_head, t_head), n, 0, prec)
+    t_head = series_cls([MultiDouble(0, prec)], prec)
+    x_head = [series_cls([h], prec) for h in heads]
+    head_residuals = _coerce_residual(system(x_head, t_head), n, 0, prec, series_cls)
     head_residual = max(abs(float(r.coefficient(0))) for r in head_residuals)
 
     qr = blocked_qr(head_matrix, tile_size, device=device)
@@ -181,20 +219,32 @@ def newton_series(
     )
     trace.extend(qr.trace)
 
-    coefficients = [list(heads)]  # coefficients[k][i] = x_i's order-k term
+    solution = VectorSeries.zeros(n, order, prec)
+    solution.set_coefficient(0, MDArray.from_multidoubles(heads, limbs))
     for k in range(1, order + 1):
-        partial = [
-            TruncatedSeries(
-                [coefficients[j][i] for j in range(k)] + [MultiDouble(0, prec)],
-                prec,
+        if backend == "vectorized":
+            # partial series through order k-1 (column k still zero)
+            partial = [
+                TruncatedSeries.from_mdarray(solution.coefficients[i, : k + 1])
+                for i in range(n)
+            ]
+        else:
+            partial = [
+                ScalarSeries(
+                    [solution.coefficient(j).to_multidouble(i) for j in range(k)]
+                    + [MultiDouble(0, prec)],
+                    prec,
+                )
+                for i in range(n)
+            ]
+        t = series_cls.variable(k, prec)
+        residuals = _coerce_residual(system(partial, t), n, k, prec, series_cls)
+        if backend == "vectorized":
+            rhs = _residual_column(residuals, k)
+        else:
+            rhs = MDArray.from_multidoubles(
+                [-r.coefficient(k) for r in residuals], limbs
             )
-            for i in range(n)
-        ]
-        t = TruncatedSeries.variable(k, prec)
-        residuals = _coerce_residual(system(partial, t), n, k, prec)
-        rhs = MDArray.from_multidoubles(
-            [-r.coefficient(k) for r in residuals], limbs
-        )
         qhb = linalg.matvec(q_conjugate, rhs)
         trace.add(
             "apply_qt",
@@ -209,18 +259,15 @@ def newton_series(
         bs = tiled_back_substitution(
             upper, qhb[:n], bs_tile_size, device=device, trace=trace
         )
-        coefficients.append([bs.x.to_multidouble(i) for i in range(n)])
+        solution.set_coefficient(k, bs.x)
 
-    series = [
-        TruncatedSeries([coefficients[k][i] for k in range(order + 1)], prec)
-        for i in range(n)
-    ]
     return NewtonSeriesResult(
-        series=series,
+        series=solution.components(),
         trace=trace,
         tile_size=tile_size,
         bs_tile_size=bs_tile_size,
         head_residual=head_residual,
+        vector=solution,
     )
 
 
@@ -242,6 +289,9 @@ def newton_series_quadratic(
     :func:`repro.series.matrix_series.solve_matrix_series` and doubles
     the number of correct series coefficients, mirroring the
     limb-doubling scalar Newton methods of :mod:`repro.md.functions`.
+    The Jacobian and residual coefficients are gathered straight from
+    the limb-major series arrays into the batched matrix/right-hand-side
+    coefficients of the solve.
 
     Parameters are as for :func:`newton_series` except ``jacobian_series``:
     a callable ``jacobian_series(x, t) -> rows`` returning the
@@ -256,41 +306,47 @@ def newton_series_quadratic(
     trace = KernelTrace(
         device, label=f"newton series (quadratic) dim={n} order={order} {prec.name}"
     )
-    solution = [TruncatedSeries([h], prec) for h in heads]
+    solution = VectorSeries.from_components(
+        [TruncatedSeries([h], prec) for h in heads]
+    )
     head_residual = None
     chosen_tile = tile_size
     chosen_bs_tile = bs_tile_size
 
     for target in series_newton_orders(order) or (0,):
-        x = [s.pad(target) for s in solution]
+        x = solution.pad(target)
+        components = x.components()
         t = TruncatedSeries.variable(target, prec)
-        residuals = _coerce_residual(system(x, t), n, target, prec)
+        residuals = _coerce_residual(system(components, t), n, target, prec)
         if head_residual is None:
             head_residual = max(abs(float(r.coefficient(0))) for r in residuals)
-        rows = jacobian_series(x, t)
+        rows = jacobian_series(components, t)
+        # pad-or-truncate every entry to exactly the staircase target so
+        # the coefficient stacks line up (user-supplied entries may
+        # carry any truncation order)
         entries = [
-            entry if isinstance(entry, TruncatedSeries)
+            entry.pad(target).truncate(target) if isinstance(entry, TruncatedSeries)
             else TruncatedSeries.constant(entry, target, prec)
             for row in rows
             for entry in row
         ]
         if len(entries) != n * n:
             raise ValueError(f"the Jacobian series must be {n}x{n}")
+        # (m, n*n, target+1): one gather for all Jacobian series entries
+        entry_data = np.stack(
+            [entry.coefficients.data for entry in entries], axis=1
+        )
         matrix_coefficients = [
-            MDArray.from_multidoubles(
-                [entry.coefficient(k) for entry in entries], limbs
-            ).reshape(n, n)
+            MDArray(entry_data[:, :, k].reshape(limbs, n, n).copy())
             for k in range(target + 1)
         ]
-        rhs_coefficients = [
-            MDArray.from_multidoubles(
-                [-r.coefficient(k) for r in residuals], limbs
-            )
-            for k in range(target + 1)
-        ]
+        rhs_data = np.stack(
+            [residual.truncate(target).coefficients.data for residual in residuals],
+            axis=1,
+        )
         solve = solve_matrix_series(
             matrix_coefficients,
-            rhs_coefficients,
+            MDArray(-rhs_data),
             tile_size=tile_size,
             bs_tile_size=bs_tile_size,
             device=device,
@@ -298,13 +354,14 @@ def newton_series_quadratic(
         trace.extend(solve.trace)
         chosen_tile = solve.tile_size
         chosen_bs_tile = solve.bs_tile_size
-        update = solve.series()
-        solution = [(x[i] + update[i]).truncate(target) for i in range(n)]
+        solution = (x + solve.vector_series()).truncate(target)
 
+    solution = solution.pad(order)
     return NewtonSeriesResult(
-        series=[s.pad(order) for s in solution],
+        series=solution.components(),
         trace=trace,
         tile_size=chosen_tile if chosen_tile is not None else _default_tile_size(n),
         bs_tile_size=chosen_bs_tile if chosen_bs_tile is not None else _default_tile_size(n),
         head_residual=head_residual if head_residual is not None else 0.0,
+        vector=solution,
     )

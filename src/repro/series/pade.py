@@ -13,10 +13,15 @@ degree, so hardware doubles break down around degree eight while the
 multiple double least squares solver (:func:`repro.core.lstsq`, used
 here) keeps delivering accurate approximants at its working precision.
 
-The numerator then follows from the convolution
-``p_k = sum_j c_{k-j} q_j``, and the *defect* — the first series
-coefficient the approximant fails to match — drives the error estimate
-the adaptive path tracker uses to choose its step size.
+The whole construction reads the series' limb-major coefficient array
+directly: the Hankel matrix and its right-hand side are **gathered**
+from the ``(m, K+1)`` storage in one indexing operation per side (no
+per-entry scalar assembly), the numerator follows from one batched
+triangular convolution (:func:`repro.vec.linalg.cauchy_product`), and
+the *defect* — the first series coefficient the approximant fails to
+match, which drives the error estimate the adaptive path tracker uses
+to choose its step size — is one windowed convolution coefficient
+(:func:`repro.vec.linalg.convolution_coefficient`).
 """
 
 from __future__ import annotations
@@ -24,10 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
+import numpy as np
+
 from ..core.least_squares import lstsq
-from ..gpu.kernel import KernelTrace
 from ..md.constants import Precision, get_precision
 from ..md.number import MultiDouble
+from ..vec import linalg
 from ..vec.mdarray import MDArray
 from .truncated import TruncatedSeries
 
@@ -56,6 +63,10 @@ class PadeApproximant:
     defect: object = None
     #: kernel trace of the Hankel solve (``None`` for ``M = 0``)
     trace: object = None
+    #: the coefficients in limb-major array form (what the construction
+    #: produced; the tuples above are their scalar views)
+    numerator_array: object = None
+    denominator_array: object = None
 
     @property
     def numerator_degree(self) -> int:
@@ -97,7 +108,7 @@ class PadeApproximant:
         return exact_horner(self.numerator) / exact_horner(self.denominator)
 
     # ------------------------------------------------------------------
-    # error estimation
+    # error estimation (on the leading limbs of the coefficient arrays)
     # ------------------------------------------------------------------
     def error_estimate(self, point) -> float:
         """Leading-term estimate of ``|f(point) - p/q(point)|``.
@@ -129,10 +140,11 @@ class PadeApproximant:
         """
         if self.denominator_degree == 0:
             return float("inf")
-        tail = max(abs(float(q)) for q in self.denominator[1:])
+        heads = np.abs(self.denominator_array.data[0])
+        tail = float(np.max(heads[1:]))
         if tail == 0.0:
             return float("inf")
-        head = abs(float(self.denominator[0]))
+        head = float(heads[0])
         return head / (head + tail)
 
     def __repr__(self):  # pragma: no cover - cosmetic
@@ -140,6 +152,15 @@ class PadeApproximant:
             f"PadeApproximant(L={self.numerator_degree}, "
             f"M={self.denominator_degree}, precision={self.precision.name!r})"
         )
+
+
+def _gather_coefficients(data, indices):
+    """Gather series coefficients at ``indices`` from a limb-major
+    ``(m, K+1)`` array; out-of-range indices yield exact zeros."""
+    indices = np.asarray(indices)
+    valid = (indices >= 0) & (indices < data.shape[1])
+    safe = np.where(valid, indices, 0)
+    return MDArray(np.where(valid, data[:, safe], 0.0))
 
 
 def pade(
@@ -192,47 +213,54 @@ def pade(
             f"got a series of order {series.order}"
         )
 
-    coefficient = series.coefficient  # c_k (exact zero beyond the order)
-    zero = MultiDouble(0, prec)
+    data = series.coefficients.data  # limb-major (m, K+1)
 
-    # denominator: Hankel system  sum_j c_{L+i-j} q_j = -c_{L+i}
+    # denominator: Hankel system  sum_j c_{L+i-j} q_j = -c_{L+i},
+    # gathered from the coefficient array in one indexing per side
     trace = None
     if M == 0:
-        denominator = (MultiDouble(1, prec),)
+        denominator_array = MDArray.from_double(np.ones(1), limbs)
     else:
-        system = MDArray.zeros((M, M), limbs)
-        rhs = MDArray.zeros((M,), limbs)
-        for i in range(1, M + 1):
-            for j in range(1, M + 1):
-                index = L + i - j
-                system[i - 1, j - 1] = coefficient(index) if index >= 0 else zero
-            rhs[i - 1] = -coefficient(L + i)
+        i = np.arange(1, M + 1)
+        system = _gather_coefficients(data, L + i[:, None] - i[None, :])
+        rhs = -_gather_coefficients(data, L + i)
         solution = lstsq(system, rhs, tile_size=tile_size, device=device)
         trace = solution.combined_trace
-        denominator = (MultiDouble(1, prec),) + tuple(
-            solution.x.to_multidouble(j) for j in range(M)
+        one = np.zeros((limbs, 1))
+        one[0, 0] = 1.0
+        denominator_array = MDArray(
+            np.concatenate([one, solution.x.data], axis=1)
         )
 
-    # numerator: p_k = sum_{j=0..min(k,M)} c_{k-j} q_j
-    numerator = []
-    for k in range(L + 1):
-        acc = zero
-        for j in range(0, min(k, M) + 1):
-            acc = acc + coefficient(k - j) * denominator[j]
-        numerator.append(acc)
+    # numerator: p = (c * q) truncated at order L, one batched
+    # triangular convolution over the coefficient arrays
+    q_padded = MDArray(
+        np.concatenate(
+            [
+                denominator_array.data[:, : L + 1],
+                np.zeros((limbs, max(0, L - M))),
+            ],
+            axis=1,
+        )
+    )
+    numerator_array = linalg.cauchy_product(
+        _gather_coefficients(data, np.arange(L + 1)), q_padded
+    )
 
     # defect: coefficient of t**(L+M+1) in q f - p (p has no such term)
     defect = None
     if series.order >= L + M + 1:
-        acc = zero
-        for j in range(0, min(L + M + 1, M) + 1):
-            acc = acc + coefficient(L + M + 1 - j) * denominator[j]
-        defect = acc
+        defect_value = linalg.convolution_coefficient(
+            series.coefficients, denominator_array, L + M + 1
+        )
+        defect = defect_value.to_multidouble(())
 
     return PadeApproximant(
-        numerator=tuple(numerator),
-        denominator=denominator,
+        numerator=tuple(numerator_array),
+        denominator=tuple(denominator_array),
         precision=prec,
         defect=defect,
         trace=trace,
+        numerator_array=numerator_array,
+        denominator_array=denominator_array,
     )

@@ -1,0 +1,430 @@
+"""Scalar reference implementation of truncated series arithmetic.
+
+:class:`ScalarSeries` stores one :class:`~repro.md.number.MultiDouble`
+per coefficient and runs pure-Python loops per coefficient — the
+original storage layout of this subsystem, kept as the *reference* the
+vectorized limb-major :class:`~repro.series.truncated.TruncatedSeries`
+is checked against, exactly the role :mod:`repro.md.number` plays for
+:mod:`repro.vec.mdarray`.
+
+The contract is **bit-for-bit identity**, not closeness: every
+operation here replays the numeric structure of the vectorized kernel
+it mirrors —
+
+* the Cauchy product forms the same product grid and reduces each
+  coefficient with the same zero-padded pairwise (binary tree)
+  summation as :func:`repro.vec.linalg.cauchy_product` /
+  :meth:`MDArray.sum <repro.vec.mdarray.MDArray.sum>`;
+* the Newton iterations (:meth:`reciprocal`, :meth:`sqrt`,
+  :meth:`exp`, :meth:`log`) walk the identical
+  :func:`~repro.md.opcounts.series_newton_orders` schedule with the
+  identical operand order in every ring operation;
+* calculus and Horner evaluation perform the same
+  :mod:`repro.md.generic` limb operations element by element.
+
+Because scalar :class:`MultiDouble` arithmetic and the vectorized
+arrays share the generic expansion arithmetic of
+:mod:`repro.md.generic`, matching the operation *structure* makes the
+results identical to the last bit; the property tests in
+``tests/series/test_vectorized_cross.py`` enforce this at every paper
+precision.  Conversion helpers (:meth:`from_truncated`,
+:meth:`to_truncated`) round-trip between the two worlds.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..md import functions as md_functions
+from ..md.constants import Precision, get_precision
+from ..md.number import MultiDouble
+from ..md.opcounts import series_newton_orders
+
+__all__ = ["ScalarSeries", "pairwise_sum"]
+
+#: Types accepted wherever a scalar coefficient is expected.
+_SCALAR_TYPES = (int, float, Fraction, str, MultiDouble)
+
+
+def pairwise_sum(values, zero):
+    """Zero-padded pairwise (binary tree) summation.
+
+    Splits the sequence into halves of ``ceil(n/2)`` and ``floor(n/2)``
+    elements, pads the shorter second half with ``zero`` and adds the
+    halves element by element, repeating until one value remains — the
+    exact reduction :meth:`MDArray.sum <repro.vec.mdarray.MDArray.sum>`
+    performs along an axis, replayed on scalars.
+    """
+    work = list(values)
+    if not work:
+        return zero
+    while len(work) > 1:
+        n = len(work)
+        half = (n + 1) // 2
+        work = [
+            work[i] + (work[half + i] if half + i < n else zero)
+            for i in range(half)
+        ]
+    return work[0]
+
+
+class ScalarSeries:
+    """A truncated power series with one scalar multiple double per
+    coefficient (the loop-per-coefficient reference implementation)."""
+
+    __slots__ = ("_coefficients", "_precision")
+
+    def __init__(self, coefficients, precision=None):
+        coefficients = list(coefficients)
+        if not coefficients:
+            raise ValueError("a truncated series needs at least one coefficient")
+        if precision is None:
+            for value in coefficients:
+                if isinstance(value, MultiDouble):
+                    precision = value.precision
+                    break
+            else:
+                precision = 2
+        prec = get_precision(precision)
+        coerced = tuple(
+            value
+            if isinstance(value, MultiDouble) and value.m == prec.limbs
+            else MultiDouble(value, prec)
+            for value in coefficients
+        )
+        object.__setattr__(self, "_coefficients", coerced)
+        object.__setattr__(self, "_precision", prec)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, order: int, precision=2) -> "ScalarSeries":
+        prec = get_precision(precision)
+        return cls([MultiDouble(0, prec)] * (order + 1), prec)
+
+    @classmethod
+    def one(cls, order: int, precision=2) -> "ScalarSeries":
+        return cls.constant(1, order, precision)
+
+    @classmethod
+    def constant(cls, value, order: int, precision=2) -> "ScalarSeries":
+        prec = get_precision(precision)
+        zero = MultiDouble(0, prec)
+        return cls([MultiDouble(value, prec)] + [zero] * order, prec)
+
+    @classmethod
+    def variable(cls, order: int, precision=2, *, head=0) -> "ScalarSeries":
+        """The series ``head + t`` (the local homotopy parameter)."""
+        prec = get_precision(precision)
+        zero = MultiDouble(0, prec)
+        coeffs = [MultiDouble(head, prec)]
+        if order >= 1:
+            coeffs.append(MultiDouble(1, prec))
+            coeffs.extend([zero] * (order - 1))
+        return cls(coeffs, prec)
+
+    @classmethod
+    def from_fractions(cls, values, precision=2) -> "ScalarSeries":
+        """Build from exact rational coefficients (each rounded once)."""
+        prec = get_precision(precision)
+        return cls([MultiDouble(Fraction(v), prec) for v in values], prec)
+
+    @classmethod
+    def from_truncated(cls, series) -> "ScalarSeries":
+        """Convert a vectorized :class:`TruncatedSeries` (the coefficient
+        array iterates as :class:`MultiDouble` values)."""
+        return cls(list(series.coefficients), series.precision)
+
+    def to_truncated(self):
+        """Convert to the vectorized limb-major representation."""
+        from .truncated import TruncatedSeries
+
+        return TruncatedSeries(list(self._coefficients), self._precision)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> tuple:
+        return self._coefficients
+
+    @property
+    def precision(self) -> Precision:
+        return self._precision
+
+    @property
+    def limbs(self) -> int:
+        return self._precision.limbs
+
+    @property
+    def order(self) -> int:
+        return len(self._coefficients) - 1
+
+    def coefficient(self, k: int) -> MultiDouble:
+        """``c_k``, or an exact zero beyond the truncation order."""
+        if 0 <= k < len(self._coefficients):
+            return self._coefficients[k]
+        return MultiDouble(0, self._precision)
+
+    def __getitem__(self, k: int) -> MultiDouble:
+        return self.coefficient(k)
+
+    def __len__(self) -> int:
+        return len(self._coefficients)
+
+    def __iter__(self):
+        return iter(self._coefficients)
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def truncate(self, order: int) -> "ScalarSeries":
+        if order == self.order:
+            return self
+        if order < self.order:
+            return ScalarSeries(self._coefficients[: order + 1], self._precision)
+        return self.pad(order)
+
+    def pad(self, order: int) -> "ScalarSeries":
+        if order <= self.order:
+            return self
+        zero = MultiDouble(0, self._precision)
+        return ScalarSeries(
+            list(self._coefficients) + [zero] * (order - self.order), self._precision
+        )
+
+    def astype(self, precision) -> "ScalarSeries":
+        prec = get_precision(precision)
+        if prec.limbs == self.limbs:
+            return self
+        return ScalarSeries(
+            [MultiDouble(c, prec) for c in self._coefficients], prec
+        )
+
+    def _coerce(self, other) -> "ScalarSeries":
+        if isinstance(other, ScalarSeries):
+            if other.limbs != self.limbs:
+                raise ValueError(
+                    f"precision mismatch: {self.limbs} vs {other.limbs} limbs"
+                )
+            return other
+        if isinstance(other, _SCALAR_TYPES):
+            return ScalarSeries.constant(other, self.order, self._precision)
+        raise TypeError(f"cannot combine ScalarSeries with {type(other)!r}")
+
+    # ------------------------------------------------------------------
+    # ring arithmetic (results truncated at the shorter operand)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return ScalarSeries(
+            [self._coefficients[k] + other._coefficients[k] for k in range(order + 1)],
+            self._precision,
+        )
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return ScalarSeries(
+            [self._coefficients[k] - other._coefficients[k] for k in range(order + 1)],
+            self._precision,
+        )
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        """Cauchy product, replaying the vectorized kernel's structure:
+        every product ``a_i b_{k-i}``, then one zero-padded pairwise
+        reduction of length ``K + 1`` per output coefficient."""
+        if isinstance(other, _SCALAR_TYPES):
+            return self.scale(other)
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        zero = MultiDouble(0, self._precision)
+        coeffs = []
+        for k in range(order + 1):
+            terms = [
+                self._coefficients[i] * other._coefficients[k - i]
+                for i in range(k + 1)
+            ]
+            terms.extend([zero] * (order - k))
+            coeffs.append(pairwise_sum(terms, zero))
+        return ScalarSeries(coeffs, self._precision)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    def scale(self, factor) -> "ScalarSeries":
+        """Coefficient-wise multiplication by a scalar."""
+        factor = MultiDouble(factor, self._precision)
+        return ScalarSeries(
+            [c * factor for c in self._coefficients], self._precision
+        )
+
+    def __neg__(self):
+        return ScalarSeries([-c for c in self._coefficients], self._precision)
+
+    def __pos__(self):
+        return self
+
+    def __truediv__(self, other):
+        if isinstance(other, _SCALAR_TYPES):
+            inverse = MultiDouble(1, self._precision) / MultiDouble(other, self._precision)
+            return self.scale(inverse)
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return (self.truncate(order) * other.truncate(order).reciprocal()).truncate(order)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __pow__(self, exponent: int) -> "ScalarSeries":
+        if not isinstance(exponent, int):
+            raise TypeError("only integer powers of a series are supported")
+        if exponent < 0:
+            return self.reciprocal() ** (-exponent)
+        result = ScalarSeries.one(self.order, self._precision)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            e >>= 1
+            if e:
+                base = base * base
+        return result
+
+    # ------------------------------------------------------------------
+    # Newton iterations on series (identical schedules to the
+    # vectorized TruncatedSeries)
+    # ------------------------------------------------------------------
+    def reciprocal(self) -> "ScalarSeries":
+        head = self._coefficients[0]
+        if head.to_fraction() == 0:
+            raise ZeroDivisionError("reciprocal of a series with zero head term")
+        inverse = ScalarSeries([MultiDouble(1, self._precision) / head], self._precision)
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            inverse = inverse.pad(target)
+            inverse = (inverse * (2 - (x * inverse))).truncate(target)
+        return inverse
+
+    def sqrt(self) -> "ScalarSeries":
+        head = self._coefficients[0]
+        if head.to_fraction() <= 0:
+            raise ValueError("series sqrt needs a positive head coefficient")
+        root = ScalarSeries([head.sqrt()], self._precision)
+        half = MultiDouble(Fraction(1, 2), self._precision)
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            root = root.pad(target)
+            root = ((root + x / root) * half).truncate(target)
+        return root
+
+    def exp(self) -> "ScalarSeries":
+        head = self._coefficients[0]
+        result = ScalarSeries(
+            [md_functions.exp(head, self.limbs)], self._precision
+        )
+        for target in series_newton_orders(self.order):
+            x = self.truncate(target)
+            result = result.pad(target)
+            result = (result * (1 + (x - result.log()))).truncate(target)
+        return result
+
+    def log(self) -> "ScalarSeries":
+        head = self._coefficients[0]
+        if head.to_fraction() <= 0:
+            raise ValueError("series log needs a positive head coefficient")
+        if self.order == 0:
+            return ScalarSeries(
+                [md_functions.log(head, self.limbs)], self._precision
+            )
+        quotient = self.derivative() / self.truncate(self.order - 1)
+        return quotient.integral(md_functions.log(head, self.limbs))
+
+    # ------------------------------------------------------------------
+    # calculus and evaluation
+    # ------------------------------------------------------------------
+    def derivative(self) -> "ScalarSeries":
+        if self.order == 0:
+            return ScalarSeries.zero(0, self._precision)
+        coeffs = [
+            self._coefficients[k] * k for k in range(1, self.order + 1)
+        ]
+        return ScalarSeries(coeffs, self._precision)
+
+    def integral(self, constant=0) -> "ScalarSeries":
+        coeffs = [MultiDouble(constant, self._precision)]
+        for k in range(self.order + 1):
+            coeffs.append(self._coefficients[k] / (k + 1))
+        return ScalarSeries(coeffs, self._precision)
+
+    def evaluate(self, point) -> MultiDouble:
+        """Horner evaluation at ``point`` in the working precision."""
+        point = MultiDouble(point, self._precision)
+        total = self._coefficients[-1]
+        for coefficient in reversed(self._coefficients[:-1]):
+            total = total * point + coefficient
+        return total
+
+    def evaluate_fraction(self, point: Fraction) -> Fraction:
+        """Exact rational Horner evaluation of the stored coefficients."""
+        point = Fraction(point)
+        total = Fraction(0)
+        for coefficient in reversed(self._coefficients):
+            total = total * point + coefficient.to_fraction()
+        return total
+
+    def to_fractions(self) -> list:
+        return [c.to_fraction() for c in self._coefficients]
+
+    def to_doubles(self) -> list:
+        return [float(c) for c in self._coefficients]
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def allclose(self, other, tol=None) -> bool:
+        other = self._coerce(other)
+        if tol is None:
+            tol = 16 * self._precision.eps
+        order = min(self.order, other.order)
+        for k in range(order + 1):
+            a = self._coefficients[k].to_fraction()
+            b = other._coefficients[k].to_fraction()
+            scale = max(abs(a), abs(b), Fraction(1))
+            if abs(a - b) > Fraction(tol) * scale:
+                return False
+        return True
+
+    def __eq__(self, other):
+        try:
+            other = self._coerce(other)
+        except TypeError:
+            return NotImplemented
+        except ValueError:  # precision mismatch: unequal, not an error
+            return False
+        return (
+            self.order == other.order
+            and all(
+                a == b for a, b in zip(self._coefficients, other._coefficients)
+            )
+        )
+
+    def __hash__(self):
+        return hash((self._precision.limbs, tuple(c.limbs for c in self._coefficients)))
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        head = ", ".join(f"{float(c):.6g}" for c in self._coefficients[:4])
+        ellipsis = ", ..." if self.order >= 4 else ""
+        return (
+            f"ScalarSeries([{head}{ellipsis}], order={self.order}, "
+            f"precision={self._precision.name!r})"
+        )

@@ -34,11 +34,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..core.least_squares import lstsq
 from ..md.constants import get_precision
 from ..md.number import MultiDouble
 from ..vec.mdarray import MDArray
-from .newton import _coerce_jacobian, _coerce_residual, newton_series
+from .newton import _coerce_jacobian, _coerce_residual, _residual_column, newton_series
 from .pade import pade
 from .truncated import TruncatedSeries
 
@@ -102,7 +104,12 @@ class PathResult:
 
 
 def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, iterations=2):
-    """Polish a predicted point with scalar Newton steps at fixed ``t``."""
+    """Polish a predicted point with scalar Newton steps at fixed ``t``.
+
+    The order-zero residual column is gathered straight from the
+    residual series' limb-major coefficient arrays, and the point
+    update is one vectorized multiple double addition.
+    """
     n = len(heads)
     limbs = prec.limbs
     for _ in range(iterations):
@@ -110,11 +117,10 @@ def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, i
         t = TruncatedSeries([MultiDouble(t_value, prec)], prec)
         residuals = _coerce_residual(system(x, t), n, 0, prec)
         matrix = _coerce_jacobian(jacobian(list(heads), t_value), n, limbs)
-        rhs = MDArray.from_multidoubles(
-            [-r.coefficient(0) for r in residuals], limbs
-        )
+        rhs = _residual_column(residuals, 0)
         update = lstsq(matrix, rhs, tile_size=tile_size, device=device).x
-        heads = [heads[i] + update.to_multidouble(i) for i in range(n)]
+        corrected = MDArray.from_multidoubles(heads, limbs) + update
+        heads = list(corrected)
     return heads
 
 
@@ -254,10 +260,13 @@ def track_path(
                 h = max(h / 2.0, min_step)
                 truncation = max(a.error_estimate(h) for a in approximants)
 
-            # precision control on the coefficient-condition estimate
-            noise = prec.eps * max(
-                s.coefficient_condition(h) * max(abs(float(s.evaluate(h))), 1.0)
-                for s in expansion.series
+            # precision control on the coefficient-condition estimate,
+            # computed on the expansion's limb-major coefficient array
+            # for the whole system at once (one Horner sweep, reused)
+            values = np.abs(expansion.vector.evaluate(h).to_double())
+            conditions = expansion.vector.coefficient_condition(h, values=values)
+            noise = prec.eps * float(
+                np.max(conditions * np.maximum(values, 1.0))
             )
             converged = truncation <= _BUDGET_SPLIT * tol
             clean = noise <= _BUDGET_SPLIT * tol

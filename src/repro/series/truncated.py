@@ -1,14 +1,21 @@
-"""Truncated power series arithmetic over multiple double coefficients.
+"""Truncated power series arithmetic on limb-major coefficient arrays.
 
 The paper's motivating application (Section 1.1) develops the solution
 of a polynomial homotopy as a power series ``x(t) = sum_k c_k t^k``
 whose coefficients are multiple double numbers.  A
 :class:`TruncatedSeries` holds the coefficients ``c_0 .. c_K`` of such a
-series truncated at order ``K``, all at the same limb count, and
-provides the series-level arithmetic the path tracking workload needs:
+series truncated at order ``K`` — stored as **one limb-major
+:class:`~repro.vec.mdarray.MDArray` of shape** ``(m, K+1)``, the same
+structure-of-arrays layout the paper uses for matrices of multiple
+doubles — and provides the series-level arithmetic the path tracking
+workload needs:
 
 * ring operations — addition, subtraction, Cauchy-product
-  multiplication, integer powers;
+  multiplication, integer powers.  Every operation runs as a handful
+  of vectorized limb operations over **all** coefficients at once
+  (:func:`repro.vec.linalg.cauchy_product` for the products), the
+  Python stand-in for one GPU launch per operation instead of one per
+  coefficient;
 * Newton-iteration kernels on series — :meth:`reciprocal`
   (``y <- y * (2 - x y)``), :meth:`sqrt` (``y <- (y + x / y) / 2``) and
   :meth:`exp` (``y <- y * (1 + x - log y)``), each doubling the number
@@ -25,20 +32,36 @@ provides the series-level arithmetic the path tracking workload needs:
   (:mod:`repro.series.tracker`) monitors to decide when a computed
   series has hit the working precision's noise floor.
 
-The per-operation multiple double operation counts of everything here
-are catalogued in :func:`repro.md.opcounts.series_counts`, which mirrors
-these loops term for term so that series workloads appear in the
-analytic cost model.
+The scalar loop-per-coefficient implementation lives on as
+:class:`repro.series.reference.ScalarSeries` — the reference this
+class is cross-checked against **bit for bit** (the same role
+:mod:`repro.md.number` plays for :mod:`repro.vec`).  Both sides share
+the identical product grid and zero-padded pairwise reduction tree, so
+agreement is exact, not approximate.  :meth:`from_mdarray` /
+:meth:`to_mdarray` (with :meth:`MDArray.__iter__
+<repro.vec.mdarray.MDArray.__iter__>`) round-trip between the two
+worlds.
+
+The per-operation multiple double operation counts and the vectorized
+launch counts of everything here are catalogued in
+:func:`repro.md.opcounts.series_counts` and
+:func:`repro.md.opcounts.series_launches`, which mirror these kernels
+so that series workloads appear in the analytic cost model.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
 
+import numpy as np
+
 from ..md import functions as md_functions
+from ..md import generic
 from ..md.constants import Precision, get_precision
 from ..md.number import MultiDouble
 from ..md.opcounts import series_newton_orders
+from ..vec import linalg
+from ..vec.mdarray import MDArray
 
 __all__ = ["TruncatedSeries"]
 
@@ -48,38 +71,72 @@ _SCALAR_TYPES = (int, float, Fraction, str, MultiDouble)
 
 class TruncatedSeries:
     """A power series truncated at order ``K`` with multiple double
-    coefficients ``c_0 .. c_K`` (``K + 1`` coefficients in total)."""
+    coefficients ``c_0 .. c_K`` in one limb-major ``(m, K+1)`` array."""
 
     __slots__ = ("_coefficients", "_precision")
 
     def __init__(self, coefficients, precision=None):
-        coefficients = list(coefficients)
-        if not coefficients:
+        if isinstance(coefficients, MDArray):
+            series = TruncatedSeries.from_mdarray(coefficients, precision)
+            object.__setattr__(self, "_coefficients", series._coefficients)
+            object.__setattr__(self, "_precision", series._precision)
+            return
+        values = list(coefficients)
+        if not values:
             raise ValueError("a truncated series needs at least one coefficient")
         if precision is None:
-            for value in coefficients:
+            for value in values:
                 if isinstance(value, MultiDouble):
                     precision = value.precision
                     break
             else:
                 precision = 2
         prec = get_precision(precision)
-        coerced = tuple(
-            value
-            if isinstance(value, MultiDouble) and value.m == prec.limbs
-            else MultiDouble(value, prec)
-            for value in coefficients
-        )
-        object.__setattr__(self, "_coefficients", coerced)
+        m = prec.limbs
+        data = np.zeros((m, len(values)), dtype=np.float64)
+        for k, value in enumerate(values):
+            if not (isinstance(value, MultiDouble) and value.m == m):
+                value = MultiDouble(value, prec)
+            data[:, k] = value.limbs
+        object.__setattr__(self, "_coefficients", MDArray(data))
         object.__setattr__(self, "_precision", prec)
+
+    @classmethod
+    def _wrap(cls, coefficients: MDArray, prec: Precision) -> "TruncatedSeries":
+        """Adopt an ``(K+1,)`` coefficient array without copying."""
+        series = object.__new__(cls)
+        object.__setattr__(series, "_coefficients", coefficients)
+        object.__setattr__(series, "_precision", prec)
+        return series
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     @classmethod
+    def from_mdarray(cls, coefficients: MDArray, precision=None) -> "TruncatedSeries":
+        """Adopt a one-dimensional coefficient :class:`MDArray`.
+
+        The array's last axis indexes the series orders ``0 .. K``; the
+        data is copied (and converted when ``precision`` differs), so
+        the series does not alias the caller's storage.
+        """
+        if not isinstance(coefficients, MDArray):
+            raise TypeError("from_mdarray expects an MDArray of coefficients")
+        if coefficients.ndim != 1:
+            raise ValueError(
+                f"expected a one-dimensional coefficient array, got shape "
+                f"{coefficients.shape}"
+            )
+        if precision is not None and get_precision(precision).limbs != coefficients.limbs:
+            coefficients = coefficients.astype(precision)
+        else:
+            coefficients = coefficients.copy()
+        return cls._wrap(coefficients, get_precision(coefficients.limbs))
+
+    @classmethod
     def zero(cls, order: int, precision=2) -> "TruncatedSeries":
         prec = get_precision(precision)
-        return cls([MultiDouble(0, prec)] * (order + 1), prec)
+        return cls._wrap(MDArray.zeros(order + 1, prec.limbs), prec)
 
     @classmethod
     def one(cls, order: int, precision=2) -> "TruncatedSeries":
@@ -88,19 +145,19 @@ class TruncatedSeries:
     @classmethod
     def constant(cls, value, order: int, precision=2) -> "TruncatedSeries":
         prec = get_precision(precision)
-        zero = MultiDouble(0, prec)
-        return cls([MultiDouble(value, prec)] + [zero] * order, prec)
+        data = np.zeros((prec.limbs, order + 1), dtype=np.float64)
+        data[:, 0] = MultiDouble(value, prec).limbs
+        return cls._wrap(MDArray(data), prec)
 
     @classmethod
     def variable(cls, order: int, precision=2, *, head=0) -> "TruncatedSeries":
         """The series ``head + t`` (the local homotopy parameter)."""
         prec = get_precision(precision)
-        zero = MultiDouble(0, prec)
-        coeffs = [MultiDouble(head, prec)]
+        data = np.zeros((prec.limbs, order + 1), dtype=np.float64)
+        data[:, 0] = MultiDouble(head, prec).limbs
         if order >= 1:
-            coeffs.append(MultiDouble(1, prec))
-            coeffs.extend([zero] * (order - 1))
-        return cls(coeffs, prec)
+            data[0, 1] = 1.0
+        return cls._wrap(MDArray(data), prec)
 
     @classmethod
     def from_fractions(cls, values, precision=2) -> "TruncatedSeries":
@@ -118,8 +175,14 @@ class TruncatedSeries:
     # accessors
     # ------------------------------------------------------------------
     @property
-    def coefficients(self) -> tuple:
+    def coefficients(self) -> MDArray:
+        """The limb-major coefficient array (iterating it yields the
+        coefficients as scalar :class:`MultiDouble` values)."""
         return self._coefficients
+
+    def to_mdarray(self) -> MDArray:
+        """A copy of the coefficient array (shape ``(K+1,)``)."""
+        return self._coefficients.copy()
 
     @property
     def precision(self) -> Precision:
@@ -132,19 +195,19 @@ class TruncatedSeries:
     @property
     def order(self) -> int:
         """Truncation order ``K`` (the series carries ``K + 1`` terms)."""
-        return len(self._coefficients) - 1
+        return self._coefficients.shape[0] - 1
 
     def coefficient(self, k: int) -> MultiDouble:
         """``c_k``, or an exact zero beyond the truncation order."""
-        if 0 <= k < len(self._coefficients):
-            return self._coefficients[k]
+        if 0 <= k <= self.order:
+            return self._coefficients.to_multidouble(k)
         return MultiDouble(0, self._precision)
 
     def __getitem__(self, k: int) -> MultiDouble:
         return self.coefficient(k)
 
     def __len__(self) -> int:
-        return len(self._coefficients)
+        return self.order + 1
 
     def __iter__(self):
         return iter(self._coefficients)
@@ -158,26 +221,26 @@ class TruncatedSeries:
         if order == self.order:
             return self
         if order < self.order:
-            return TruncatedSeries(self._coefficients[: order + 1], self._precision)
+            return TruncatedSeries._wrap(
+                MDArray(self._coefficients.data[:, : order + 1].copy()),
+                self._precision,
+            )
         return self.pad(order)
 
     def pad(self, order: int) -> "TruncatedSeries":
         """Extend with exact zero coefficients up to ``order``."""
         if order <= self.order:
             return self
-        zero = MultiDouble(0, self._precision)
-        return TruncatedSeries(
-            list(self._coefficients) + [zero] * (order - self.order), self._precision
-        )
+        data = np.zeros((self.limbs, order + 1), dtype=np.float64)
+        data[:, : self.order + 1] = self._coefficients.data
+        return TruncatedSeries._wrap(MDArray(data), self._precision)
 
     def astype(self, precision) -> "TruncatedSeries":
         """Convert every coefficient to another precision."""
         prec = get_precision(precision)
         if prec.limbs == self.limbs:
             return self
-        return TruncatedSeries(
-            [MultiDouble(c, prec) for c in self._coefficients], prec
-        )
+        return TruncatedSeries._wrap(self._coefficients.astype(prec.limbs), prec)
 
     def shift(self, powers: int) -> "TruncatedSeries":
         """Multiply by ``t**powers`` (truncation order unchanged)."""
@@ -185,9 +248,10 @@ class TruncatedSeries:
             raise ValueError("shift expects a nonnegative power")
         if powers == 0:
             return self
-        zero = MultiDouble(0, self._precision)
-        coeffs = [zero] * powers + list(self._coefficients)
-        return TruncatedSeries(coeffs[: self.order + 1], self._precision)
+        data = np.zeros_like(self._coefficients.data)
+        if powers <= self.order:
+            data[:, powers:] = self._coefficients.data[:, : self.order + 1 - powers]
+        return TruncatedSeries._wrap(MDArray(data), self._precision)
 
     def _coerce(self, other) -> "TruncatedSeries":
         if isinstance(other, TruncatedSeries):
@@ -200,15 +264,19 @@ class TruncatedSeries:
             return TruncatedSeries.constant(other, self.order, self._precision)
         raise TypeError(f"cannot combine TruncatedSeries with {type(other)!r}")
 
+    def _head_array(self, order: int) -> MDArray:
+        """View of the coefficients through ``order`` (no copy)."""
+        return MDArray(self._coefficients.data[:, : order + 1])
+
     # ------------------------------------------------------------------
-    # ring arithmetic (results truncated at the shorter operand)
+    # ring arithmetic (results truncated at the shorter operand); every
+    # operation is a constant number of vectorized limb operations
     # ------------------------------------------------------------------
     def __add__(self, other):
         other = self._coerce(other)
         order = min(self.order, other.order)
-        return TruncatedSeries(
-            [self._coefficients[k] + other._coefficients[k] for k in range(order + 1)],
-            self._precision,
+        return TruncatedSeries._wrap(
+            self._head_array(order) + other._head_array(order), self._precision
         )
 
     def __radd__(self, other):
@@ -217,9 +285,8 @@ class TruncatedSeries:
     def __sub__(self, other):
         other = self._coerce(other)
         order = min(self.order, other.order)
-        return TruncatedSeries(
-            [self._coefficients[k] - other._coefficients[k] for k in range(order + 1)],
-            self._precision,
+        return TruncatedSeries._wrap(
+            self._head_array(order) - other._head_array(order), self._precision
         )
 
     def __rsub__(self, other):
@@ -229,27 +296,21 @@ class TruncatedSeries:
         if isinstance(other, _SCALAR_TYPES):
             return self.scale(other)
         other = self._coerce(other)
-        order = min(self.order, other.order)
-        coeffs = []
-        for k in range(order + 1):
-            acc = self._coefficients[0] * other._coefficients[k]
-            for i in range(1, k + 1):
-                acc = acc + self._coefficients[i] * other._coefficients[k - i]
-            coeffs.append(acc)
-        return TruncatedSeries(coeffs, self._precision)
+        return TruncatedSeries._wrap(
+            linalg.cauchy_product(self._coefficients, other._coefficients),
+            self._precision,
+        )
 
     def __rmul__(self, other):
         return self.__mul__(other)
 
     def scale(self, factor) -> "TruncatedSeries":
-        """Coefficient-wise multiplication by a scalar."""
+        """Coefficient-wise multiplication by a scalar (one launch)."""
         factor = MultiDouble(factor, self._precision)
-        return TruncatedSeries(
-            [c * factor for c in self._coefficients], self._precision
-        )
+        return TruncatedSeries._wrap(self._coefficients * factor, self._precision)
 
     def __neg__(self):
-        return TruncatedSeries([-c for c in self._coefficients], self._precision)
+        return TruncatedSeries._wrap(-self._coefficients, self._precision)
 
     def __pos__(self):
         return self
@@ -292,7 +353,7 @@ class TruncatedSeries:
         ``n`` correct becomes ``2 n + 1``), the series analogue of the
         limb-doubling Newton iterations in :mod:`repro.md.functions`.
         """
-        head = self._coefficients[0]
+        head = self.coefficient(0)
         if head.to_fraction() == 0:
             raise ZeroDivisionError("reciprocal of a series with zero head term")
         inverse = TruncatedSeries([MultiDouble(1, self._precision) / head], self._precision)
@@ -304,7 +365,7 @@ class TruncatedSeries:
 
     def sqrt(self) -> "TruncatedSeries":
         """Square root by the Newton iteration ``y <- (y + x / y) / 2``."""
-        head = self._coefficients[0]
+        head = self.coefficient(0)
         if head.to_fraction() <= 0:
             raise ValueError("series sqrt needs a positive head coefficient")
         root = TruncatedSeries([head.sqrt()], self._precision)
@@ -317,7 +378,7 @@ class TruncatedSeries:
 
     def exp(self) -> "TruncatedSeries":
         """Exponential by the Newton iteration ``y <- y * (1 + x - log y)``."""
-        head = self._coefficients[0]
+        head = self.coefficient(0)
         result = TruncatedSeries(
             [md_functions.exp(head, self.limbs)], self._precision
         )
@@ -335,7 +396,7 @@ class TruncatedSeries:
         doubling rate as the scalar logarithm of
         :mod:`repro.md.functions`.
         """
-        head = self._coefficients[0]
+        head = self.coefficient(0)
         if head.to_fraction() <= 0:
             raise ValueError("series log needs a positive head coefficient")
         if self.order == 0:
@@ -346,41 +407,50 @@ class TruncatedSeries:
         return quotient.integral(md_functions.log(head, self.limbs))
 
     # ------------------------------------------------------------------
-    # calculus
+    # calculus (one vectorized limb operation each)
     # ------------------------------------------------------------------
     def derivative(self) -> "TruncatedSeries":
         """Term-wise derivative (order drops by one)."""
         if self.order == 0:
             return TruncatedSeries.zero(0, self._precision)
-        coeffs = [
-            self._coefficients[k] * k for k in range(1, self.order + 1)
-        ]
-        return TruncatedSeries(coeffs, self._precision)
+        tail = MDArray(self._coefficients.data[:, 1:])
+        factors = np.arange(1, self.order + 1, dtype=np.float64)
+        return TruncatedSeries._wrap(tail * factors, self._precision)
 
     def integral(self, constant=0) -> "TruncatedSeries":
         """Term-wise antiderivative (order grows by one)."""
-        coeffs = [MultiDouble(constant, self._precision)]
-        for k in range(self.order + 1):
-            coeffs.append(self._coefficients[k] / (k + 1))
-        return TruncatedSeries(coeffs, self._precision)
+        divisors = np.arange(1, self.order + 2, dtype=np.float64)
+        quotient = self._coefficients / divisors
+        data = np.zeros((self.limbs, self.order + 2), dtype=np.float64)
+        data[:, 0] = MultiDouble(constant, self._precision).limbs
+        data[:, 1:] = quotient.data
+        return TruncatedSeries._wrap(MDArray(data), self._precision)
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def evaluate(self, point) -> MultiDouble:
-        """Horner evaluation at ``point`` in the working precision."""
-        point = MultiDouble(point, self._precision)
-        total = self._coefficients[-1]
-        for coefficient in reversed(self._coefficients[:-1]):
-            total = total * point + coefficient
-        return total
+        """Horner evaluation at ``point`` in the working precision.
+
+        The recurrence is inherently sequential in the order, so this
+        walks the coefficient columns with :mod:`repro.md.generic` limb
+        operations (batched evaluation of a whole system of series at
+        once is :meth:`repro.series.vector.VectorSeries.evaluate`).
+        """
+        m = self.limbs
+        point = MultiDouble(point, self._precision).limbs
+        data = self._coefficients.data
+        total = tuple(data[:, self.order])
+        for k in range(self.order - 1, -1, -1):
+            total = generic.add(generic.mul(total, point, m), tuple(data[:, k]), m)
+        return MultiDouble.from_limbs([float(v) for v in total], m)
 
     def evaluate_fraction(self, point: Fraction) -> Fraction:
         """Exact rational Horner evaluation of the stored coefficients."""
         point = Fraction(point)
         total = Fraction(0)
-        for coefficient in reversed(self._coefficients):
-            total = total * point + coefficient.to_fraction()
+        for k in range(self.order, -1, -1):
+            total = total * point + self.coefficient(k).to_fraction()
         return total
 
     def to_fractions(self) -> list:
@@ -389,7 +459,7 @@ class TruncatedSeries:
 
     def to_doubles(self) -> list:
         """Leading limbs of the coefficients."""
-        return [float(c) for c in self._coefficients]
+        return list(self._coefficients.to_double())
 
     # ------------------------------------------------------------------
     # diagnostics for the adaptive tracker
@@ -398,10 +468,11 @@ class TruncatedSeries:
         """Successive magnitude ratios ``|c_k| / |c_{k-1}|`` (leading
         limbs; zero coefficients are skipped), the raw material of the
         tracker's convergence-radius and noise-floor estimates."""
-        magnitudes = [abs(float(c)) for c in self._coefficients]
+        magnitudes = np.abs(self._coefficients.data[0])
         ratios = []
         previous = None
         for magnitude in magnitudes:
+            magnitude = float(magnitude)
             if previous not in (None, 0.0) and magnitude != 0.0:
                 ratios.append(magnitude / previous)
             previous = magnitude if magnitude != 0.0 else previous
@@ -433,8 +504,8 @@ class TruncatedSeries:
         t = abs(float(point))
         absolute = 0.0
         power = 1.0
-        for coefficient in self._coefficients:
-            absolute += abs(float(coefficient)) * power
+        for magnitude in np.abs(self._coefficients.data[0]):
+            absolute += float(magnitude) * power
             power *= t
         value = abs(float(self.evaluate(point)))
         if value == 0.0:
@@ -452,8 +523,8 @@ class TruncatedSeries:
             tol = 16 * self._precision.eps
         order = min(self.order, other.order)
         for k in range(order + 1):
-            a = self._coefficients[k].to_fraction()
-            b = other._coefficients[k].to_fraction()
+            a = self.coefficient(k).to_fraction()
+            b = other.coefficient(k).to_fraction()
             scale = max(abs(a), abs(b), Fraction(1))
             if abs(a - b) > Fraction(tol) * scale:
                 return False
@@ -466,18 +537,22 @@ class TruncatedSeries:
             return NotImplemented
         except ValueError:  # precision mismatch: unequal, not an error
             return False
-        return (
-            self.order == other.order
-            and all(
-                a == b for a, b in zip(self._coefficients, other._coefficients)
+        return self.order == other.order and bool(
+            np.array_equal(
+                self._coefficients.data + 0.0, other._coefficients.data + 0.0
             )
         )
 
     def __hash__(self):
-        return hash((self._precision.limbs, self._coefficients))
+        # +0.0 normalizes signed zeros so equal series hash alike
+        return hash(
+            (self._precision.limbs, (self._coefficients.data + 0.0).tobytes())
+        )
 
     def __repr__(self):  # pragma: no cover - cosmetic
-        head = ", ".join(f"{float(c):.6g}" for c in self._coefficients[:4])
+        head = ", ".join(
+            f"{float(v):.6g}" for v in self._coefficients.data[0, :4]
+        )
         ellipsis = ", ..." if self.order >= 4 else ""
         return (
             f"TruncatedSeries([{head}{ellipsis}], order={self.order}, "

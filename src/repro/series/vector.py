@@ -1,0 +1,297 @@
+"""Batched systems of truncated power series (one limb-major array).
+
+A system of ``n`` unknowns developed as power series — the object the
+series Newton staircase and the path tracker manipulate — is ``n``
+series of the same truncation order ``K`` at the same precision.
+:class:`VectorSeries` stores them as **one** limb-major
+:class:`~repro.vec.mdarray.MDArray` of element shape ``(n, K+1)``
+(storage ``(m, n, K+1)``), so that every series-level operation runs
+vectorized over *all components and all coefficients at once*: one
+batched Cauchy product (:func:`repro.vec.linalg.cauchy_product`), one
+batched Horner step per order (:meth:`evaluate`), one limb operation
+per elementwise ring operation.  This is the series analogue of the
+paper's "matrix of quad doubles as four matrices of doubles" layout,
+carried up one level to whole systems of series.
+
+Component views (:meth:`component`, :meth:`components`) round-trip
+into scalar-per-series :class:`~repro.series.truncated.TruncatedSeries`
+objects and are bit-identical to operating on the components one by
+one, because both paths share the same vectorized limb kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.constants import Precision, get_precision
+from ..md.number import MultiDouble
+from ..vec import linalg
+from ..vec.mdarray import MDArray
+from .truncated import TruncatedSeries
+
+__all__ = ["VectorSeries"]
+
+
+class VectorSeries:
+    """``n`` truncated power series in one limb-major ``(m, n, K+1)``
+    coefficient array."""
+
+    __slots__ = ("_coefficients", "_precision")
+
+    def __init__(self, coefficients: MDArray, precision=None):
+        if not isinstance(coefficients, MDArray):
+            raise TypeError("VectorSeries expects an MDArray of coefficients")
+        if coefficients.ndim != 2:
+            raise ValueError(
+                f"expected element shape (n, K+1), got {coefficients.shape}"
+            )
+        if precision is not None and get_precision(precision).limbs != coefficients.limbs:
+            coefficients = coefficients.astype(precision)
+        else:
+            coefficients = coefficients.copy()
+        object.__setattr__(self, "_coefficients", coefficients)
+        object.__setattr__(self, "_precision", get_precision(coefficients.limbs))
+
+    @classmethod
+    def _wrap(cls, coefficients: MDArray, prec: Precision) -> "VectorSeries":
+        series = object.__new__(cls)
+        object.__setattr__(series, "_coefficients", coefficients)
+        object.__setattr__(series, "_precision", prec)
+        return series
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, dimension: int, order: int, precision=2) -> "VectorSeries":
+        prec = get_precision(precision)
+        return cls._wrap(MDArray.zeros((dimension, order + 1), prec.limbs), prec)
+
+    @classmethod
+    def from_components(cls, components) -> "VectorSeries":
+        """Stack per-component series (any mix of
+        :class:`TruncatedSeries` and scalar-reference series; shorter
+        components are zero-padded to the longest order)."""
+        components = list(components)
+        if not components:
+            raise ValueError("a vector series needs at least one component")
+        converted = []
+        for component in components:
+            if not isinstance(component, TruncatedSeries):
+                component = TruncatedSeries(list(component), component.precision)
+            converted.append(component)
+        limbs = converted[0].limbs
+        if any(c.limbs != limbs for c in converted):
+            raise ValueError("all components must share the precision")
+        order = max(c.order for c in converted)
+        data = np.stack(
+            [c.pad(order).coefficients.data for c in converted], axis=1
+        )
+        return cls._wrap(MDArray(data), get_precision(limbs))
+
+    @classmethod
+    def from_mdarray(cls, coefficients: MDArray, precision=None) -> "VectorSeries":
+        """Adopt an ``(n, K+1)`` coefficient array (copied)."""
+        return cls(coefficients, precision)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> MDArray:
+        """The limb-major coefficient array, element shape ``(n, K+1)``."""
+        return self._coefficients
+
+    @property
+    def precision(self) -> Precision:
+        return self._precision
+
+    @property
+    def limbs(self) -> int:
+        return self._precision.limbs
+
+    @property
+    def dimension(self) -> int:
+        return self._coefficients.shape[0]
+
+    @property
+    def order(self) -> int:
+        return self._coefficients.shape[1] - 1
+
+    def component(self, index: int) -> TruncatedSeries:
+        """One component as a :class:`TruncatedSeries` (copied)."""
+        return TruncatedSeries.from_mdarray(self._coefficients[index])
+
+    def components(self) -> list:
+        """All components as :class:`TruncatedSeries` values."""
+        return [self.component(i) for i in range(self.dimension)]
+
+    def coefficient(self, k: int) -> MDArray:
+        """The order-``k`` coefficient of every component, shape ``(n,)``."""
+        if not 0 <= k <= self.order:
+            return MDArray.zeros(self.dimension, self.limbs)
+        return MDArray(self._coefficients.data[:, :, k].copy())
+
+    def set_coefficient(self, k: int, value) -> None:
+        """Overwrite the order-``k`` coefficient column (in place) —
+        the per-order update of the Newton staircase."""
+        if not 0 <= k <= self.order:
+            raise IndexError(f"order {k} outside 0..{self.order}")
+        if isinstance(value, MDArray):
+            if value.limbs != self.limbs:
+                value = value.astype(self.limbs)
+            self._coefficients.data[:, :, k] = value.data
+        else:
+            column = MDArray.from_multidoubles(
+                [MultiDouble(v, self._precision) for v in value], self.limbs
+            )
+            self._coefficients.data[:, :, k] = column.data
+
+    def __len__(self) -> int:
+        return self.dimension
+
+    def __iter__(self):
+        for i in range(self.dimension):
+            yield self.component(i)
+
+    # ------------------------------------------------------------------
+    # structural helpers
+    # ------------------------------------------------------------------
+    def truncate(self, order: int) -> "VectorSeries":
+        if order == self.order:
+            return self
+        if order < self.order:
+            return VectorSeries._wrap(
+                MDArray(self._coefficients.data[:, :, : order + 1].copy()),
+                self._precision,
+            )
+        return self.pad(order)
+
+    def pad(self, order: int) -> "VectorSeries":
+        if order <= self.order:
+            return self
+        data = np.zeros(
+            (self.limbs, self.dimension, order + 1), dtype=np.float64
+        )
+        data[:, :, : self.order + 1] = self._coefficients.data
+        return VectorSeries._wrap(MDArray(data), self._precision)
+
+    def astype(self, precision) -> "VectorSeries":
+        prec = get_precision(precision)
+        if prec.limbs == self.limbs:
+            return self
+        return VectorSeries._wrap(self._coefficients.astype(prec.limbs), prec)
+
+    def copy(self) -> "VectorSeries":
+        return VectorSeries._wrap(self._coefficients.copy(), self._precision)
+
+    def _coerce(self, other) -> "VectorSeries":
+        if not isinstance(other, VectorSeries):
+            raise TypeError(f"cannot combine VectorSeries with {type(other)!r}")
+        if other.limbs != self.limbs:
+            raise ValueError(
+                f"precision mismatch: {self.limbs} vs {other.limbs} limbs"
+            )
+        if other.dimension != self.dimension:
+            raise ValueError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+        return other
+
+    def _head_array(self, order: int) -> MDArray:
+        return MDArray(self._coefficients.data[:, :, : order + 1])
+
+    # ------------------------------------------------------------------
+    # arithmetic — each operation is one batched launch over all
+    # components and coefficients
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return VectorSeries._wrap(
+            self._head_array(order) + other._head_array(order), self._precision
+        )
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return VectorSeries._wrap(
+            self._head_array(order) - other._head_array(order), self._precision
+        )
+
+    def __neg__(self):
+        return VectorSeries._wrap(-self._coefficients, self._precision)
+
+    def __mul__(self, other):
+        """Component-wise Cauchy products, batched over the system."""
+        other = self._coerce(other)
+        order = min(self.order, other.order)
+        return VectorSeries._wrap(
+            linalg.cauchy_product(
+                self._head_array(order), other._head_array(order)
+            ),
+            self._precision,
+        )
+
+    def scale(self, factor) -> "VectorSeries":
+        factor = MultiDouble(factor, self._precision)
+        return VectorSeries._wrap(self._coefficients * factor, self._precision)
+
+    # ------------------------------------------------------------------
+    # evaluation and diagnostics
+    # ------------------------------------------------------------------
+    def evaluate(self, point) -> MDArray:
+        """Batched Horner: every component evaluated at ``point`` in one
+        sweep of ``K`` vectorized multiply-adds, returning ``(n,)``."""
+        point = MultiDouble(point, self._precision)
+        total = self.coefficient(self.order)
+        for k in range(self.order - 1, -1, -1):
+            total = total * point + self.coefficient(k)
+        return total
+
+    def coefficient_condition(self, point, values=None) -> np.ndarray:
+        """Evaluation condition number of every component at ``point``
+        (see :meth:`TruncatedSeries.coefficient_condition`), computed on
+        leading limbs for the whole system at once.
+
+        ``values`` may supply the precomputed ``|evaluate(point)|``
+        leading limbs (shape ``(n,)``) so callers that already
+        evaluated the system do not pay the Horner sweep twice.
+        """
+        t = abs(float(point))
+        heads = np.abs(self._coefficients.data[0])  # (n, K+1)
+        absolute = np.zeros(self.dimension)
+        power = 1.0
+        for k in range(self.order + 1):
+            absolute += heads[:, k] * power
+            power *= t
+        if values is None:
+            values = np.abs(self.evaluate(point).to_double())
+        out = np.empty(self.dimension)
+        for i in range(self.dimension):
+            if values[i] == 0.0:
+                out[i] = float("inf") if absolute[i] > 0.0 else 1.0
+            else:
+                out[i] = absolute[i] / values[i]
+        return out
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def allclose(self, other, tol=None) -> bool:
+        other = self._coerce(other)
+        if tol is None:
+            tol = 16 * self._precision.eps
+        order = min(self.order, other.order)
+        return self._head_array(order).allclose(other._head_array(order), tol)
+
+    def equals(self, other) -> bool:
+        """Exact (bitwise) equality of every limb of every coefficient."""
+        other = self._coerce(other)
+        return self._coefficients.equals(other._coefficients)
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"VectorSeries(dimension={self.dimension}, order={self.order}, "
+            f"precision={self._precision.name!r})"
+        )

@@ -35,6 +35,9 @@ __all__ = [
     "max_abs_entry",
     "transpose",
     "conjugate_transpose",
+    "cauchy_product",
+    "convolution_coefficient",
+    "convolve_matvec",
 ]
 
 
@@ -168,6 +171,104 @@ def _apply_mask(a, mask):
     if _is_complex(a):
         return MDComplexArray(_apply_mask(a.real, mask), _apply_mask(a.imag, mask))
     return MDArray(a.data * mask)
+
+
+# ---------------------------------------------------------------------------
+# triangular (series) convolutions — the kernels of repro.series
+# ---------------------------------------------------------------------------
+
+def cauchy_product(a, b, order=None):
+    """Truncated Cauchy product along the *last* element axis.
+
+    ``a`` and ``b`` are :class:`MDArray` values whose last element axis
+    indexes series coefficients (shape ``(K+1,)`` for one series,
+    ``(n, K+1)`` for a batch of ``n`` series); the result holds
+    ``c_k = sum_{i=0..k} a_i b_{k-i}`` for ``k = 0 .. order`` (default:
+    the shorter operand's truncation order).
+
+    The kernel structure mirrors a one-thread-per-output-coefficient
+    GPU launch: **all** pairwise products are formed in one vectorized
+    multiple double multiplication (one launch over the ``(K+1)²``
+    grid), the products are gathered onto anti-diagonals, and each
+    output coefficient is reduced with the same zero-padded pairwise
+    (binary tree) summation as :meth:`MDArray.sum` — the parallel sum
+    reduction of the paper's kernels.  The scalar reference
+    implementation (:mod:`repro.series.reference`) replays exactly this
+    product grid and reduction tree, which is what makes the two paths
+    bit-identical.
+    """
+    if a.ndim < 1 or b.ndim < 1:
+        raise ValueError("cauchy_product expects at least one element axis")
+    if a.shape[:-1] != b.shape[:-1]:
+        raise ValueError(
+            f"batch shape mismatch: {a.shape[:-1]} vs {b.shape[:-1]}"
+        )
+    if a.limbs != b.limbs:
+        raise ValueError(f"precision mismatch: {a.limbs} vs {b.limbs} limbs")
+    if order is None:
+        order = min(a.shape[-1], b.shape[-1]) - 1
+    terms = int(order) + 1
+    if terms < 1:
+        raise ValueError("the truncation order must be nonnegative")
+    if terms > a.shape[-1] or terms > b.shape[-1]:
+        raise ValueError(
+            f"order {order} needs {terms} coefficients, operands carry "
+            f"{a.shape[-1]} and {b.shape[-1]}"
+        )
+    adata = a.data[..., :terms]
+    bdata = b.data[..., :terms]
+    # one vectorized multiplication over the full product grid
+    products = MDArray(adata[..., :, None]) * MDArray(bdata[..., None, :])
+    # gather onto anti-diagonals: diagonals[..., i, k] = a_i * b_{k-i}
+    rows = np.arange(terms)[:, None]
+    cols = np.arange(terms)[None, :] - rows
+    valid = cols >= 0
+    gathered = products.data[..., rows, np.where(valid, cols, 0)]
+    diagonals = MDArray(np.where(valid, gathered, 0.0))
+    # pairwise reduction over the i axis, one output coefficient per k
+    return diagonals.sum(axis=diagonals.ndim - 2)
+
+
+def convolution_coefficient(a, b, k):
+    """A single convolution coefficient ``sum_j a_{k-j} b_j``.
+
+    ``j`` runs over the coefficients of ``b``; terms whose index
+    ``k - j`` falls outside ``a`` contribute exact zeros.  Reduction is
+    the same zero-padded pairwise sum as :func:`cauchy_product`, so the
+    result of extracting one coefficient matches the corresponding
+    entry of the full product.  Used for Padé defects, where only the
+    first unmatched coefficient of ``q·f`` is needed.
+    """
+    if a.ndim < 1 or b.ndim < 1:
+        raise ValueError("convolution_coefficient expects an element axis")
+    j = np.arange(b.shape[-1])
+    source = int(k) - j
+    valid = (source >= 0) & (source < a.shape[-1])
+    window = np.where(valid, a.data[..., np.where(valid, source, 0)], 0.0)
+    products = MDArray(window) * b
+    return products.sum(axis=products.ndim - 1)
+
+
+def convolve_matvec(matrices, vectors):
+    """Summed matrix-vector products ``sum_j A_j x_j``.
+
+    ``matrices`` has shape ``(terms, n, n)`` and ``vectors``
+    ``(terms, n)``; the result is the ``(n,)`` vector accumulated with
+    pairwise sums — first within each matrix-vector product (as in
+    :func:`matvec`), then across the terms.  This is the block Toeplitz
+    right-hand-side update ``sum_j A_j x_{k-j}`` of the linearized
+    power series solves, executed as one batched launch over all the
+    coupling terms instead of one matvec per term.
+    """
+    if matrices.ndim != 3 or vectors.ndim != 2:
+        raise ValueError("convolve_matvec expects (terms, n, n) and (terms, n)")
+    terms, rows, cols = matrices.shape
+    if vectors.shape != (terms, cols):
+        raise ValueError(
+            f"dimension mismatch: {matrices.shape} against {vectors.shape}"
+        )
+    row_products = matrices * vectors.reshape(terms, 1, cols)
+    return row_products.sum(axis=2).sum(axis=0)
 
 
 def transpose(a):

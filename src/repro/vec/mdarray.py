@@ -171,6 +171,23 @@ class MDArray:
             raise TypeError("len() of a zero-dimensional MDArray")
         return self.shape[0]
 
+    def __iter__(self):
+        """Iterate over the first element axis.
+
+        A one-dimensional array yields scalar :class:`MultiDouble`
+        values (the bridge back into the scalar reference world, used
+        e.g. by :meth:`repro.series.truncated.TruncatedSeries.coefficients`
+        consumers); a higher-dimensional array yields its sub-arrays.
+        """
+        if self.ndim == 0:
+            raise TypeError("iteration over a zero-dimensional MDArray")
+        if self.ndim == 1:
+            for j in range(self.shape[0]):
+                yield self.to_multidouble(j)
+        else:
+            for j in range(self.shape[0]):
+                yield self[j]
+
     def _expand_key(self, key):
         if not isinstance(key, tuple):
             key = (key,)

@@ -24,6 +24,27 @@ def pade_example():
     return importlib.import_module("pade_approximation")
 
 
+#: The exact table rows of ``power_series_newton.main(order=6)``.  The
+#: arithmetic is deterministic IEEE double sequences (no platform- or
+#: library-dependent kernels), so the "bit-identical tables" claim of
+#: the rewritten examples is enforced literally: any change to these
+#: digits means the series pipeline changed numerically.
+POWER_SERIES_GOLDEN_ROWS = [
+    "    double                   5.244e-15                 5.244e-15",
+    "        dd                   2.019e-31                 2.019e-31",
+    "        qd                   1.339e-64                 1.339e-64",
+    "        od                  1.046e-129                1.046e-129",
+]
+
+#: The exact m = 2 block of ``pade_approximation.main(degrees=(2,))``.
+PADE_GOLDEN_ROWS = [
+    "   2      double                     1.776e-16               1.506e-05",
+    "   2          dd                     7.765e-32               1.506e-05",
+    "   2          qd                     2.583e-64               1.506e-05",
+    "   2          od                    2.453e-129               1.506e-05",
+]
+
+
 def test_power_series_newton_table(power_series_example, capsys):
     power_series_example.main(order=6)
     out = capsys.readouterr().out
@@ -33,6 +54,18 @@ def test_power_series_newton_table(power_series_example, capsys):
     # the table rows carry two scientific-notation error columns
     rows = [line for line in out.splitlines() if "e-" in line or "e+" in line]
     assert len(rows) >= 4
+
+
+def test_power_series_newton_table_is_bit_identical(power_series_example, capsys):
+    power_series_example.main(order=6)
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[2:6] == POWER_SERIES_GOLDEN_ROWS
+
+
+def test_pade_table_is_bit_identical(pade_example, capsys):
+    pade_example.main(degrees=(2,))
+    lines = capsys.readouterr().out.splitlines()
+    assert lines[2:6] == PADE_GOLDEN_ROWS
 
 
 def test_power_series_errors_shrink_with_precision(power_series_example):

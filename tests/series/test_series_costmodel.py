@@ -15,9 +15,11 @@ import pytest
 from repro.md import MultiDouble, PAPER_TABLE1
 from repro.md.opcounts import (
     SERIES_OPERATIONS,
+    pairwise_addition_count,
     series_cost_table,
     series_counts,
     series_flops,
+    series_launches,
     series_newton_orders,
 )
 from repro.perf.costmodel import (
@@ -65,9 +67,27 @@ def test_elementwise_counts_closed_forms():
     assert series_counts("add", 7).add == 8
     assert series_counts("sub", 7).sub == 8
     assert series_counts("scale", 7).mul == 8
+    # the batched Cauchy product executes the full (K+1)^2 product grid
+    # and one zero-padded pairwise reduction of length K+1 per output
     mul = series_counts("mul", 7)
-    assert mul.mul == 8 * 9 / 2
-    assert mul.add == 7 * 8 / 2
+    assert mul.mul == 8 * 8
+    assert mul.add == 8 * pairwise_addition_count(8)
+    assert pairwise_addition_count(8) == 4 + 2 + 1
+    assert pairwise_addition_count(9) == 5 + 3 + 2 + 1
+
+
+def test_launch_counts_follow_the_batched_structure():
+    # elementwise operations are a single vectorized launch each
+    for operation in ("add", "sub", "scale"):
+        assert series_launches(operation, 7) == 1
+    # the Cauchy product: one product-grid launch + log2(K+1) reduction levels
+    assert series_launches("mul", 7) == 1 + 3
+    assert series_launches("mul", 31) == 1 + 5
+    # launches grow logarithmically while operations grow quadratically
+    ops_ratio = series_counts("mul", 63).md_operations / series_counts("mul", 7).md_operations
+    launch_ratio = series_launches("mul", 63) / series_launches("mul", 7)
+    assert ops_ratio > 30
+    assert launch_ratio < 2
 
 
 def test_reciprocal_counts_follow_the_newton_schedule():
@@ -146,6 +166,23 @@ def test_matrix_series_trace_matches_numeric(md_limbs):
         4, order, md_limbs, matrix_terms=2, tile_size=2
     )
     assert_traces_identical(numeric.trace, analytic)
+
+
+def test_constant_head_trace_matches_numeric_batched(md_limbs):
+    """A constant head solves all orders against the batched right-hand
+    sides: one Q^H B launch, then one back substitution per order."""
+    rng = np.random.default_rng(20220320)
+    order = 4
+    a0 = MDArray.from_double(rng.standard_normal((4, 4)) + 4 * np.eye(4), md_limbs)
+    batched = MDArray.from_double(rng.standard_normal((4, order + 1)), md_limbs)
+    numeric = solve_matrix_series(a0, batched, tile_size=2)
+    analytic = matrix_series_trace(
+        4, order, md_limbs, matrix_terms=1, tile_size=2
+    )
+    assert_traces_identical(numeric.trace, analytic)
+    names = [launch.name for launch in numeric.trace.launches]
+    assert names.count("apply_qt_batched") == 1
+    assert names.count("apply_qt") == 0
 
 
 def test_newton_series_trace_matches_numeric():

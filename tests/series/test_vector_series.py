@@ -1,0 +1,140 @@
+"""Batched systems of series (VectorSeries) against per-component ops."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.md import MultiDouble, get_precision
+from repro.series import TruncatedSeries, VectorSeries
+from repro.vec import MDArray
+
+DIMENSION = 3
+ORDER = 6
+
+
+def limb_tuples(series):
+    return [c.limbs for c in series]
+
+
+@pytest.fixture
+def components(rng, md_limbs):
+    out = []
+    for _ in range(DIMENSION):
+        values = list(rng.standard_normal(ORDER + 1))
+        values[0] = abs(values[0]) + 1.0
+        out.append(TruncatedSeries(values, md_limbs))
+    return out
+
+
+@pytest.fixture
+def batch(components):
+    return VectorSeries.from_components(components)
+
+
+def test_shape_and_round_trip(batch, components, md_limbs):
+    assert batch.dimension == DIMENSION
+    assert batch.order == ORDER
+    assert batch.limbs == get_precision(md_limbs).limbs
+    assert batch.coefficients.shape == (DIMENSION, ORDER + 1)
+    for i, component in enumerate(components):
+        assert limb_tuples(batch.component(i)) == limb_tuples(component)
+    assert len(list(batch)) == DIMENSION
+    assert len(batch) == DIMENSION
+
+
+def test_from_components_pads_shorter_series(md_limbs):
+    short = TruncatedSeries([1, 2], md_limbs)
+    long = TruncatedSeries([3, 4, 5, 6], md_limbs)
+    batch = VectorSeries.from_components([short, long])
+    assert batch.order == 3
+    assert batch.component(0).coefficient(3).to_fraction() == 0
+    assert batch.component(1).coefficient(3).to_fraction() == 6
+
+
+def test_construction_validation(md_limbs):
+    with pytest.raises(ValueError):
+        VectorSeries.from_components([])
+    with pytest.raises(ValueError):
+        VectorSeries.from_components(
+            [TruncatedSeries([1], 2), TruncatedSeries([1], 4)]
+        )
+    with pytest.raises(ValueError):
+        VectorSeries(MDArray.zeros(4, md_limbs))  # missing the order axis
+    with pytest.raises(TypeError):
+        VectorSeries([[1, 2], [3, 4]])
+
+
+def test_arithmetic_matches_componentwise(batch, components):
+    other = VectorSeries.from_components(list(reversed(components)))
+    reversed_components = list(reversed(components))
+    for result, op in (
+        (batch + other, lambda a, b: a + b),
+        (batch - other, lambda a, b: a - b),
+        (batch * other, lambda a, b: a * b),
+    ):
+        for i in range(DIMENSION):
+            expected = op(components[i], reversed_components[i])
+            assert limb_tuples(result.component(i)) == limb_tuples(expected)
+    negated = -batch
+    scaled = batch.scale(Fraction(2, 3))
+    for i in range(DIMENSION):
+        assert limb_tuples(negated.component(i)) == limb_tuples(-components[i])
+        assert limb_tuples(scaled.component(i)) == limb_tuples(
+            components[i].scale(Fraction(2, 3))
+        )
+
+
+def test_evaluate_matches_componentwise(batch, components):
+    point = Fraction(1, 8)
+    values = batch.evaluate(point)
+    assert values.shape == (DIMENSION,)
+    for i in range(DIMENSION):
+        assert values.to_multidouble(i).limbs == components[i].evaluate(point).limbs
+
+
+def test_coefficient_condition_matches_componentwise(batch, components):
+    point = 0.375
+    conditions = batch.coefficient_condition(point)
+    for i in range(DIMENSION):
+        assert conditions[i] == components[i].coefficient_condition(point)
+
+
+def test_coefficient_column_get_set(batch, md_limbs):
+    column = batch.coefficient(2)
+    assert column.shape == (DIMENSION,)
+    replacement = MDArray.from_double(np.arange(1.0, DIMENSION + 1), md_limbs)
+    batch.set_coefficient(2, replacement)
+    assert batch.coefficient(2).equals(replacement)
+    # columns beyond the order read as exact zeros and refuse writes
+    assert batch.coefficient(ORDER + 5).max_abs_double() == 0.0
+    with pytest.raises(IndexError):
+        batch.set_coefficient(ORDER + 1, replacement)
+
+
+def test_truncate_pad_astype(batch):
+    truncated = batch.truncate(2)
+    assert truncated.order == 2
+    padded = truncated.pad(ORDER)
+    assert padded.order == ORDER
+    assert padded.coefficient(ORDER).max_abs_double() == 0.0
+    upcast = batch.astype(8)
+    assert upcast.limbs == 8
+    assert upcast.truncate(ORDER) is upcast
+    assert batch.allclose(upcast.astype(batch.limbs))
+
+
+def test_copy_is_independent(batch):
+    duplicate = batch.copy()
+    duplicate.set_coefficient(0, batch.coefficient(0) + batch.coefficient(0))
+    assert not duplicate.equals(batch)
+
+
+def test_coerce_validation(batch, md_limbs):
+    with pytest.raises(TypeError):
+        batch + [1, 2, 3]
+    other = VectorSeries.zeros(DIMENSION + 1, ORDER, md_limbs)
+    with pytest.raises(ValueError):
+        batch + other
