@@ -23,11 +23,10 @@ Run with ``pytest benchmarks/bench_series_vectorized.py --benchmark-only``
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 
+import harness
 from repro.md.opcounts import series_flops, series_launches
 from repro.series import ScalarSeries, TruncatedSeries, newton_series
 
@@ -86,13 +85,32 @@ def test_newton_staircase(benchmark, backend, order, limbs):
     assert result.order == order
 
 
-def _best_seconds(func, repeats):
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        func()
-        best = min(best, time.perf_counter() - start)
-    return best
+def test_cauchy_product_speedup_quick():
+    """The floor of the heavy sweep at its smallest asserted point
+    (order 32, dd), kept un-heavy so the CI ``perf-smoke`` job enforces
+    it on every push and refreshes ``BENCH_series.json``."""
+    order, limbs = 32, 2
+    scalar_a, scalar_b = _random_pair(ScalarSeries, order, limbs)
+    vector_a, vector_b = _random_pair(TruncatedSeries, order, limbs)
+    expected = [c.limbs for c in scalar_a * scalar_b]
+    observed = [c.limbs for c in vector_a * vector_b]
+    assert observed == expected
+    scalar_seconds = harness.best_seconds(lambda: scalar_a * scalar_b, repeats=3)
+    vector_seconds = harness.best_seconds(lambda: vector_a * vector_b, repeats=5)
+    speedup = scalar_seconds / vector_seconds
+    harness.record(
+        "series",
+        f"cauchy_order{order}_{limbs}d",
+        order=order,
+        limbs=limbs,
+        scalar_seconds=scalar_seconds,
+        vectorized_seconds=vector_seconds,
+        speedup=speedup,
+        floor=10.0,
+        md_flops=series_flops("mul", order, limbs),
+        launches=series_launches("mul", order),
+    )
+    assert speedup >= 10.0
 
 
 @pytest.mark.heavy
@@ -107,9 +125,21 @@ def test_cauchy_product_speedup(order):
     expected = [c.limbs for c in scalar_a * scalar_b]
     observed = [c.limbs for c in vector_a * vector_b]
     assert observed == expected
-    scalar_seconds = _best_seconds(lambda: scalar_a * scalar_b, repeats=3)
-    vector_seconds = _best_seconds(lambda: vector_a * vector_b, repeats=5)
+    scalar_seconds = harness.best_seconds(lambda: scalar_a * scalar_b, repeats=3)
+    vector_seconds = harness.best_seconds(lambda: vector_a * vector_b, repeats=5)
     speedup = scalar_seconds / vector_seconds
+    harness.record(
+        "series",
+        f"cauchy_order{order}_{limbs}d",
+        order=order,
+        limbs=limbs,
+        scalar_seconds=scalar_seconds,
+        vectorized_seconds=vector_seconds,
+        speedup=speedup,
+        floor=10.0,
+        md_flops=series_flops("mul", order, limbs),
+        launches=series_launches("mul", order),
+    )
     print(
         f"\norder {order} dd Cauchy product: scalar {scalar_seconds * 1e3:.2f} ms, "
         f"vectorized {vector_seconds * 1e3:.2f} ms, speedup {speedup:.1f}x"
@@ -127,8 +157,8 @@ def test_newton_staircase_speedup():
     run_reference = lambda: newton_series(
         sqrt_system, sqrt_jacobian, [1, 1], 32, 2, tile_size=1, backend="reference"
     )
-    reference_seconds = _best_seconds(run_reference, repeats=2)
-    vectorized_seconds = _best_seconds(run_vectorized, repeats=2)
+    reference_seconds = harness.best_seconds(run_reference, repeats=2)
+    vectorized_seconds = harness.best_seconds(run_vectorized, repeats=2)
     speedup = reference_seconds / vectorized_seconds
     print(
         f"\norder 32 dd staircase: reference {reference_seconds * 1e3:.1f} ms, "

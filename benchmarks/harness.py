@@ -1,0 +1,117 @@
+"""Machine-readable benchmark results: the perf trajectory across PRs.
+
+The acceptance-contract benchmarks (``bench_batched_qr.py``,
+``bench_series_vectorized.py``) record their measurements here and
+:func:`record` merges them into ``BENCH_<suite>.json`` next to this
+file — timings, speedup ratios, flop tallies and the git SHA they were
+measured at.  The first baselines are committed with the suite; the CI
+``perf-smoke`` job regenerates the files on every push and uploads them
+as artifacts, so regressions show up both as failing floor assertions
+(the benchmarks ``assert speedup >= FLOOR``) and as a visible drop in
+the artifact history.
+
+Schema of one ``BENCH_<suite>.json``::
+
+    {
+      "suite": "batch",
+      "git_sha": "<sha of the last update>",
+      "python": "3.11.7",
+      "updated": "2026-07-26T12:34:56Z",
+      "entries": {
+        "<entry id>": {"seconds": ..., "speedup": ..., "floor": ...,
+                       "md_flops": ..., "launches": ..., ...}
+      }
+    }
+
+Entries are keyed by a stable id and overwritten in place, so the file
+always holds the latest measurement of every benchmark that ran.
+Set ``BENCH_OUTPUT_DIR`` to redirect the output (e.g. to keep a local
+run from touching the committed baselines).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+
+__all__ = ["results_dir", "results_path", "git_sha", "record", "best_seconds", "load"]
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def results_dir() -> Path:
+    """Where the ``BENCH_*.json`` files live (``BENCH_OUTPUT_DIR`` or
+    the benchmarks directory itself, which holds the committed
+    baselines)."""
+    override = os.environ.get("BENCH_OUTPUT_DIR")
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return _BENCH_DIR
+
+
+def results_path(suite: str) -> Path:
+    return results_dir() / f"BENCH_{suite}.json"
+
+
+def git_sha() -> str:
+    """The current commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_BENCH_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def load(suite: str) -> dict:
+    """The current contents of a suite file (empty skeleton if absent)."""
+    path = results_path(suite)
+    if path.exists():
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError:
+            pass
+    return {"suite": suite, "entries": {}}
+
+
+def record(suite: str, entry: str, **fields) -> dict:
+    """Merge one benchmark entry into ``BENCH_<suite>.json``.
+
+    ``fields`` should be JSON-serializable measurement data (seconds,
+    speedup, floor, flop tallies, launch counts, problem shape...).
+    Returns the entry as written.
+    """
+    data = load(suite)
+    data["suite"] = suite
+    data["git_sha"] = git_sha()
+    data["python"] = platform.python_version()
+    data["updated"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    entries = data.setdefault("entries", {})
+    entries[entry] = fields
+    path = results_path(suite)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return fields
+
+
+def best_seconds(func, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``func()`` — the measurement the
+    floor assertions use (minimum is the standard noise-resistant
+    estimator for CI machines)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Batched throughput quickstart: a fleet of homotopy paths in lock-step.
+
+Polynomial homotopy workloads track *thousands* of solution paths of
+the same system, and every path needs the same small dense kernels —
+the Jacobian QR, one triangular solve per series order, a Hankel solve
+per Padé approximant.  The batched execution layer (:mod:`repro.batch`)
+advances a whole fleet per kernel launch: operands carry a leading
+batch axis ``(b, …)``, so one vectorized limb operation moves all
+paths at once, and the launch count per step is flat in the fleet
+width.
+
+The example tracks both solution branches of
+
+    x(t)^2 = 1/4 + t        from t = 0 to t = 1
+
+with :func:`repro.batch.track_paths`.  The branch point at t = -1/4
+makes the expansion ill-conditioned, so the fleet escalates its
+precision (d → dd) in lock-step sub-batches; every path's steps
+are bit-identical to tracking it alone with
+:func:`repro.series.track_path` — batching reorganizes the launches,
+not the arithmetic.  A looped-vs-batched QR timing of the fleet's own
+Jacobian shape shows the wall-clock payoff.
+
+Run with:  python examples/path_fleet.py
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+import numpy as np
+
+#: Fleet tolerance: tight enough that hardware doubles are not enough.
+TOLERANCE = 1e-16
+
+#: Batch width of the throughput demonstration.
+THROUGHPUT_BATCH = 32
+
+
+def branch_point_system(x, t):
+    """x(t)^2 = 1/4 + t, evaluated with truncated series arithmetic."""
+    (x1,) = x
+    return [x1 * x1 - Fraction(1, 4) - t]
+
+
+def branch_point_jacobian(x0, t0):
+    return [[2 * x0[0]]]
+
+
+def track_fleet(tol: float = TOLERANCE):
+    from repro.batch import track_paths
+
+    return track_paths(
+        branch_point_system,
+        branch_point_jacobian,
+        [[0.5], [-0.5]],
+        tol=tol,
+        order=10,
+        max_steps=48,
+    )
+
+
+def qr_throughput(batch: int = THROUGHPUT_BATCH, dim: int = 8, repeats: int = 3):
+    """Looped vs batched blocked QR on ``batch`` dd matrices."""
+    from repro.batch import batched_blocked_qr
+    from repro.core import blocked_qr
+    from repro.vec import batched as vb
+    from repro.vec import random as mdrandom
+
+    rng = np.random.default_rng(20220320)
+    matrices = [mdrandom.random_matrix(dim, dim, 2, rng) for _ in range(batch)]
+    stacked = vb.stack(matrices)
+    tile = max(1, dim // 2)
+
+    def best(func):
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            func()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    looped = best(lambda: [blocked_qr(m, tile) for m in matrices])
+    batched = best(lambda: batched_blocked_qr(stacked, tile))
+    return looped, batched
+
+
+def main(tol: float = TOLERANCE, batch: int = THROUGHPUT_BATCH) -> None:
+    fleet = track_fleet(tol)
+    print(f"Fleet of {fleet.batch} paths, tol = {tol:g}")
+    print(f"{'path':>4s}  {'steps':>5s}  {'escalations':>11s}  "
+          f"{'precisions':>14s}  {'x(1)':>22s}  {'reached':>7s}")
+    for index, path in enumerate(fleet.paths):
+        ladder = " -> ".join(path.precisions_used)
+        value = float(path.final_point[0])
+        print(
+            f"{index:>4d}  {path.step_count:>5d}  {path.escalations:>11d}  "
+            f"{ladder:>14s}  {value:>22.15f}  {str(path.reached):>7s}"
+        )
+    print(
+        f"\nLock-step rounds: {fleet.rounds} "
+        f"(sub-batches regrouped per precision rung per round)"
+    )
+    print(
+        "Predicted kernel time, one path at a time: "
+        f"{fleet.total_model_ms:8.3f} ms"
+    )
+    print(
+        "Predicted kernel time, batched fleet:      "
+        f"{fleet.fleet_model_ms:8.3f} ms  "
+        f"({fleet.batching_speedup:.2f}x from batching, launches flat in b)"
+    )
+
+    looped, batched = qr_throughput(batch)
+    print(
+        f"\nMeasured here: {batch} blocked QRs (8x8, dd) "
+        f"looped {looped * 1e3:7.1f} ms vs batched {batched * 1e3:6.1f} ms "
+        f"-> {looped / batched:.1f}x"
+    )
+    print(
+        "\nEvery batched result is bit-identical to the unbatched kernels;"
+        "\nbatching changes the launch geometry, not a single limb."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,14 @@ see the subpackages for the full API:
   :func:`~repro.series.pade.pade`,
   :func:`~repro.series.newton.newton_series` and
   :func:`~repro.series.tracker.track_path`
+* :mod:`repro.batch` — batched multi-system execution (operands with a
+  leading batch axis, one launch per ``b`` problems): batched QR /
+  back substitution / least squares / Padé and the lock-step path
+  fleet tracker; lazily exported here as
+  :func:`~repro.batch.qr.batched_blocked_qr`,
+  :func:`~repro.batch.least_squares.batched_least_squares`,
+  :func:`~repro.batch.pade.batched_pade` and
+  :func:`~repro.batch.fleet.track_paths`
 """
 
 from __future__ import annotations
@@ -65,6 +73,12 @@ def __getattr__(name):
         "newton_series": ("repro.series", "newton_series"),
         "solve_matrix_series": ("repro.series", "solve_matrix_series"),
         "track_path": ("repro.series", "track_path"),
+        "track_paths": ("repro.batch", "track_paths"),
+        "PathFleetResult": ("repro.batch", "PathFleetResult"),
+        "batched_blocked_qr": ("repro.batch", "batched_blocked_qr"),
+        "batched_back_substitution": ("repro.batch", "batched_back_substitution"),
+        "batched_least_squares": ("repro.batch", "batched_least_squares"),
+        "batched_pade": ("repro.batch", "batched_pade"),
     }
     if name in lazy:
         import importlib

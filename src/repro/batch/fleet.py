@@ -1,0 +1,536 @@
+"""Path fleets: many homotopy paths advanced in lock-step batched steps.
+
+This is how the paper's workload is consumed in practice: a polynomial
+homotopy has thousands of solution paths, every one of which needs the
+same small dense kernels (Jacobian QR, per-order triangular solves,
+Hankel solves for the Padé approximants).  :func:`track_paths` runs the
+adaptive-precision tracker of :func:`repro.series.tracker.track_path`
+over a whole *fleet* of start points:
+
+* between steps the active paths are **regrouped into per-precision
+  sub-batches** (paths currently at d, dd, qd, od each form one batch);
+* each sub-batch advances through one lock-step batched step — one
+  :func:`~repro.batch.qr.batched_blocked_qr` of all Jacobian heads, one
+  batched triangular solve per series order, and **one**
+  :func:`~repro.batch.pade.batched_pade` construction covering all
+  ``batch × dimension`` solution components — so the kernel launch
+  count per round is flat in the fleet width;
+* step control, precision escalation (d → dd → qd → od) and Newton
+  correction follow the single-path tracker *per path*, decision for
+  decision.
+
+Because every batched kernel is bit-identical to a loop over its
+unbatched counterpart, each path of a fleet takes **exactly** the steps
+it would take if tracked alone — a fleet of one reproduces
+:func:`~repro.series.tracker.track_path` bit for bit, and a path whose
+Jacobian goes singular poisons only its own batch slice: it is detected
+(non-finite expansion), reported as ``failed``, and removed from the
+fleet without perturbing a single bit of its batch mates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import stages
+from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
+from ..gpu.kernel import KernelTrace
+from ..gpu.memory import md_bytes
+from ..md.constants import get_precision
+from ..md.number import MultiDouble
+from ..series.newton import _coerce_jacobian, _coerce_residual, _residual_column
+from ..series.tracker import _BUDGET_SPLIT, _POLE_SAFETY, PathResult, PathStep
+from ..series.truncated import TruncatedSeries
+from ..series.vector import VectorSeries
+from ..vec import batched as vb
+from ..vec.mdarray import MDArray
+from .back_substitution import batched_back_substitution
+from .least_squares import batched_least_squares
+from .pade import batched_pade
+from .qr import batched_blocked_qr
+from .tracing import add_batched_launch
+
+__all__ = ["PathFleetResult", "track_paths"]
+
+
+@dataclass
+class PathFleetResult:
+    """A tracked fleet: one :class:`~repro.series.tracker.PathResult`
+    per start point plus fleet-level accounting."""
+
+    #: per-path results, in start-point order
+    paths: list = field(default_factory=list)
+    #: lock-step rounds executed (each round advances every active
+    #: precision sub-batch once)
+    rounds: int = 0
+    #: one ``(round, precision name, path indices)`` record per
+    #: sub-batch advanced — the regrouping history
+    sub_batches: list = field(default_factory=list)
+    #: numeric kernel trace of every sub-batch round, aligned with
+    #: ``sub_batches`` (QR + per-order solves + batched Padé solves)
+    round_traces: list = field(default_factory=list)
+    #: predicted kernel milliseconds of the whole fleet under batched
+    #: execution (one lock-step launch sequence per sub-batch round)
+    fleet_model_ms: float = 0.0
+    device: str = "V100"
+
+    @property
+    def batch(self) -> int:
+        return len(self.paths)
+
+    @property
+    def reached_count(self) -> int:
+        return sum(1 for path in self.paths if path.reached)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for path in self.paths if path.failed)
+
+    @property
+    def escalations(self) -> int:
+        return sum(path.escalations for path in self.paths)
+
+    @property
+    def total_model_ms(self) -> float:
+        """Predicted kernel milliseconds if every path ran alone (the
+        sum of the per-path accounting; compare ``fleet_model_ms``)."""
+        return sum(path.total_model_ms for path in self.paths)
+
+    @property
+    def batching_speedup(self) -> float:
+        """Predicted kernel-time ratio of one-path-at-a-time execution
+        over lock-step batched execution."""
+        if self.fleet_model_ms <= 0.0:
+            return float("inf") if self.total_model_ms > 0.0 else 1.0
+        return self.total_model_ms / self.fleet_model_ms
+
+
+@dataclass
+class _PathState:
+    """Mutable tracker state of one fleet member."""
+
+    index: int
+    heads: list
+    t_current: float
+    trial_step: object  # float or None, as in track_path
+    rung: int = 0
+    active: bool = True
+    #: escalations and model milliseconds of the step being attempted
+    step_escalations: int = 0
+    step_model_ms: float = 0.0
+    precisions_used: list = field(default_factory=list)
+
+
+def track_paths(
+    system,
+    jacobian,
+    starts,
+    *,
+    t_start: float = 0.0,
+    t_end: float = 1.0,
+    order: int = 8,
+    tol: float = 1e-8,
+    precision_ladder=(1, 2, 4, 8),
+    numerator_degree=None,
+    denominator_degree=None,
+    initial_step=None,
+    min_step: float = 1e-10,
+    max_steps: int = 64,
+    tile_size=None,
+    bs_tile_size=None,
+    correct: bool = True,
+    device: str = "V100",
+) -> PathFleetResult:
+    """Track a fleet of solution paths of ``F(x, t) = 0`` in lock-step.
+
+    Parameters are those of :func:`repro.series.tracker.track_path`
+    (which see), except ``starts``: a sequence of start points, one per
+    path, all of the same dimension.  ``system`` and ``jacobian`` are
+    shared by the fleet and are called per path (each path has its own
+    expansion point), while all linear algebra — Jacobian QR, per-order
+    solves, Hankel solves, Newton correction — runs batched across the
+    paths of each precision sub-batch.
+
+    Returns a :class:`PathFleetResult`; its ``paths`` entries are
+    bit-identical to tracking each start point alone with
+    ``track_path`` (same steps, same escalations, same points), and a
+    path whose linear algebra degenerates is flagged ``failed`` without
+    affecting its batch mates.
+    """
+    if not precision_ladder:
+        raise ValueError("the precision ladder must not be empty")
+    if order < 2:
+        raise ValueError("path tracking needs series of order >= 2")
+    if numerator_degree is None:
+        numerator_degree = (order - 1) // 2
+    if denominator_degree is None:
+        denominator_degree = (order - 1) // 2
+    if numerator_degree + denominator_degree >= order:
+        raise ValueError(
+            "the Padé degrees must satisfy L + M + 1 <= order so the "
+            "defect coefficient exists"
+        )
+    starts = [list(start) for start in starts]
+    if not starts:
+        raise ValueError("the fleet needs at least one start point")
+    n = len(starts[0])
+    if n == 0:
+        raise ValueError("start points need at least one component")
+    if any(len(start) != n for start in starts):
+        raise ValueError("all start points must have the same dimension")
+
+    from ..perf.costmodel import path_fleet_trace, path_step_trace
+    from ..perf.model import PerformanceModel
+
+    model = PerformanceModel(device)
+    ladder = [get_precision(p).limbs for p in precision_ladder]
+    prec0 = get_precision(ladder[0])
+
+    fleet = PathFleetResult(device=device)
+    fleet.paths = [PathResult(device=device) for _ in starts]
+    states = []
+    for index, start in enumerate(starts):
+        state = _PathState(
+            index=index,
+            heads=[MultiDouble(value, prec0) for value in start],
+            t_current=float(t_start),
+            trial_step=float(initial_step) if initial_step else None,
+            precisions_used=[prec0.name],
+        )
+        states.append(state)
+        if not (state.t_current < t_end - 1e-14 and max_steps > 0):
+            _finalize(state, fleet.paths[index], t_end)
+
+    while any(state.active for state in states):
+        fleet.rounds += 1
+        groups = {}
+        for state in states:
+            if state.active:
+                groups.setdefault(state.rung, []).append(state)
+        for rung in sorted(groups):
+            _advance_sub_batch(
+                fleet,
+                groups[rung],
+                system,
+                jacobian,
+                n=n,
+                order=order,
+                tol=tol,
+                ladder=ladder,
+                rung=rung,
+                numerator_degree=numerator_degree,
+                denominator_degree=denominator_degree,
+                min_step=min_step,
+                max_steps=max_steps,
+                t_end=t_end,
+                tile_size=tile_size,
+                bs_tile_size=bs_tile_size,
+                correct=correct,
+                device=device,
+                model=model,
+                path_step_trace=path_step_trace,
+                path_fleet_trace=path_fleet_trace,
+            )
+    return fleet
+
+
+def _advance_sub_batch(
+    fleet,
+    batch_states,
+    system,
+    jacobian,
+    *,
+    n,
+    order,
+    tol,
+    ladder,
+    rung,
+    numerator_degree,
+    denominator_degree,
+    min_step,
+    max_steps,
+    t_end,
+    tile_size,
+    bs_tile_size,
+    correct,
+    device,
+    model,
+    path_step_trace,
+    path_fleet_trace,
+):
+    """One lock-step batched step attempt for one precision sub-batch."""
+    prec = get_precision(ladder[rung])
+    limbs = prec.limbs
+    batch = len(batch_states)
+    for state in batch_states:
+        state.heads = [MultiDouble(h, prec) for h in state.heads]
+    fleet.sub_batches.append(
+        (fleet.rounds, prec.name, tuple(state.index for state in batch_states))
+    )
+
+    # ------------------------------------------------------------------
+    # batched series Newton expansion (newton_series, fleet-wide)
+    # ------------------------------------------------------------------
+    qr_tile, bs_tile = resolve_tile_sizes(n, tile_size, bs_tile_size)
+    round_trace = KernelTrace(
+        device,
+        label=f"path fleet b={batch} dim={n} order={order} {prec.name}",
+    )
+    head_matrices = [
+        _coerce_jacobian(jacobian(list(state.heads), state.t_current), n, limbs)
+        for state in batch_states
+    ]
+
+    def make_local_system(t0):
+        def local_system(x, s):
+            shifted = TruncatedSeries.variable(s.order, prec, head=t0)
+            return system(x, shifted)
+
+        return local_system
+
+    local_systems = [make_local_system(state.t_current) for state in batch_states]
+
+    solution = np.zeros((limbs, batch, n, order + 1))
+    for p, state in enumerate(batch_states):
+        solution[:, p, :, 0] = MDArray.from_multidoubles(state.heads, limbs).data
+
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        qr = batched_blocked_qr(
+            vb.stack(head_matrices), qr_tile, device=device, trace=round_trace
+        )
+        q_transposed = vb.batched_transpose(qr.Q)
+        uppers = qr.R[:, :n, :n]
+        for k in range(1, order + 1):
+            rhs_rows = []
+            for p, state in enumerate(batch_states):
+                partial = [
+                    TruncatedSeries.from_mdarray(MDArray(solution[:, p, i, : k + 1]))
+                    for i in range(n)
+                ]
+                t = TruncatedSeries.variable(k, prec)
+                residuals = _coerce_residual(
+                    local_systems[p](partial, t), n, k, prec
+                )
+                rhs_rows.append(_residual_column(residuals, k))
+            rhs = vb.stack(rhs_rows)
+            qhb = vb.batched_matvec(q_transposed, rhs)
+            add_batched_launch(
+                round_trace,
+                batch,
+                "apply_qt",
+                STAGE_APPLY_QT,
+                blocks=max(1, stages.ceil_div(n, qr_tile)),
+                threads_per_block=qr_tile,
+                limbs=limbs,
+                tally=stages.tally_matvec(n, n),
+                bytes_read=md_bytes(n * n + n, limbs),
+                bytes_written=md_bytes(n, limbs),
+            )
+            bs = batched_back_substitution(
+                uppers, qhb[:, :n], bs_tile, device=device, trace=round_trace
+            )
+            solution[:, :, :, k] = bs.x.data
+
+        # --------------------------------------------------------------
+        # one batched Padé construction for all batch * n components
+        # --------------------------------------------------------------
+        flat_series = MDArray(
+            solution.reshape(limbs, batch * n, order + 1).copy()
+        )
+        approximants_flat = batched_pade(
+            flat_series,
+            numerator_degree,
+            denominator_degree,
+            device=device,
+            trace=round_trace,
+        )
+    fleet.round_traces.append(round_trace)
+    fleet_timed = model.attribute(
+        path_fleet_trace(
+            batch,
+            n,
+            order,
+            limbs,
+            tile_size=tile_size,
+            bs_tile_size=bs_tile_size,
+            numerator_degree=numerator_degree,
+            denominator_degree=denominator_degree,
+            device=device,
+        )
+    )
+    fleet.fleet_model_ms += fleet_timed.kernel_ms
+
+    # ------------------------------------------------------------------
+    # per-path step control — decision for decision as in track_path
+    # ------------------------------------------------------------------
+    # the per-path cost of one expansion attempt is sub-batch-invariant
+    # (same dimension, order, precision, tiles), so price it once
+    step_timed = model.attribute(
+        path_step_trace(
+            n,
+            order,
+            limbs,
+            tile_size=tile_size,
+            numerator_degree=numerator_degree,
+            denominator_degree=denominator_degree,
+            device=device,
+        )
+    )
+    accepted = []
+    for p, state in enumerate(batch_states):
+        result = fleet.paths[state.index]
+        state.step_model_ms += step_timed.kernel_ms
+
+        approximants = approximants_flat[p * n : (p + 1) * n]
+        if not _path_is_finite(solution[:, p], approximants):
+            result.failed = True
+            result.failure = (
+                "singular batched linear solve: non-finite series expansion "
+                f"at t = {state.t_current:.6g} ({prec.name})"
+            )
+            result.escalations += state.step_escalations
+            result.total_model_ms += state.step_model_ms
+            state.active = False
+            _finalize(state, result, t_end)
+            continue
+
+        expansion_vector = VectorSeries(MDArray(solution[:, p].copy()))
+        remaining = t_end - state.t_current
+
+        # step control on the Padé truncation estimate
+        h = min(remaining, state.trial_step) if state.trial_step else remaining
+        pole = min(a.pole_estimate() for a in approximants)
+        if pole != float("inf"):
+            h = min(h, _POLE_SAFETY * pole)
+        h = min(remaining, max(h, min_step))
+        truncation = max(a.error_estimate(h) for a in approximants)
+        while truncation > _BUDGET_SPLIT * tol and h > min_step:
+            h = max(h / 2.0, min_step)
+            truncation = max(a.error_estimate(h) for a in approximants)
+
+        # precision control on the coefficient-condition estimate
+        values = np.abs(expansion_vector.evaluate(h).to_double())
+        conditions = expansion_vector.coefficient_condition(h, values=values)
+        noise = prec.eps * float(np.max(conditions * np.maximum(values, 1.0)))
+        converged = truncation <= _BUDGET_SPLIT * tol
+        clean = noise <= _BUDGET_SPLIT * tol
+        if (clean and converged) or rung == len(ladder) - 1:
+            accepted.append((state, approximants, h, truncation, noise))
+        else:
+            state.rung += 1
+            state.step_escalations += 1
+            next_name = get_precision(ladder[state.rung]).name
+            if next_name not in state.precisions_used:
+                state.precisions_used.append(next_name)
+
+    if not accepted:
+        return
+
+    # ------------------------------------------------------------------
+    # advance the accepted paths (batched Newton correction)
+    # ------------------------------------------------------------------
+    new_heads_list = [
+        [a.evaluate(h) for a in approximants]
+        for state, approximants, h, _, _ in accepted
+    ]
+    t_next_list = [state.t_current + h for state, _, h, _, _ in accepted]
+    if correct:
+        new_heads_list = _batched_newton_correct(
+            system,
+            jacobian,
+            new_heads_list,
+            t_next_list,
+            prec,
+            tile_size,
+            device,
+        )
+
+    for (state, approximants, h, truncation, noise), new_heads, t_next in zip(
+        accepted, new_heads_list, t_next_list
+    ):
+        result = fleet.paths[state.index]
+        result.steps.append(
+            PathStep(
+                t=state.t_current,
+                step=h,
+                precision=prec.name,
+                limbs=prec.limbs,
+                truncation_error=truncation,
+                precision_noise=noise,
+                escalations=state.step_escalations,
+                model_ms=state.step_model_ms,
+                point=tuple(float(value) for value in new_heads),
+            )
+        )
+        result.escalations += state.step_escalations
+        result.total_model_ms += state.step_model_ms
+        state.heads = new_heads
+        state.t_current = t_next
+        state.trial_step = 2.0 * h  # gentle growth for the next trial
+        state.step_escalations = 0
+        state.step_model_ms = 0.0
+        if not (state.t_current < t_end - 1e-14 and len(result.steps) < max_steps):
+            state.active = False
+            _finalize(state, result, t_end)
+
+
+def _batched_newton_correct(
+    system, jacobian, heads_list, t_values, prec, tile_size, device, iterations=2
+):
+    """Polish the predicted points of a sub-batch in lock-step.
+
+    The residual series are evaluated per path (each has its own
+    ``t``); the ``b`` least squares solves of every polish iteration
+    run as one batched launch sequence.  Per path this matches
+    :func:`repro.series.tracker._newton_correct` bit for bit.
+    """
+    limbs = prec.limbs
+    batch = len(heads_list)
+    n = len(heads_list[0])
+    heads_list = [list(heads) for heads in heads_list]
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        for _ in range(iterations):
+            matrices, rhs_rows = [], []
+            for heads, t_value in zip(heads_list, t_values):
+                x = [TruncatedSeries([h], prec) for h in heads]
+                t = TruncatedSeries([MultiDouble(t_value, prec)], prec)
+                residuals = _coerce_residual(system(x, t), n, 0, prec)
+                matrices.append(
+                    _coerce_jacobian(jacobian(list(heads), t_value), n, limbs)
+                )
+                rhs_rows.append(_residual_column(residuals, 0))
+            solve = batched_least_squares(
+                vb.stack(matrices),
+                vb.stack(rhs_rows),
+                tile_size=tile_size,
+                device=device,
+            )
+            stacked = vb.stack(
+                [MDArray.from_multidoubles(heads, limbs) for heads in heads_list]
+            )
+            corrected = stacked + solve.x
+            heads_list = [list(corrected[p]) for p in range(batch)]
+    return heads_list
+
+
+def _path_is_finite(solution_slice, approximants) -> bool:
+    """Whether one path's expansion and approximants are all finite."""
+    if not np.isfinite(solution_slice).all():
+        return False
+    for approximant in approximants:
+        if not np.isfinite(approximant.numerator_array.data).all():
+            return False
+        if not np.isfinite(approximant.denominator_array.data).all():
+            return False
+    return True
+
+
+def _finalize(state, result, t_end) -> None:
+    """Close out one path's :class:`PathResult` from its final state."""
+    state.active = False
+    result.final_point = list(state.heads)
+    result.final_t = state.t_current
+    result.reached = (not result.failed) and state.t_current >= t_end - 1e-14
+    result.precisions_used = tuple(state.precisions_used)

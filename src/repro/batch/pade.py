@@ -1,0 +1,181 @@
+"""Batched Padé construction: one Hankel-solve launch for a whole fleet.
+
+The path tracker builds one ``[L/M]`` Padé approximant per solution
+component per step; a fleet of ``b`` paths with ``n`` components needs
+``b·n`` of them, all with the same degrees.  :func:`batched_pade`
+gathers **all** Hankel systems and right-hand sides from the stacked
+limb-major coefficient array in one indexing operation, solves them
+with one :func:`~repro.batch.least_squares.batched_least_squares` call,
+and finishes numerators and defects with one batched triangular
+convolution each — the per-series results are bit-identical to
+:func:`repro.series.pade.pade` on each series alone, because the
+batched solver and the convolution kernels are bit-identical to their
+unbatched counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.least_squares import resolve_tile_sizes
+from ..md.constants import get_precision
+from ..series.pade import PadeApproximant
+from ..series.truncated import TruncatedSeries
+from ..vec import linalg
+from ..vec.mdarray import MDArray
+from .least_squares import batched_least_squares
+
+__all__ = ["batched_pade"]
+
+
+def _gather_batched(data, indices) -> MDArray:
+    """Gather coefficients at ``indices`` from a limb-major ``(m, B, K+1)``
+    stack; out-of-range indices yield exact zeros (the batched analogue
+    of :func:`repro.series.pade._gather_coefficients`)."""
+    indices = np.asarray(indices)
+    valid = (indices >= 0) & (indices < data.shape[2])
+    safe = np.where(valid, indices, 0)
+    return MDArray(np.where(valid, data[:, :, safe], 0.0))
+
+
+def batched_pade(
+    series_batch,
+    numerator_degree=None,
+    denominator_degree=None,
+    *,
+    precision=None,
+    tile_size=None,
+    device="V100",
+    trace=None,
+) -> list:
+    """Construct ``[L/M]`` Padé approximants for a batch of series.
+
+    Parameters
+    ----------
+    series_batch:
+        A list of :class:`~repro.series.truncated.TruncatedSeries` of
+        one common order and precision, or an ``MDArray`` of element
+        shape ``(B, K+1)`` whose rows are the coefficient arrays.
+    numerator_degree, denominator_degree:
+        ``L`` and ``M``, shared by the batch; defaults as in
+        :func:`repro.series.pade.pade` (the diagonal approximant).
+    precision:
+        Working precision when ``series_batch`` is a plain array.
+    tile_size, device:
+        Passed to the batched Hankel least squares solve.
+    trace:
+        Optional :class:`~repro.gpu.kernel.KernelTrace` the batched
+        Hankel solve's launches (QR phase, then back substitution) are
+        appended to — mirrored by
+        :func:`repro.perf.costmodel.pade_trace` batched over ``B``.
+
+    Returns
+    -------
+    list of :class:`~repro.series.pade.PadeApproximant`, one per series,
+    each bit-identical to the unbatched construction (their ``trace``
+    fields are ``None``; the batched solve owns one shared trace).
+    """
+    if isinstance(series_batch, MDArray):
+        if series_batch.ndim != 2:
+            raise ValueError("expected an (B, K+1) coefficient array")
+        coefficients = series_batch.copy()
+        if precision is not None:
+            coefficients = coefficients.astype(precision)
+    else:
+        members = list(series_batch)
+        if not members:
+            raise ValueError("batched_pade needs at least one series")
+        converted = []
+        for member in members:
+            if not isinstance(member, TruncatedSeries):
+                member = TruncatedSeries(list(member), precision)
+            elif precision is not None and get_precision(precision).limbs != member.limbs:
+                member = member.astype(precision)
+            converted.append(member)
+        order = converted[0].order
+        limbs = converted[0].limbs
+        if any(s.order != order or s.limbs != limbs for s in converted):
+            raise ValueError("all series of a batch must share order and precision")
+        coefficients = MDArray(
+            np.stack([s.coefficients.data for s in converted], axis=1)
+        )
+    prec = get_precision(coefficients.limbs)
+    limbs = prec.limbs
+    B = coefficients.shape[0]
+    order = coefficients.shape[1] - 1
+    data = coefficients.data  # limb-major (m, B, K+1)
+
+    if numerator_degree is None and denominator_degree is None:
+        numerator_degree = denominator_degree = order // 2
+    elif numerator_degree is None:
+        numerator_degree = order - denominator_degree
+    elif denominator_degree is None:
+        denominator_degree = order - numerator_degree
+    L, M = int(numerator_degree), int(denominator_degree)
+    if L < 0 or M < 0:
+        raise ValueError("Padé degrees must be nonnegative")
+    if L + M > order:
+        raise ValueError(
+            f"[{L}/{M}] needs series coefficients through order {L + M}, "
+            f"got series of order {order}"
+        )
+
+    # denominators: all B Hankel systems solved in one batched launch
+    if M == 0:
+        ones = np.zeros((limbs, B, 1))
+        ones[0] = 1.0
+        denominator_array = MDArray(ones)
+    else:
+        i = np.arange(1, M + 1)
+        systems = _gather_batched(data, L + i[:, None] - i[None, :])
+        rhs = -_gather_batched(data, L + i)
+        tile_size, _ = resolve_tile_sizes(M, tile_size, None)
+        solution = batched_least_squares(
+            systems, rhs, tile_size=tile_size, device=device
+        )
+        if trace is not None:
+            trace.extend(solution.qr_trace)
+            trace.extend(solution.bs_trace)
+        one = np.zeros((limbs, B, 1))
+        one[0] = 1.0
+        denominator_array = MDArray(
+            np.concatenate([one, solution.x.data], axis=2)
+        )
+
+    # numerators: p = (c * q) truncated at order L, one batched convolution
+    q_padded = MDArray(
+        np.concatenate(
+            [
+                denominator_array.data[:, :, : L + 1],
+                np.zeros((limbs, B, max(0, L - M))),
+            ],
+            axis=2,
+        )
+    )
+    numerator_array = linalg.cauchy_product(
+        _gather_batched(data, np.arange(L + 1)), q_padded
+    )
+
+    # defects: coefficient of t**(L+M+1) in q f - p, batched over B
+    defects = None
+    if order >= L + M + 1:
+        defects = linalg.convolution_coefficient(
+            coefficients, denominator_array, L + M + 1
+        )
+
+    approximants = []
+    for index in range(B):
+        numerator_i = numerator_array[index]
+        denominator_i = denominator_array[index]
+        approximants.append(
+            PadeApproximant(
+                numerator=tuple(numerator_i),
+                denominator=tuple(denominator_i),
+                precision=prec,
+                defect=defects.to_multidouble(index) if defects is not None else None,
+                trace=None,
+                numerator_array=numerator_i,
+                denominator_array=denominator_i,
+            )
+        )
+    return approximants

@@ -1,0 +1,303 @@
+"""Batched blocked Householder QR: ``b`` factorizations per launch.
+
+:func:`batched_blocked_qr` is Algorithm 2 of the paper
+(:func:`repro.core.blocked_qr.blocked_qr`) executed on a
+``(b, rows, cols)`` batch of matrices: every stage — Householder
+vectors, panel updates, WY accumulation, ``Q``/trailing-column updates
+— runs as **one** vectorized limb operation over all ``b`` systems, so
+the kernel launch count is flat in the batch size while the work per
+launch scales linearly (the launch records say exactly that).
+
+The arithmetic per batch slice is bit-identical to a Python loop over
+the unbatched driver: the batched kernels of :mod:`repro.vec.batched`
+reuse the same generic limb operations and the same pairwise reduction
+trees, and the panel logic below mirrors the unbatched control flow
+statement for statement (there is no data-dependent branching in the
+blocked QR other than the zero-column degeneracy, which
+:func:`repro.vec.batched.batched_householder_vector` patches per batch
+member).
+
+A singular or zero system poisons only its own batch slice (its
+reflectors degenerate to the identity and later triangular solves
+produce non-finite entries in that slice alone); its batch mates are
+unaffected — the property the path fleets rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import stages
+from ..gpu.kernel import KernelTrace
+from ..gpu.memory import md_bytes
+from ..vec import batched as vb
+from ..vec.mdarray import MDArray
+from .tracing import add_batched_launch
+
+__all__ = ["BatchedQRResult", "batched_blocked_qr"]
+
+
+@dataclass
+class BatchedQRResult:
+    """``b`` QR factorizations ``A_i = Q_i R_i`` with one shared trace."""
+
+    #: orthogonal factors, shape ``(b, rows, rows)``
+    Q: MDArray
+    #: upper triangular factors, shape ``(b, rows, cols)``
+    R: MDArray
+    trace: KernelTrace
+    tile_size: int
+    tiles: int
+
+    @property
+    def batch(self) -> int:
+        return self.R.shape[0]
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of one system (without the batch axis)."""
+        return self.R.shape[1:]
+
+    def system(self, index: int) -> tuple:
+        """``(Q_i, R_i)`` of one batch member (copied)."""
+        return self.Q[index].copy(), self.R[index].copy()
+
+    def finite_systems(self) -> np.ndarray:
+        """Boolean mask of batch members whose factors are finite.
+
+        Storage is ``(m, b, rows, cols)``: the limb axis leads, so the
+        reduction keeps only the batch axis."""
+        q_ok = np.isfinite(self.Q.data).all(axis=(0, 2, 3))
+        r_ok = np.isfinite(self.R.data).all(axis=(0, 2, 3))
+        return q_ok & r_ok
+
+
+def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> BatchedQRResult:
+    """Factor ``A_i = Q_i R_i`` for a ``(b, rows, cols)`` batch.
+
+    Parameters mirror :func:`repro.core.blocked_qr.blocked_qr`;
+    ``matrices`` carries one extra leading batch axis.  Each batch
+    slice of the result is bit-identical to the unbatched driver on the
+    corresponding matrix.
+    """
+    batch, rows, cols = _check_batch(matrices)
+    n = tile_size
+    if n <= 0 or cols % n != 0:
+        raise ValueError(f"tile size {tile_size} must divide the column count {cols}")
+    tiles = cols // n
+    limbs = matrices.limbs
+    if trace is None:
+        trace = KernelTrace(
+            device, label=f"batched QR b={batch} {rows}x{cols}, {tiles}x{n}"
+        )
+
+    R = matrices.copy()
+    Q = vb.batched_identity(batch, rows, limbs)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(tiles):
+            col0 = k * n
+            r = rows - col0  # panel height, from the diagonal block downwards
+
+            # ----------------------------------------------------------
+            # 1. panel factorization: Householder vectors column by column
+            # ----------------------------------------------------------
+            vectors, betas = [], []
+            for l in range(n):
+                j = col0 + l
+                length = rows - j
+                column = R[:, j:rows, j]  # (b, length)
+                v, beta, _ = vb.batched_householder_vector(column)
+                add_batched_launch(
+                    trace,
+                    batch,
+                    "householder",
+                    stages.STAGE_BETA_V,
+                    blocks=max(1, -(-length // n)),
+                    threads_per_block=n,
+                    limbs=limbs,
+                    tally=stages.tally_householder_vector(length),
+                    bytes_read=md_bytes(length, limbs),
+                    bytes_written=md_bytes(length + 1, limbs),
+                )
+
+                # t = beta * (panel block)^T v   (stage beta*R^T*v)
+                panel_cols = col0 + n - j
+                block = R[:, j:rows, j : col0 + n]  # (b, length, panel_cols)
+                t = vb.batched_matvec(vb.batched_transpose(block), v)
+                w = t * beta.reshape(batch, 1)
+                add_batched_launch(
+                    trace,
+                    batch,
+                    "beta_rtv",
+                    stages.STAGE_BETA_RTV,
+                    blocks=max(1, -(-length // n)),
+                    threads_per_block=n,
+                    limbs=limbs,
+                    tally=stages.tally_matvec(panel_cols, length)
+                    + stages.tally_matvec(panel_cols, 1),
+                    bytes_read=md_bytes(length * panel_cols + length, limbs),
+                    bytes_written=md_bytes(panel_cols, limbs),
+                )
+
+                # rank-1 update of the panel (stage update R)
+                R[:, j:rows, j : col0 + n] = block - vb.batched_outer(v, w)
+                add_batched_launch(
+                    trace,
+                    batch,
+                    "update_r",
+                    stages.STAGE_UPDATE_R,
+                    blocks=max(1, panel_cols),
+                    threads_per_block=n,
+                    limbs=limbs,
+                    tally=stages.tally_rank1_update(length, panel_cols),
+                    bytes_read=md_bytes(length * panel_cols + length + panel_cols, limbs),
+                    bytes_written=md_bytes(length * panel_cols, limbs),
+                )
+
+                # the reflector annihilates the subdiagonal of column j exactly
+                if length > 1:
+                    R[:, j + 1 : rows, j] = MDArray.zeros((batch, length - 1), limbs)
+
+                # embed v into the panel-height vector stored in Y
+                padded = MDArray.zeros((batch, r), limbs)
+                padded[:, l:] = v
+                vectors.append(padded)
+                betas.append(beta)
+
+            # ----------------------------------------------------------
+            # 2. aggregate the panel reflectors: W, Y and YWT = Y W^T
+            # ----------------------------------------------------------
+            W, Y = _batched_accumulate_wy(
+                vectors, betas, trace=trace, batch=batch, threads_per_block=n
+            )
+            YWT = vb.batched_matmul(Y, vb.batched_transpose(W))
+            add_batched_launch(
+                trace,
+                batch,
+                "ywt",
+                stages.STAGE_YWT,
+                blocks=max(1, -(-(r * r) // n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matmul(r, n, r),
+                bytes_read=md_bytes(2 * r * n, limbs),
+                bytes_written=md_bytes(r * r, limbs),
+            )
+
+            # ----------------------------------------------------------
+            # 3. update Q in two stages: QWY := Q * WY^T, then Q += QWY
+            # ----------------------------------------------------------
+            WYH = vb.batched_transpose(YWT)
+            QWY = vb.batched_matmul(Q[:, :, col0:rows], WYH)
+            add_batched_launch(
+                trace,
+                batch,
+                "q_wyt",
+                stages.STAGE_QWYT,
+                blocks=max(1, -(-(rows * r) // n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matmul(rows, r, r),
+                bytes_read=md_bytes(rows * r + r * r, limbs),
+                bytes_written=md_bytes(rows * r, limbs),
+            )
+            Q[:, :, col0:rows] = Q[:, :, col0:rows] + QWY
+            add_batched_launch(
+                trace,
+                batch,
+                "q_add",
+                stages.STAGE_Q_ADD,
+                blocks=max(1, -(-(rows * r) // n)),
+                threads_per_block=n,
+                limbs=limbs,
+                tally=stages.tally_matrix_add(rows, r),
+                bytes_read=md_bytes(2 * rows * r, limbs),
+                bytes_written=md_bytes(rows * r, limbs),
+            )
+
+            # ----------------------------------------------------------
+            # 4. update the trailing columns: YWTC := YWT * C, then R += YWTC
+            # ----------------------------------------------------------
+            if k < tiles - 1:
+                c = cols - (col0 + n)
+                C = R[:, col0:rows, col0 + n : cols]
+                YWTC = vb.batched_matmul(YWT, C)
+                add_batched_launch(
+                    trace,
+                    batch,
+                    "ywt_c",
+                    stages.STAGE_YWTC,
+                    blocks=max(1, -(-(r * c) // n)),
+                    threads_per_block=n,
+                    limbs=limbs,
+                    tally=stages.tally_matmul(r, r, c),
+                    bytes_read=md_bytes(r * r + r * c, limbs),
+                    bytes_written=md_bytes(r * c, limbs),
+                )
+                R[:, col0:rows, col0 + n : cols] = C + YWTC
+                add_batched_launch(
+                    trace,
+                    batch,
+                    "r_add",
+                    stages.STAGE_R_ADD,
+                    blocks=max(1, -(-(r * c) // n)),
+                    threads_per_block=n,
+                    limbs=limbs,
+                    tally=stages.tally_matrix_add(r, c),
+                    bytes_read=md_bytes(2 * r * c, limbs),
+                    bytes_written=md_bytes(r * c, limbs),
+                )
+
+    return BatchedQRResult(Q=Q, R=R, trace=trace, tile_size=n, tiles=tiles)
+
+
+def _batched_accumulate_wy(vectors, betas, *, trace, batch, threads_per_block):
+    """WY accumulation over the batch (formula 16, one launch per column).
+
+    Mirrors :func:`repro.core.wy.accumulate_wy` on ``(b, r)`` vectors
+    and ``(b,)`` betas; each slice is bit-identical to the unbatched
+    accumulation.
+    """
+    r = vectors[0].shape[1]
+    n = len(vectors)
+    limbs = vectors[0].limbs
+    W = MDArray.zeros((batch, r, n), limbs)
+    Y = MDArray.zeros((batch, r, n), limbs)
+    for l, (v, beta) in enumerate(zip(vectors, betas)):
+        Y[:, :, l] = v
+        beta_column = beta.reshape(batch, 1)
+        if l == 0:
+            z = -(v * beta_column)
+        else:
+            # z = -beta (v + W[:, :, :l] (Y[:, :, :l]^T v))
+            yhv = vb.batched_matvec(vb.batched_transpose(Y[:, :, :l]), v)
+            wyhv = vb.batched_matvec(W[:, :, :l], yhv)
+            z = -((v + wyhv) * beta_column)
+        W[:, :, l] = z
+        add_batched_launch(
+            trace,
+            batch,
+            "compute_w_column",
+            stages.STAGE_COMPUTE_W,
+            blocks=max(1, -(-r // threads_per_block)),
+            threads_per_block=threads_per_block,
+            limbs=limbs,
+            tally=stages.tally_compute_w_column(r, l),
+            bytes_read=md_bytes(r * (2 * l + 1), limbs),
+            bytes_written=md_bytes(r, limbs),
+        )
+    return W, Y
+
+
+def _check_batch(matrices) -> tuple:
+    if matrices.ndim != 3:
+        raise ValueError("batched_blocked_qr expects a (b, rows, cols) batch")
+    batch, rows, cols = matrices.shape
+    if batch < 1:
+        raise ValueError("the batch must contain at least one system")
+    if rows < cols:
+        raise ValueError("batched_blocked_qr expects rows >= cols")
+    return batch, rows, cols

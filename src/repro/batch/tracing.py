@@ -1,0 +1,47 @@
+"""Batch-aware kernel launch recording.
+
+The batched drivers record exactly the launches their unbatched
+counterparts record, transformed by :meth:`KernelLaunch.batched
+<repro.gpu.kernel.KernelLaunch.batched>`: ``batch`` times the blocks,
+tallies and bytes, the same single launch.  Routing every record
+through that one transform is what keeps the numeric batched traces
+launch-identical to the analytic ones
+(:func:`repro.perf.costmodel.batched_qr_trace` and friends, which apply
+:meth:`KernelTrace.batched <repro.gpu.kernel.KernelTrace.batched>` to
+the unbatched model traces).
+"""
+
+from __future__ import annotations
+
+from ..gpu.kernel import KernelLaunch, KernelTrace
+
+__all__ = ["add_batched_launch"]
+
+
+def add_batched_launch(
+    trace: KernelTrace,
+    batch: int,
+    name: str,
+    stage: str,
+    *,
+    blocks: int,
+    threads_per_block: int,
+    limbs: int,
+    tally,
+    bytes_read: float = 0.0,
+    bytes_written: float = 0.0,
+    efficiency: float = 1.0,
+) -> KernelLaunch:
+    """Record one launch given its **unbatched** geometry and tally."""
+    launch = KernelLaunch(
+        name=name,
+        stage=stage,
+        blocks=int(blocks),
+        threads_per_block=int(threads_per_block),
+        limbs=limbs,
+        tally=tally,
+        bytes_read=float(bytes_read),
+        bytes_written=float(bytes_written),
+        efficiency=float(efficiency),
+    ).batched(batch)
+    return trace.record(launch)

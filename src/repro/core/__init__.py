@@ -44,4 +44,33 @@ __all__ = [
     "baseline",
     "normal_equations",
     "stages",
+    "batched_blocked_qr",
+    "batched_back_substitution",
+    "batched_least_squares",
 ]
+
+#: Batched counterparts of the core drivers.  They live in
+#: :mod:`repro.batch` (which imports the submodules here), so they are
+#: re-exported lazily to keep the packages import-cycle free.
+_BATCHED_EXPORTS = {
+    "batched_blocked_qr": ("repro.batch.qr", "batched_blocked_qr"),
+    "batched_back_substitution": (
+        "repro.batch.back_substitution",
+        "batched_back_substitution",
+    ),
+    "batched_least_squares": (
+        "repro.batch.least_squares",
+        "batched_least_squares",
+    ),
+}
+
+
+def __getattr__(name):
+    if name in _BATCHED_EXPORTS:
+        import importlib
+
+        module_name, attr = _BATCHED_EXPORTS[name]
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

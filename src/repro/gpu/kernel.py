@@ -67,6 +67,30 @@ class KernelLaunch:
             return float("inf")
         return self.flops() / total_bytes
 
+    def batched(self, batch: int) -> "KernelLaunch":
+        """The same launch advancing ``batch`` independent problems.
+
+        The grid grows by the batch factor (``batch`` times the blocks,
+        same threads per block), and the tally and memory traffic scale
+        linearly — while it remains **one** launch.  This is the
+        transform the batched drivers of :mod:`repro.batch` apply to the
+        unbatched launch records, and the one
+        :meth:`KernelTrace.batched` applies to whole analytic traces;
+        sharing it is what keeps the numeric and analytic batched paths
+        launch-identical.
+        """
+        return KernelLaunch(
+            name=self.name,
+            stage=self.stage,
+            blocks=self.blocks * int(batch),
+            threads_per_block=self.threads_per_block,
+            limbs=self.limbs,
+            tally=self.tally.scaled(batch),
+            bytes_read=self.bytes_read * batch,
+            bytes_written=self.bytes_written * batch,
+            efficiency=self.efficiency,
+        )
+
 
 @dataclass
 class StageSummary:
@@ -130,6 +154,20 @@ class KernelTrace:
             efficiency=float(efficiency),
         )
         return self.record(launch)
+
+    def batched(self, batch: int) -> "KernelTrace":
+        """A trace of the same launches, each advancing ``batch`` problems.
+
+        The launch count stays **flat** in the batch size while blocks,
+        tallies and bytes scale linearly — the whole point of the
+        batched execution layer (:mod:`repro.batch`)."""
+        if batch < 1:
+            raise ValueError("the batch size must be at least 1")
+        out = KernelTrace(self.device, label=f"{self.label} [batch={batch}]")
+        out.launches = [launch.batched(batch) for launch in self.launches]
+        out.transfer_ms = self.transfer_ms
+        out.host_ms = self.host_ms
+        return out
 
     def extend(self, other: "KernelTrace") -> None:
         """Append all launches (and accounted host/transfer time) of

@@ -244,6 +244,23 @@ class SeriesOperationCounts:
             self.launches * factor,
         )
 
+    def batched(self, batch: float) -> "SeriesOperationCounts":
+        """The counts of one **batched** launch advancing ``batch``
+        independent series at once: the operations scale linearly, the
+        launch count stays flat — the batching contract of
+        :mod:`repro.batch` (contrast :meth:`scaled_ops`, which repeats
+        the launches too)."""
+        return SeriesOperationCounts(
+            self.operation,
+            self.order,
+            self.add * batch,
+            self.sub * batch,
+            self.mul * batch,
+            self.div * batch,
+            self.sqrt * batch,
+            self.launches,
+        )
+
     def _renamed(self, operation: str, order: int) -> "SeriesOperationCounts":
         return SeriesOperationCounts(
             operation,
@@ -298,7 +315,7 @@ def pairwise_reduction_levels(n: int) -> int:
 
 
 @lru_cache(maxsize=None)
-def series_counts(operation: str, order: int) -> SeriesOperationCounts:
+def series_counts(operation: str, order: int, batch: int = 1) -> SeriesOperationCounts:
     """Multiple double operation counts of one series operation.
 
     Supported operations: ``add``, ``sub``, ``scale`` (coefficient-wise
@@ -308,7 +325,15 @@ def series_counts(operation: str, order: int) -> SeriesOperationCounts:
     :func:`repro.vec.linalg.cauchy_product`: one launch over the full
     ``(K+1)²`` product grid, then one zero-padded pairwise reduction of
     length ``K + 1`` per output coefficient.
+
+    ``batch`` counts one launch advancing that many independent series
+    at once (the leading batch axes of the limb-major kernels): the
+    operations scale linearly with it, the launch counts do not.
     """
+    if batch < 1:
+        raise ValueError("the batch size must be at least 1")
+    if batch != 1:
+        return series_counts(operation, order).batched(batch)
     if order < 0:
         raise ValueError("the truncation order must be nonnegative")
     K = order
@@ -374,22 +399,28 @@ def series_counts(operation: str, order: int) -> SeriesOperationCounts:
     raise ValueError(f"unknown series operation {operation!r}")
 
 
-def series_flops(operation: str, order: int, limbs: int, source: str = "paper") -> float:
+def series_flops(
+    operation: str, order: int, limbs: int, source: str = "paper", batch: int = 1
+) -> float:
     """Double precision flop count of one series operation at a
-    precision, using the Table 1 multipliers (or the measured ones)."""
-    return series_counts(operation, order).flops(limbs, source)
+    precision, using the Table 1 multipliers (or the measured ones);
+    linear in the ``batch`` size."""
+    return series_counts(operation, order, batch).flops(limbs, source)
 
 
-def series_launches(operation: str, order: int) -> float:
+def series_launches(operation: str, order: int, batch: int = 1) -> float:
     """Vectorized limb-kernel launches of one series operation.
 
     This is the launch-count view of the batched structure: a scalar
     implementation needs ``O(K²)`` multiple double operations for a
     Cauchy product, the limb-major implementation needs
     ``1 + ceil(log2(K+1))`` launches — the number the analytic cost
-    model compares against kernel launch overheads.
+    model compares against kernel launch overheads.  The count is
+    **independent of the batch size** (one launch advances the whole
+    batch); ``batch`` is accepted so call sites can state the fleet
+    width they are accounting for.
     """
-    return series_counts(operation, order).launches
+    return series_counts(operation, order, batch).launches
 
 
 def series_cost_table(order: int, limb_counts=(1, 2, 4, 8), source: str = "paper"):

@@ -32,6 +32,10 @@ __all__ = [
     "newton_series_trace",
     "pade_trace",
     "path_step_trace",
+    "batched_qr_trace",
+    "batched_back_substitution_trace",
+    "batched_lstsq_trace",
+    "path_fleet_trace",
 ]
 
 
@@ -416,6 +420,94 @@ def pade_trace(
     qr, bs = lstsq_trace(M, M, tile_size, limbs, device, complex_data)
     trace.extend(qr)
     trace.extend(bs)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# batched execution layer (repro.batch): launches flat in the batch size,
+# work linear in it
+# ---------------------------------------------------------------------------
+
+
+def batched_qr_trace(
+    batch, rows, cols, tile_size, limbs, device="V100", complex_data=False
+):
+    """Analytic trace of the batched blocked QR.
+
+    Mirrors :func:`repro.batch.qr.batched_blocked_qr` launch for
+    launch: the same launches as :func:`qr_trace` with ``batch`` times
+    the blocks, tallies and bytes — the launch count is **flat** in the
+    batch size, the flops linear (the batching contract the tests
+    assert).
+    """
+    return qr_trace(rows, cols, tile_size, limbs, device, complex_data).batched(batch)
+
+
+def batched_back_substitution_trace(
+    batch, tiles, tile_size, limbs, device="V100", complex_data=False
+):
+    """Analytic trace of the batched tiled back substitution; mirrors
+    :func:`repro.batch.back_substitution.batched_back_substitution`."""
+    return back_substitution_trace(
+        tiles, tile_size, limbs, device, complex_data
+    ).batched(batch)
+
+
+def batched_lstsq_trace(batch, rows, cols, tile_size, limbs, device="V100"):
+    """Analytic traces (QR, BS) of the batched least squares solver;
+    mirrors :func:`repro.batch.least_squares.batched_least_squares`."""
+    qr, bs = lstsq_trace(rows, cols, tile_size, limbs, device)
+    return qr.batched(batch), bs.batched(batch)
+
+
+def path_fleet_trace(
+    batch,
+    dimension,
+    order,
+    limbs,
+    *,
+    tile_size=None,
+    bs_tile_size=None,
+    numerator_degree=None,
+    denominator_degree=None,
+    device="V100",
+):
+    """Analytic trace of one lock-step fleet step over ``batch`` paths.
+
+    One batched series Newton expansion (QR of all Jacobian heads plus
+    one batched solve per series order) and **one** batched Padé
+    construction covering all ``batch * dimension`` solution components
+    — the work :func:`repro.batch.fleet.track_paths` performs per
+    precision sub-batch per round.  Compared with ``batch`` repetitions
+    of :func:`path_step_trace` the flops are identical but the launch
+    count is flat in the batch size (and the per-path Padé launches
+    collapse into one batched construction, so it is flat in the
+    dimension as well).
+    """
+    if numerator_degree is None:
+        numerator_degree = (order - 1) // 2
+    if denominator_degree is None:
+        denominator_degree = (order - 1) // 2
+    trace = KernelTrace(
+        device,
+        label=f"path fleet model b={batch} dim={dimension} order={order}",
+    )
+    newton = newton_series_trace(
+        dimension,
+        order,
+        limbs,
+        tile_size=tile_size,
+        bs_tile_size=bs_tile_size,
+        device=device,
+    )
+    trace.extend(newton.batched(batch))
+    pade = pade_trace(
+        numerator_degree,
+        denominator_degree,
+        limbs,
+        device=device,
+    )
+    trace.extend(pade.batched(batch * dimension))
     return trace
 
 

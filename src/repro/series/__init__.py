@@ -69,4 +69,25 @@ __all__ = [
     "PathStep",
     "PathResult",
     "track_path",
+    "track_paths",
+    "PathFleetResult",
 ]
+
+#: The fleet tracker batches whole systems of paths through
+#: :mod:`repro.batch` (which builds on this package), so it is
+#: re-exported lazily to keep the import graph acyclic.
+_FLEET_EXPORTS = {
+    "track_paths": ("repro.batch.fleet", "track_paths"),
+    "PathFleetResult": ("repro.batch.fleet", "PathFleetResult"),
+}
+
+
+def __getattr__(name):
+    if name in _FLEET_EXPORTS:
+        import importlib
+
+        module_name, attr = _FLEET_EXPORTS[name]
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

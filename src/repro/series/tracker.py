@@ -44,7 +44,23 @@ from .newton import _coerce_jacobian, _coerce_residual, _residual_column, newton
 from .pade import pade
 from .truncated import TruncatedSeries
 
-__all__ = ["PathStep", "PathResult", "track_path"]
+__all__ = ["PathStep", "PathResult", "track_path", "track_paths"]
+
+
+def __getattr__(name):
+    """Lazily expose the fleet tracker.
+
+    ``track_paths`` lives in :mod:`repro.batch.fleet` (it is built on
+    the batched execution layer, which itself builds on this module);
+    re-exporting it lazily keeps the two packages import-cycle free
+    while letting callers keep writing
+    ``from repro.series.tracker import track_paths``.
+    """
+    if name == "track_paths":
+        from ..batch.fleet import track_paths
+
+        return track_paths
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Fraction of the error budget granted to each of the two estimates.
 _BUDGET_SPLIT = 0.5
@@ -93,6 +109,13 @@ class PathResult:
     #: predicted kernel milliseconds of the whole path (cost model)
     total_model_ms: float = 0.0
     device: str = "V100"
+    #: whether tracking aborted on a degenerate linear solve (only the
+    #: fleet tracker :func:`repro.batch.fleet.track_paths` sets this —
+    #: a failed path is removed from its fleet without perturbing its
+    #: batch mates)
+    failed: bool = False
+    #: human-readable failure reason (empty when ``failed`` is False)
+    failure: str = ""
 
     @property
     def step_count(self) -> int:

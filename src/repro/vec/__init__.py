@@ -5,8 +5,8 @@ are the Python stand-ins for the paper's CUDA data staging and device
 kernels; see :mod:`repro.vec.mdarray` for the layout discussion.
 """
 
-from . import linalg, random
+from . import batched, linalg, random
 from .complexmd import MDComplexArray
 from .mdarray import MDArray
 
-__all__ = ["MDArray", "MDComplexArray", "linalg", "random"]
+__all__ = ["MDArray", "MDComplexArray", "batched", "linalg", "random"]

@@ -1,0 +1,206 @@
+"""Batched dense kernels: one limb-level launch advances ``b`` problems.
+
+The paper's workloads are consumed in fleets — thousands of homotopy
+paths per polynomial system, each needing its own small QR, triangular
+solve and Padé construction.  Launching one kernel per problem wastes
+the device on launch overhead; the batched kernels below carry a
+**leading batch axis** ``(b, …)`` on their :class:`~repro.vec.mdarray.MDArray`
+operands so that a single vectorized limb operation (the stand-in for
+one CUDA launch) advances all ``b`` problems at once.
+
+Bit-identity contract
+---------------------
+Every batched kernel reuses the *same* generic limb arithmetic
+(:mod:`repro.md.generic`, broadcast over the batch axis) and the *same*
+zero-padded pairwise reduction trees (:meth:`MDArray.sum
+<repro.vec.mdarray.MDArray.sum>`) as its unbatched counterpart in
+:mod:`repro.vec.linalg`, reducing along the same element axes.  The
+result of a batched call is therefore **bit-identical** to a Python
+loop over the unbatched kernel — the property the batched solvers of
+:mod:`repro.batch` inherit and the tests in ``tests/batch`` pin at
+d/dd/qd/od.
+
+Only real data is supported (the batched drivers are real-valued, as
+are the path fleets that consume them); complex batching can follow the
+same pattern when a workload needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.constants import get_precision
+from .complexmd import MDComplexArray
+from .mdarray import MDArray
+
+__all__ = [
+    "stack",
+    "unstack",
+    "batched_transpose",
+    "batched_matvec",
+    "batched_matmul",
+    "batched_dot",
+    "batched_norm",
+    "batched_outer",
+    "batched_identity",
+    "batched_apply_qt",
+    "batched_householder_vector",
+]
+
+
+def _check_real(*arrays) -> None:
+    for array in arrays:
+        if isinstance(array, MDComplexArray):
+            raise TypeError("the batched kernels operate on real MDArray data")
+
+
+def stack(arrays) -> MDArray:
+    """Stack unbatched operands along a new leading batch axis.
+
+    ``b`` arrays of element shape ``s`` become one array of element
+    shape ``(b, *s)``; the limbs are copied, not renormalized, so the
+    stacked problems are the originals bit for bit.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ValueError("cannot stack an empty batch")
+    _check_real(*arrays)
+    limbs = arrays[0].limbs
+    if any(a.limbs != limbs for a in arrays):
+        raise ValueError("all batch members must share the precision")
+    if any(a.shape != arrays[0].shape for a in arrays):
+        raise ValueError("all batch members must share the element shape")
+    return MDArray(np.stack([a.data for a in arrays], axis=1))
+
+
+def unstack(batch) -> list:
+    """The inverse of :func:`stack`: one copied MDArray per batch item."""
+    if batch.ndim < 1:
+        raise ValueError("unstack expects a leading batch axis")
+    return [MDArray(batch.data[:, i].copy()) for i in range(batch.shape[0])]
+
+
+def batched_transpose(a) -> MDArray:
+    """Transpose of every matrix in a ``(b, rows, cols)`` batch."""
+    _check_real(a)
+    if a.ndim != 3:
+        raise ValueError("batched_transpose expects a (b, rows, cols) batch")
+    return MDArray(np.swapaxes(a.data, 2, 3))
+
+
+def batched_matvec(matrices, vectors) -> MDArray:
+    """``y_i = A_i x_i`` for every ``i`` in a ``(b, rows, cols)`` batch.
+
+    The products and the pairwise column reduction are the ones of
+    :func:`repro.vec.linalg.matvec`, broadcast over the batch axis, so
+    each batch slice is bit-identical to the unbatched product.
+    """
+    _check_real(matrices, vectors)
+    if matrices.ndim != 3 or vectors.ndim != 2:
+        raise ValueError("batched_matvec expects (b, rows, cols) and (b, cols)")
+    b, rows, cols = matrices.shape
+    if vectors.shape != (b, cols):
+        raise ValueError(
+            f"dimension mismatch: {matrices.shape} against {vectors.shape}"
+        )
+    row_products = matrices * vectors.reshape(b, 1, cols)
+    return row_products.sum(axis=2)
+
+
+def batched_matmul(a, b) -> MDArray:
+    """``C_i = A_i B_i`` over a batch, as one broadcast rank-1 update per
+    inner index (the loop structure of :func:`repro.vec.linalg.matmul`)."""
+    _check_real(a, b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError("batched_matmul expects two (b, ·, ·) batches")
+    batch, n, k = a.shape
+    batch2, k2, p = b.shape
+    if batch != batch2 or k != k2:
+        raise ValueError(f"dimension mismatch: {a.shape} @ {b.shape}")
+    result = MDArray.zeros((batch, n, p), a.limbs)
+    for inner in range(k):
+        col = a[:, :, inner].reshape(batch, n, 1)
+        row = b[:, inner, :].reshape(batch, 1, p)
+        result = result + col * row
+    return result
+
+
+def batched_dot(x, y) -> MDArray:
+    """Inner products of a ``(b, n)`` batch of vector pairs, shape ``(b,)``."""
+    _check_real(x, y)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError("batched_dot expects (b, n) operands")
+    return (x * y).sum(axis=1)
+
+
+def batched_norm(x) -> MDArray:
+    """Euclidean norms of a ``(b, n)`` batch, shape ``(b,)``."""
+    return batched_dot(x, x).sqrt()
+
+
+def batched_outer(x, y) -> MDArray:
+    """Outer products ``x_i y_i^T`` over a batch, shape ``(b, n, p)``."""
+    _check_real(x, y)
+    if x.ndim != 2 or y.ndim != 2:
+        raise ValueError("batched_outer expects (b, n) operands")
+    b, n = x.shape
+    p = y.shape[1]
+    return x.reshape(b, n, 1) * y.reshape(b, 1, p)
+
+
+def batched_identity(batch: int, n: int, precision=2) -> MDArray:
+    """``b`` copies of the ``n``-by-``n`` identity, shape ``(b, n, n)``."""
+    limbs = get_precision(precision).limbs
+    eye = np.broadcast_to(np.eye(n), (batch, n, n)).copy()
+    return MDArray.from_double(eye, limbs)
+
+
+def batched_apply_qt(q, rhs) -> MDArray:
+    """``Q_i^T b_i`` over a batch — the product linking the batched QR
+    to the batched triangular solves."""
+    return batched_matvec(batched_transpose(q), rhs)
+
+
+def batched_householder_vector(x):
+    """Householder vectors and betas for a ``(b, n)`` batch of columns.
+
+    Returns ``(v, beta, s)`` with ``v`` of shape ``(b, n)`` and
+    ``beta``/``s`` of shape ``(b,)``, such that every slice matches
+    :func:`repro.core.householder.householder_vector` on the
+    corresponding column bit for bit — including the zero-column
+    degeneracy, which is patched per batch member (``beta = 0``,
+    ``v = e_1``, ``s = 0``) without disturbing its batch mates.
+    """
+    _check_real(x)
+    if x.ndim != 2:
+        raise ValueError("batched_householder_vector expects a (b, n) batch")
+    b, _ = x.shape
+    limbs = x.limbs
+
+    norm_x = batched_norm(x)  # (b,)
+    norm_head = norm_x.to_double()
+    zero_mask = norm_head == 0.0
+
+    v = x.copy()
+    x0 = x[:, 0]
+    sign = np.where(x0.to_double() >= 0.0, 1.0, -1.0)
+    # s = -sign * ||x||, an exact scaling; v_0 = x_0 - s never cancels
+    s = norm_x.scale_pow2(-sign)
+    v[:, 0] = x0 - s
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        vtv = batched_dot(v, v)
+        two = MDArray.from_double(np.full(b, 2.0), limbs)
+        beta = two / vtv
+
+    if np.any(zero_mask):
+        # degenerate columns: identity reflector, patched in place so the
+        # healthy batch members keep their bits
+        beta = MDArray(np.where(zero_mask, 0.0, beta.data))
+        s = MDArray(np.where(zero_mask, 0.0, s.data))
+        e1 = np.zeros_like(v.data[:, :, 0])
+        e1[0] = 1.0
+        v_data = v.data.copy()
+        v_data[:, :, 0] = np.where(zero_mask, e1, v_data[:, :, 0])
+        v = MDArray(v_data)
+    return v, beta, s

@@ -1,0 +1,128 @@
+"""Batch-aware accounting: launches flat in b, work linear in b.
+
+This is the batching contract stated by the issue, asserted on both
+sides of the accounting: the series operation catalogue
+(:func:`repro.md.opcounts.series_counts` with its ``batch`` parameter)
+and the kernel-level cost model
+(:meth:`repro.gpu.kernel.KernelTrace.batched` and the
+``batched_*_trace`` builders of :mod:`repro.perf.costmodel`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.counters import OperationTally
+from repro.gpu.kernel import KernelLaunch, KernelTrace
+from repro.md.opcounts import (
+    SERIES_OPERATIONS,
+    series_counts,
+    series_flops,
+    series_launches,
+)
+from repro.perf.costmodel import (
+    back_substitution_trace,
+    batched_back_substitution_trace,
+    batched_lstsq_trace,
+    batched_qr_trace,
+    lstsq_trace,
+    qr_trace,
+)
+
+BATCHES = (1, 3, 32)
+
+
+class TestSeriesCountsBatch:
+    @pytest.mark.parametrize("operation", SERIES_OPERATIONS)
+    def test_operations_linear_launches_flat(self, operation):
+        base = series_counts(operation, 16)
+        for batch in BATCHES:
+            counts = series_counts(operation, 16, batch)
+            assert counts.md_operations == pytest.approx(
+                batch * base.md_operations
+            )
+            assert counts.launches == base.launches
+
+    def test_flops_linear_in_batch(self):
+        assert series_flops("mul", 24, 2, batch=8) == pytest.approx(
+            8 * series_flops("mul", 24, 2)
+        )
+
+    def test_launches_independent_of_batch(self):
+        assert series_launches("mul", 24, batch=32) == series_launches("mul", 24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_counts("mul", 8, 0)
+
+    def test_batched_method_keeps_launches(self):
+        counts = series_counts("reciprocal", 8)
+        wide = counts.batched(16)
+        assert wide.launches == counts.launches
+        assert wide.md_operations == pytest.approx(16 * counts.md_operations)
+
+
+class TestKernelTraceBatched:
+    def _launch(self):
+        return KernelLaunch(
+            name="k",
+            stage="s",
+            blocks=3,
+            threads_per_block=32,
+            limbs=2,
+            tally=OperationTally(multiplications=10.0, additions=6.0),
+            bytes_read=100.0,
+            bytes_written=40.0,
+            efficiency=0.5,
+        )
+
+    def test_launch_batched(self):
+        wide = self._launch().batched(8)
+        assert wide.blocks == 24
+        assert wide.threads_per_block == 32
+        assert wide.tally.multiplications == 80.0
+        assert wide.bytes_read == 800.0 and wide.bytes_written == 320.0
+        assert wide.efficiency == 0.5
+
+    def test_trace_batched(self):
+        trace = KernelTrace("V100", label="t")
+        trace.record(self._launch())
+        trace.record(self._launch())
+        wide = trace.batched(4)
+        assert len(wide) == len(trace)
+        assert wide.total_flops() == pytest.approx(4 * trace.total_flops())
+        assert wide.total_bytes() == pytest.approx(4 * trace.total_bytes())
+
+    def test_trace_batched_validation(self):
+        with pytest.raises(ValueError):
+            KernelTrace("V100").batched(0)
+
+
+class TestBatchedCostModel:
+    def test_qr_launches_flat_flops_linear(self):
+        base = qr_trace(16, 16, 4, 2)
+        for batch in BATCHES:
+            model = batched_qr_trace(batch, 16, 16, 4, 2)
+            assert model.kernel_launch_count == base.kernel_launch_count
+            assert model.total_flops() == pytest.approx(batch * base.total_flops())
+            assert model.total_bytes() == pytest.approx(batch * base.total_bytes())
+
+    def test_back_substitution_launches_flat(self):
+        base = back_substitution_trace(4, 4, 2)
+        model = batched_back_substitution_trace(16, 4, 4, 2)
+        assert model.kernel_launch_count == base.kernel_launch_count
+        assert model.total_flops() == pytest.approx(16 * base.total_flops())
+
+    def test_lstsq_launches_flat(self):
+        qr_base, bs_base = lstsq_trace(16, 16, 4, 2)
+        qr_model, bs_model = batched_lstsq_trace(8, 16, 16, 4, 2)
+        assert qr_model.kernel_launch_count == qr_base.kernel_launch_count
+        assert bs_model.kernel_launch_count == bs_base.kernel_launch_count
+        assert qr_model.total_flops() + bs_model.total_flops() == pytest.approx(
+            8 * (qr_base.total_flops() + bs_base.total_flops())
+        )
+
+    def test_stage_structure_preserved(self):
+        base = qr_trace(8, 8, 4, 2)
+        model = batched_qr_trace(4, 8, 8, 4, 2)
+        assert model.stages() == base.stages()

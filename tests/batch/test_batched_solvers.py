@@ -1,0 +1,233 @@
+"""Batched QR / back substitution / least squares / Padé.
+
+Two contracts are pinned here, at every paper precision (d/dd/qd/od):
+
+* **bit-identity** — every batch slice equals the unbatched driver's
+  result limb for limb;
+* **launch-identity** — the numeric batched traces match the analytic
+  batch-aware cost model launch for launch, with the launch count flat
+  in the batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    batched_back_substitution,
+    batched_blocked_qr,
+    batched_least_squares,
+    batched_pade,
+)
+from repro.core.back_substitution import tiled_back_substitution
+from repro.core.blocked_qr import blocked_qr
+from repro.core.least_squares import lstsq
+from repro.gpu.kernel import KernelTrace
+from repro.perf.costmodel import (
+    batched_back_substitution_trace,
+    batched_lstsq_trace,
+    batched_qr_trace,
+    pade_trace,
+)
+from repro.series import TruncatedSeries, pade
+from repro.vec import batched as vb
+from repro.vec import random as mdrandom
+from repro.vec.mdarray import MDArray
+
+BATCH = 4
+
+
+def assert_traces_match(analytic, numeric):
+    """Launch-by-launch comparison (as in tests/perf/test_costmodel.py)."""
+    assert len(analytic) == len(numeric)
+    for model_launch, real_launch in zip(analytic.launches, numeric.launches):
+        assert model_launch.stage == real_launch.stage
+        assert model_launch.name == real_launch.name
+        assert model_launch.blocks == real_launch.blocks
+        assert model_launch.threads_per_block == real_launch.threads_per_block
+        assert model_launch.limbs == real_launch.limbs
+        assert model_launch.efficiency == real_launch.efficiency
+        assert model_launch.bytes_read == pytest.approx(real_launch.bytes_read)
+        assert model_launch.bytes_written == pytest.approx(real_launch.bytes_written)
+        assert model_launch.tally.as_dict() == pytest.approx(real_launch.tally.as_dict())
+
+
+class TestBatchedQR:
+    def test_bit_identical_to_loop(self, rng, limbs):
+        matrices = [mdrandom.random_matrix(8, 8, limbs, rng) for _ in range(BATCH)]
+        result = batched_blocked_qr(vb.stack(matrices), 4)
+        for index, matrix in enumerate(matrices):
+            reference = blocked_qr(matrix, 4)
+            assert np.array_equal(result.Q.data[:, index], reference.Q.data)
+            assert np.array_equal(result.R.data[:, index], reference.R.data)
+        assert result.finite_systems().all()
+
+    def test_rectangular(self, rng):
+        matrices = [mdrandom.random_matrix(10, 6, 2, rng) for _ in range(3)]
+        result = batched_blocked_qr(vb.stack(matrices), 3)
+        for index, matrix in enumerate(matrices):
+            reference = blocked_qr(matrix, 3)
+            assert np.array_equal(result.R.data[:, index], reference.R.data)
+
+    def test_trace_matches_batched_cost_model(self, rng):
+        matrices = vb.stack(
+            [mdrandom.random_matrix(8, 8, 2, rng) for _ in range(BATCH)]
+        )
+        numeric = batched_blocked_qr(matrices, 4).trace
+        analytic = batched_qr_trace(BATCH, 8, 8, 4, 2)
+        assert_traces_match(analytic, numeric)
+
+    def test_launches_flat_in_batch(self, rng):
+        single = batched_blocked_qr(
+            vb.stack([mdrandom.random_matrix(8, 8, 2, rng)]), 4
+        )
+        many = batched_blocked_qr(
+            vb.stack([mdrandom.random_matrix(8, 8, 2, rng) for _ in range(6)]), 4
+        )
+        assert len(many.trace) == len(single.trace)
+        assert many.trace.total_flops() == pytest.approx(
+            6 * single.trace.total_flops()
+        )
+
+    def test_singular_member_poisons_only_its_slice(self, rng):
+        matrices = [mdrandom.random_matrix(6, 6, 2, rng) for _ in range(3)]
+        matrices[1] = MDArray.zeros((6, 6), 2)
+        result = batched_blocked_qr(vb.stack(matrices), 3)
+        for index in (0, 2):
+            reference = blocked_qr(matrices[index], 3)
+            assert np.array_equal(result.Q.data[:, index], reference.Q.data)
+            assert np.array_equal(result.R.data[:, index], reference.R.data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batched_blocked_qr(MDArray.zeros((4, 4), 2), 2)
+        with pytest.raises(ValueError):
+            batched_blocked_qr(MDArray.zeros((2, 4, 6), 2), 2)
+        with pytest.raises(ValueError):
+            batched_blocked_qr(MDArray.zeros((2, 4, 4), 2), 3)
+
+
+class TestBatchedBackSubstitution:
+    def test_bit_identical_to_loop(self, rng, limbs):
+        uppers = [
+            mdrandom.random_well_conditioned_upper_triangular(8, limbs, rng)
+            for _ in range(BATCH)
+        ]
+        rhs = [mdrandom.random_vector(8, limbs, rng) for _ in range(BATCH)]
+        result = batched_back_substitution(vb.stack(uppers), vb.stack(rhs), 4)
+        for index in range(BATCH):
+            reference = tiled_back_substitution(uppers[index], rhs[index], 4)
+            assert np.array_equal(result.x.data[:, index], reference.x.data)
+        assert result.finite_systems().all()
+
+    def test_trace_matches_batched_cost_model(self, rng):
+        uppers = vb.stack(
+            [
+                mdrandom.random_well_conditioned_upper_triangular(8, 2, rng)
+                for _ in range(BATCH)
+            ]
+        )
+        rhs = vb.stack([mdrandom.random_vector(8, 2, rng) for _ in range(BATCH)])
+        numeric = batched_back_substitution(uppers, rhs, 2).trace
+        analytic = batched_back_substitution_trace(BATCH, 4, 2, 2)
+        assert_traces_match(analytic, numeric)
+
+    def test_singular_member_does_not_raise_or_leak(self, rng):
+        uppers = [
+            mdrandom.random_well_conditioned_upper_triangular(4, 2, rng)
+            for _ in range(3)
+        ]
+        uppers[0] = MDArray.zeros((4, 4), 2)  # zero diagonal: singular
+        rhs = [mdrandom.random_vector(4, 2, rng) for _ in range(3)]
+        result = batched_back_substitution(vb.stack(uppers), vb.stack(rhs), 2)
+        finite = result.finite_systems()
+        assert not finite[0] and finite[1] and finite[2]
+        for index in (1, 2):
+            reference = tiled_back_substitution(uppers[index], rhs[index], 2)
+            assert np.array_equal(result.x.data[:, index], reference.x.data)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            batched_back_substitution(
+                MDArray.zeros((2, 4, 4), 2), MDArray.zeros((2, 3), 2), 2
+            )
+        with pytest.raises(ValueError):
+            batched_back_substitution(
+                MDArray.zeros((2, 4, 4), 2), MDArray.zeros((2, 4), 2), 3
+            )
+
+
+class TestBatchedLeastSquares:
+    def test_bit_identical_to_loop(self, rng, limbs):
+        matrices = [mdrandom.random_matrix(10, 8, limbs, rng) for _ in range(BATCH)]
+        rhs = [mdrandom.random_vector(10, limbs, rng) for _ in range(BATCH)]
+        result = batched_least_squares(vb.stack(matrices), vb.stack(rhs))
+        for index in range(BATCH):
+            reference = lstsq(matrices[index], rhs[index])
+            assert np.array_equal(result.x.data[:, index], reference.x.data)
+            assert result.tile_size == reference.tile_size
+
+    def test_traces_match_batched_cost_model(self, rng):
+        matrices = vb.stack(
+            [mdrandom.random_matrix(10, 8, 2, rng) for _ in range(BATCH)]
+        )
+        rhs = vb.stack([mdrandom.random_vector(10, 2, rng) for _ in range(BATCH)])
+        numeric = batched_least_squares(matrices, rhs, tile_size=4)
+        qr_model, bs_model = batched_lstsq_trace(BATCH, 10, 8, 4, 2)
+        assert_traces_match(qr_model, numeric.qr_trace)
+        assert_traces_match(bs_model, numeric.bs_trace)
+        assert numeric.combined_trace.kernel_launch_count == len(qr_model) + len(
+            bs_model
+        )
+
+
+class TestBatchedPade:
+    def _random_series(self, order, limbs, rng, count):
+        out = []
+        for _ in range(count):
+            values = list(rng.standard_normal(order + 1))
+            values[0] = abs(values[0]) + 1.0
+            out.append(TruncatedSeries(values, limbs))
+        return out
+
+    def test_bit_identical_to_loop(self, rng, limbs):
+        batch = self._random_series(8, limbs, rng, BATCH)
+        approximants = batched_pade(batch, 3, 3)
+        for series, approximant in zip(batch, approximants):
+            reference = pade(series, 3, 3)
+            assert np.array_equal(
+                approximant.numerator_array.data, reference.numerator_array.data
+            )
+            assert np.array_equal(
+                approximant.denominator_array.data,
+                reference.denominator_array.data,
+            )
+            assert approximant.defect.limbs == reference.defect.limbs
+
+    def test_trivial_denominator(self, rng):
+        batch = self._random_series(4, 2, rng, 3)
+        approximants = batched_pade(batch, 4, 0)
+        for series, approximant in zip(batch, approximants):
+            reference = pade(series, 4, 0)
+            assert tuple(x.limbs for x in approximant.numerator) == tuple(
+                x.limbs for x in reference.numerator
+            )
+            assert approximant.denominator_degree == 0
+
+    def test_trace_matches_pade_trace_batched(self, rng):
+        batch = self._random_series(8, 2, rng, BATCH)
+        trace = KernelTrace("V100", label="batched pade test")
+        batched_pade(batch, 3, 3, trace=trace)
+        analytic = pade_trace(3, 3, 2).batched(BATCH)
+        assert_traces_match(analytic, trace)
+
+    def test_validation(self, rng):
+        batch = self._random_series(4, 2, rng, 2)
+        with pytest.raises(ValueError):
+            batched_pade(batch, 4, 4)  # needs order >= L + M
+        with pytest.raises(ValueError):
+            batched_pade([])
+        mixed = batch[:1] + self._random_series(6, 2, rng, 1)
+        with pytest.raises(ValueError):
+            batched_pade(mixed, 2, 2)

@@ -106,3 +106,31 @@ def test_quickstart_runs(capsys):
     quickstart.solve_and_report(16, 8)
     out = capsys.readouterr().out
     assert "Least squares problem: 16 equations, 8 unknowns" in out
+
+
+def test_path_fleet_quickstart(capsys):
+    path_fleet = importlib.import_module("path_fleet")
+    path_fleet.main(tol=1e-8, batch=4)
+    out = capsys.readouterr().out
+    assert "Fleet of 2 paths" in out
+    assert "Lock-step rounds" in out
+    assert "bit-identical" in out
+    # both branches of the homotopy reach t = 1 at this tolerance
+    assert out.count("True") == 2
+
+
+def test_path_fleet_matches_single_path_tracker():
+    path_fleet = importlib.import_module("path_fleet")
+    from repro.series import track_path
+
+    fleet = path_fleet.track_fleet(tol=1e-8)
+    reference = track_path(
+        path_fleet.branch_point_system,
+        path_fleet.branch_point_jacobian,
+        [0.5],
+        tol=1e-8,
+        order=10,
+        max_steps=48,
+    )
+    assert fleet.paths[0].steps == reference.steps
+    assert fleet.paths[0].reached == reference.reached
