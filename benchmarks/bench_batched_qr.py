@@ -73,6 +73,7 @@ def test_batched_qr_throughput_floor():
     harness.record(
         "batch",
         f"qr_b{BATCH}_dim{DIM}_{LIMBS}d",
+        shape=harness.problem_shape(n=DIM, batch=BATCH),
         batch=BATCH,
         dim=DIM,
         tile=TILE,
@@ -121,6 +122,7 @@ def test_batched_lstsq_throughput_floor():
     harness.record(
         "batch",
         f"lstsq_b{BATCH}_{DIM + 2}x{DIM}_{LIMBS}d",
+        shape=harness.problem_shape(n=DIM, batch=BATCH, rows=DIM + 2),
         batch=BATCH,
         rows=DIM + 2,
         cols=DIM,

@@ -101,6 +101,7 @@ def test_cauchy_product_speedup_quick():
     harness.record(
         "series",
         f"cauchy_order{order}_{limbs}d",
+        shape=harness.problem_shape(n=1, order=order),
         order=order,
         limbs=limbs,
         scalar_seconds=scalar_seconds,
@@ -131,6 +132,7 @@ def test_cauchy_product_speedup(order):
     harness.record(
         "series",
         f"cauchy_order{order}_{limbs}d",
+        shape=harness.problem_shape(n=1, order=order),
         order=order,
         limbs=limbs,
         scalar_seconds=scalar_seconds,

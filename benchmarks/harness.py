@@ -19,9 +19,15 @@ Schema of one ``BENCH_<suite>.json``::
       "updated": "2026-07-26T12:34:56Z",
       "entries": {
         "<entry id>": {"seconds": ..., "speedup": ..., "floor": ...,
-                       "md_flops": ..., "launches": ..., ...}
+                       "md_flops": ..., "launches": ...,
+                       "shape": {"n": ..., "degree": ..., "batch": ..., "order": ...},
+                       ...}
       }
     }
+
+Every entry carries a ``shape`` sub-dict (:func:`problem_shape`) with
+the problem dimensions — n, degree, batch width b, series order K —
+so the records stay self-describing as benchmarks evolve across PRs.
 
 Entries are keyed by a stable id and overwritten in place, so the file
 always holds the latest measurement of every benchmark that ran.
@@ -38,7 +44,15 @@ import subprocess
 import time
 from pathlib import Path
 
-__all__ = ["results_dir", "results_path", "git_sha", "record", "best_seconds", "load"]
+__all__ = [
+    "results_dir",
+    "results_path",
+    "git_sha",
+    "record",
+    "best_seconds",
+    "load",
+    "problem_shape",
+]
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -103,6 +117,21 @@ def record(suite: str, entry: str, **fields) -> dict:
     path = results_path(suite)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return fields
+
+
+def problem_shape(*, n=None, degree=None, batch=None, order=None, **extra) -> dict:
+    """Canonical problem-shape metadata for a benchmark entry.
+
+    Benchmarks attach this as the ``shape`` field of their
+    :func:`record` call so every ``BENCH_*.json`` entry is
+    self-describing across PRs: ``n`` is the problem dimension (matrix
+    rows/columns, system unknowns), ``degree`` the polynomial degree,
+    ``batch`` the fleet/batch width ``b``, ``order`` the series
+    truncation order ``K``.  Extra keyword fields (``rows``,
+    ``monomials``, ...) pass through; ``None`` values are dropped.
+    """
+    shape = {"n": n, "degree": degree, "batch": batch, "order": order, **extra}
+    return {key: value for key, value in shape.items() if value is not None}
 
 
 def best_seconds(func, repeats: int) -> float:

@@ -29,6 +29,15 @@ see the subpackages for the full API:
   :func:`~repro.batch.least_squares.batched_least_squares`,
   :func:`~repro.batch.pade.batched_pade` and
   :func:`~repro.batch.fleet.track_paths`
+* :mod:`repro.poly` — polynomial systems and homotopies as first-class
+  tracker inputs: monomial supports with shared-monomial vectorized
+  evaluation/differentiation, realified total-degree homotopies with
+  the random-gamma trick, and the benchmark families; lazily exported
+  here as :class:`~repro.poly.system.PolynomialSystem`,
+  :class:`~repro.poly.homotopy.Homotopy`,
+  :func:`~repro.poly.families.katsura`,
+  :func:`~repro.poly.families.cyclic` and
+  :func:`~repro.poly.families.noon`
 """
 
 from __future__ import annotations
@@ -79,6 +88,11 @@ def __getattr__(name):
         "batched_back_substitution": ("repro.batch", "batched_back_substitution"),
         "batched_least_squares": ("repro.batch", "batched_least_squares"),
         "batched_pade": ("repro.batch", "batched_pade"),
+        "PolynomialSystem": ("repro.poly", "PolynomialSystem"),
+        "Homotopy": ("repro.poly", "Homotopy"),
+        "katsura": ("repro.poly", "katsura"),
+        "cyclic": ("repro.poly", "cyclic"),
+        "noon": ("repro.poly", "noon"),
     }
     if name in lazy:
         import importlib

@@ -40,7 +40,12 @@ from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
 from ..md.number import MultiDouble
-from ..series.newton import _coerce_jacobian, _coerce_residual, _residual_column
+from ..series.newton import (
+    _coerce_jacobian,
+    _coerce_residual,
+    _residual_column,
+    resolve_system_arguments,
+)
 from ..series.tracker import _BUDGET_SPLIT, _POLE_SAFETY, PathResult, PathStep
 from ..series.truncated import TruncatedSeries
 from ..series.vector import VectorSeries
@@ -125,8 +130,8 @@ class _PathState:
 
 def track_paths(
     system,
-    jacobian,
-    starts,
+    jacobian=None,
+    starts=None,
     *,
     t_start: float = 0.0,
     t_end: float = 1.0,
@@ -151,7 +156,13 @@ def track_paths(
     shared by the fleet and are called per path (each path has its own
     expansion point), while all linear algebra — Jacobian QR, per-order
     solves, Hankel solves, Newton correction — runs batched across the
-    paths of each precision sub-batch.
+    paths of each precision sub-batch.  A
+    :class:`~repro.poly.system.PolynomialSystem` or
+    :class:`~repro.poly.homotopy.Homotopy` may be passed directly as
+    ``system`` with the start points in the second slot
+    (``track_paths(homotopy, starts)``) — the residual/Jacobian
+    adapters are generated from the object, no hand-written callables
+    required.
 
     Returns a :class:`PathFleetResult`; its ``paths`` entries are
     bit-identical to tracking each start point alone with
@@ -159,6 +170,7 @@ def track_paths(
     path whose linear algebra degenerates is flagged ``failed`` without
     affecting its batch mates.
     """
+    system, jacobian, starts = resolve_system_arguments(system, jacobian, starts)
     if not precision_ladder:
         raise ValueError("the precision ladder must not be empty")
     if order < 2:
@@ -399,9 +411,10 @@ def _advance_sub_batch(
         expansion_vector = VectorSeries(MDArray(solution[:, p].copy()))
         remaining = t_end - state.t_current
 
-        # step control on the Padé truncation estimate
+        # step control on the Padé truncation estimate (pole_radius, as
+        # in track_path — decision for decision)
         h = min(remaining, state.trial_step) if state.trial_step else remaining
-        pole = min(a.pole_estimate() for a in approximants)
+        pole = min(a.pole_radius() for a in approximants)
         if pole != float("inf"):
             h = min(h, _POLE_SAFETY * pole)
         h = min(remaining, max(h, min_step))

@@ -17,6 +17,7 @@ the tests assert) that the two paths agree exactly on operation counts.
 from __future__ import annotations
 
 from ..gpu.counters import OperationTally
+from ..md.opcounts import pairwise_addition_count
 
 __all__ = [
     "QR_STAGES",
@@ -34,6 +35,11 @@ __all__ = [
     "STAGE_MULTIPLY_INVERSE",
     "STAGE_BACK_SUBSTITUTION",
     "STAGE_SERIES_CONVOLVE",
+    "STAGE_POLY_POWERS",
+    "STAGE_POLY_PRODUCTS",
+    "STAGE_POLY_TERMS",
+    "STAGE_POLY_JACOBIAN",
+    "POLY_STAGES",
     "ceil_div",
     "tally_matvec",
     "tally_matmul",
@@ -46,6 +52,9 @@ __all__ = [
     "tally_compute_w_column",
     "tally_update_rhs",
     "tally_series_convolution",
+    "tally_series_product",
+    "tally_series_scale",
+    "tally_series_add",
 ]
 
 # ---------------------------------------------------------------------------
@@ -90,6 +99,24 @@ BS_STAGES = (
 #: (:mod:`repro.series.matrix_series`): the block Toeplitz structure of
 #: the Jacobian couples series order ``k`` to all earlier orders.
 STAGE_SERIES_CONVOLVE = "series convolution"
+
+# Stages of the shared-monomial polynomial evaluation/differentiation
+# kernels (:mod:`repro.poly.system`): the variable power table, the
+# pairwise reduction of the distinct power products, the
+# coefficient-weighted term reduction of the equation values, and the
+# Jacobian assembly from the same shared power products.
+STAGE_POLY_POWERS = "variable powers"
+STAGE_POLY_PRODUCTS = "power products"
+STAGE_POLY_TERMS = "term reduction"
+STAGE_POLY_JACOBIAN = "jacobian assembly"
+
+#: Stage order of one polynomial evaluation + differentiation pass.
+POLY_STAGES = (
+    STAGE_POLY_POWERS,
+    STAGE_POLY_PRODUCTS,
+    STAGE_POLY_TERMS,
+    STAGE_POLY_JACOBIAN,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -227,6 +254,39 @@ def tally_update_rhs(n: int, complex_data: bool = False) -> OperationTally:
     ``n``-by-``n`` matrix-vector product and one vector subtraction."""
     tally = tally_matvec(n, n, complex_data)
     return tally + OperationTally(subtractions=n * _complex_factor_add(complex_data))
+
+
+def tally_series_product(count: int, order: int = 0) -> OperationTally:
+    """``count`` truncated Cauchy products at truncation ``order``.
+
+    Each product executes the full ``(K+1)²`` grid of coefficient
+    multiplications in one vectorized launch, then reduces every output
+    coefficient with the zero-padded pairwise tree of
+    :meth:`MDArray.sum <repro.vec.mdarray.MDArray.sum>` (the padded
+    zero additions are counted because the kernel really executes
+    them).  At ``order == 0`` this degenerates to one plain
+    multiplication per product — the point-evaluation case of the
+    polynomial kernels.
+    """
+    terms = order + 1
+    return OperationTally(
+        multiplications=float(count * terms * terms),
+        additions=float(count * terms * pairwise_addition_count(terms)),
+    )
+
+
+def tally_series_scale(count: int, order: int = 0) -> OperationTally:
+    """``count`` scalar-times-series products (one multiplication per
+    retained coefficient) — the coefficient weighting of the polynomial
+    term kernels."""
+    return OperationTally(multiplications=float(count * (order + 1)))
+
+
+def tally_series_add(count: int, order: int = 0) -> OperationTally:
+    """``count`` series additions (one addition per retained
+    coefficient) — the pairwise term-reduction levels of the polynomial
+    kernels."""
+    return OperationTally(additions=float(count * (order + 1)))
 
 
 def tally_series_convolution(n: int, terms: int, complex_data: bool = False) -> OperationTally:

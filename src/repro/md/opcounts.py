@@ -40,6 +40,8 @@ __all__ = [
     "series_flops",
     "series_launches",
     "series_cost_table",
+    "PolynomialOperationCounts",
+    "polynomial_counts",
 ]
 
 
@@ -421,6 +423,160 @@ def series_launches(operation: str, order: int, batch: int = 1) -> float:
     width they are accounting for.
     """
     return series_counts(operation, order, batch).launches
+
+
+# ---------------------------------------------------------------------------
+# polynomial system evaluation / differentiation (repro.poly workloads)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolynomialOperationCounts:
+    """Multiple double operation counts of evaluating (and
+    differentiating) one polynomial system with the shared-monomial
+    kernels of :mod:`repro.poly.system`.
+
+    The counts mirror, kernel for kernel, the vectorized limb-major
+    evaluation: a variable power table built level by level
+    (``max_degree`` batched multiplications), one pairwise
+    (binary tree) product reduction over the ``variables`` axis for all
+    ``products`` distinct power products at once, then one
+    coefficient-weighted pairwise term reduction per equation — and,
+    for the Jacobian, one more weighting/reduction pass that **reuses
+    the same power products** (they are computed once; ``shared``
+    carries their cost exactly once).  Padded slots (multiplications by
+    the exact one, additions of the exact zero) are counted because the
+    kernels really execute them; the scalar reference evaluator of
+    :mod:`repro.poly.reference` replays the identical operations.
+
+    At ``order == 0`` the counts describe point evaluation; at
+    ``order == K`` every multiplication is a truncated Cauchy product
+    over ``K + 1`` coefficients (the full ``(K+1)²`` vectorized grid,
+    as in :func:`series_counts`).
+    """
+
+    equations: int
+    variables: int
+    #: monomials actually present across the equations (before padding)
+    monomials: int
+    #: distinct power products shared across equations and derivatives
+    products: int
+    #: highest single-variable exponent (depth of the power table)
+    max_degree: int
+    #: padded terms per equation of the evaluation kernel
+    term_slots: int
+    #: padded terms per Jacobian entry
+    jacobian_slots: int
+    order: int
+    #: power table + power products (computed once, reused everywhere)
+    shared: SeriesOperationCounts
+    #: coefficient weighting + term reduction of the equation values
+    evaluation_terms: SeriesOperationCounts
+    #: coefficient weighting + term reduction of the Jacobian entries
+    jacobian_terms: SeriesOperationCounts
+
+    @property
+    def evaluation(self) -> SeriesOperationCounts:
+        """One system evaluation (shared products + term reduction)."""
+        return (self.shared + self.evaluation_terms)._renamed(
+            "polynomial_evaluation", self.order
+        )
+
+    @property
+    def jacobian(self) -> SeriesOperationCounts:
+        """One Jacobian assembly paying for the shared products itself."""
+        return (self.shared + self.jacobian_terms)._renamed(
+            "polynomial_jacobian", self.order
+        )
+
+    @property
+    def combined(self) -> SeriesOperationCounts:
+        """Evaluation plus Jacobian with the power products computed
+        **once** — the payoff of the shared-monomial structure."""
+        return (
+            self.shared + self.evaluation_terms + self.jacobian_terms
+        )._renamed("polynomial_evaluation_with_jacobian", self.order)
+
+    def evaluation_flops(self, limbs: int, source: str = "paper") -> float:
+        return self.evaluation.flops(limbs, source)
+
+    def jacobian_flops(self, limbs: int, source: str = "paper") -> float:
+        return self.jacobian.flops(limbs, source)
+
+    def combined_flops(self, limbs: int, source: str = "paper") -> float:
+        return self.combined.flops(limbs, source)
+
+
+@lru_cache(maxsize=None)
+def polynomial_counts(
+    equations: int,
+    variables: int,
+    *,
+    monomials: int,
+    products: int,
+    max_degree: int,
+    term_slots: int,
+    jacobian_slots: int,
+    order: int = 0,
+) -> PolynomialOperationCounts:
+    """Operation counts of the shared-monomial polynomial kernels.
+
+    Parameters mirror the structural numbers a
+    :class:`~repro.poly.system.PolynomialSystem` derives from its
+    monomial support (see its :meth:`~repro.poly.system.PolynomialSystem.counts`
+    method, which fills them in); ``order`` is the truncation order of
+    the series arguments (0 for point evaluation).
+    """
+    if min(equations, variables, products, term_slots) < 1:
+        raise ValueError("the polynomial shape numbers must be positive")
+    K = order
+    terms = K + 1
+    product_ops = series_counts("mul", K)
+
+    # power table: one batched series multiplication per degree level
+    # (powers 0 and 1 are free; levels 2 .. max_degree each multiply all
+    # variables' previous powers by the variables in one launch)
+    shared = SeriesOperationCounts("poly_shared", K)
+    for _ in range(max(max_degree - 1, 0)):
+        shared = shared + product_ops.batched(float(variables))
+    # pairwise product reduction over the variables axis (ones-padded):
+    # one batched Cauchy launch sequence per halving level
+    length = variables
+    while length > 1:
+        half = (length + 1) // 2
+        shared = shared + product_ops.batched(float(products * half))
+        length = half
+
+    def _term_pass(name: str, rows: int, slots: int) -> SeriesOperationCounts:
+        # coefficient weighting: one scalar-times-series launch
+        counts = SeriesOperationCounts(name, K, mul=float(rows * slots * terms), launches=1)
+        # pairwise term reduction (zero-padded)
+        length = slots
+        while length > 1:
+            half = (length + 1) // 2
+            counts = counts + SeriesOperationCounts(
+                name, K, add=float(rows * half * terms), launches=1
+            )
+            length = half
+        return counts._renamed(name, K)
+
+    evaluation_terms = _term_pass("poly_terms", equations, term_slots)
+    jacobian_terms = _term_pass(
+        "poly_jacobian_terms", equations * variables, max(jacobian_slots, 1)
+    )
+    return PolynomialOperationCounts(
+        equations=equations,
+        variables=variables,
+        monomials=monomials,
+        products=products,
+        max_degree=max_degree,
+        term_slots=term_slots,
+        jacobian_slots=jacobian_slots,
+        order=order,
+        shared=shared._renamed("poly_shared", K),
+        evaluation_terms=evaluation_terms,
+        jacobian_terms=jacobian_terms,
+    )
 
 
 def series_cost_table(order: int, limb_counts=(1, 2, 4, 8), source: str = "paper"):

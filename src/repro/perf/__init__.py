@@ -18,6 +18,7 @@ from .costmodel import (
     newton_series_trace,
     pade_trace,
     path_step_trace,
+    polynomial_evaluation_trace,
     problem_bytes,
     qr_trace,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "newton_series_trace",
     "pade_trace",
     "path_step_trace",
+    "polynomial_evaluation_trace",
     "PerformanceModel",
     "TimedRun",
     "DEFAULT_ILP",

@@ -32,6 +32,7 @@ __all__ = [
     "newton_series_trace",
     "pade_trace",
     "path_step_trace",
+    "polynomial_evaluation_trace",
     "batched_qr_trace",
     "batched_back_substitution_trace",
     "batched_lstsq_trace",
@@ -421,6 +422,138 @@ def pade_trace(
     trace.extend(qr)
     trace.extend(bs)
     return trace
+
+
+# ---------------------------------------------------------------------------
+# polynomial system evaluation / differentiation (repro.poly)
+# ---------------------------------------------------------------------------
+
+#: Threads per block of the polynomial kernels (one warp per block, one
+#: thread per output element — the monomial kernels are elementwise).
+POLY_THREADS_PER_BLOCK = 32
+
+
+def polynomial_evaluation_trace(
+    equations,
+    variables,
+    products,
+    max_degree,
+    term_slots,
+    limbs,
+    *,
+    order=0,
+    jacobian_slots=None,
+    evaluate=True,
+    device="V100",
+    trace=None,
+):
+    """Analytic trace of one shared-monomial polynomial evaluation.
+
+    Mirrors :meth:`repro.poly.system.PolynomialSystem.evaluate` /
+    :meth:`~repro.poly.system.PolynomialSystem.jacobian_matrix` launch
+    for launch (the numeric drivers record their launches through this
+    same function, exactly as the series solvers share
+    :func:`repro.core.least_squares.resolve_tile_sizes` with their
+    traces): the variable power table is built level by level
+    (``max_degree - 1`` batched multiplications), the ``products``
+    distinct power products are reduced pairwise over the ``variables``
+    axis (ones-padded binary tree, one batched launch per level), and
+    each equation's value is one coefficient weighting plus a
+    zero-padded pairwise term reduction.  With ``jacobian_slots`` set,
+    the Jacobian assembly stages are appended; they **reuse** the power
+    products already in the trace — the shared-monomial contract of
+    :func:`repro.md.opcounts.polynomial_counts`.  At ``order > 0``
+    every multiplication is a truncated Cauchy product over
+    ``order + 1`` coefficients.
+    """
+    terms = order + 1
+    n_threads = POLY_THREADS_PER_BLOCK
+    if trace is None:
+        trace = KernelTrace(
+            device,
+            label=(
+                f"polynomial model {equations}x{variables} "
+                f"products={products} order={order}"
+            ),
+        )
+    for _ in range(max(max_degree - 1, 0)):
+        count = variables
+        trace.add(
+            "power_table",
+            stages.STAGE_POLY_POWERS,
+            blocks=max(1, _ceil_div(count * terms, n_threads)),
+            threads_per_block=n_threads,
+            limbs=limbs,
+            tally=stages.tally_series_product(count, order),
+            bytes_read=md_bytes(2 * count * terms, limbs),
+            bytes_written=md_bytes(count * terms, limbs),
+        )
+    length = variables
+    while length > 1:
+        half = (length + 1) // 2
+        count = products * half
+        trace.add(
+            "power_products",
+            stages.STAGE_POLY_PRODUCTS,
+            blocks=max(1, _ceil_div(count * terms, n_threads)),
+            threads_per_block=n_threads,
+            limbs=limbs,
+            tally=stages.tally_series_product(count, order),
+            bytes_read=md_bytes(2 * count * terms, limbs),
+            bytes_written=md_bytes(count * terms, limbs),
+        )
+        length = half
+    if evaluate:
+        _poly_term_stages(
+            trace,
+            "term",
+            stages.STAGE_POLY_TERMS,
+            equations,
+            term_slots,
+            order,
+            limbs,
+        )
+    if jacobian_slots is not None:
+        _poly_term_stages(
+            trace,
+            "jacobian",
+            stages.STAGE_POLY_JACOBIAN,
+            equations * variables,
+            max(jacobian_slots, 1),
+            order,
+            limbs,
+        )
+    return trace
+
+
+def _poly_term_stages(trace, name, stage, rows, slots, order, limbs):
+    """Coefficient weighting + pairwise term reduction of one pass."""
+    terms = order + 1
+    n_threads = POLY_THREADS_PER_BLOCK
+    trace.add(
+        f"{name}_scale",
+        stage,
+        blocks=max(1, _ceil_div(rows * slots * terms, n_threads)),
+        threads_per_block=n_threads,
+        limbs=limbs,
+        tally=stages.tally_series_scale(rows * slots, order),
+        bytes_read=md_bytes(rows * slots * (1 + terms), limbs),
+        bytes_written=md_bytes(rows * slots * terms, limbs),
+    )
+    length = slots
+    while length > 1:
+        half = (length + 1) // 2
+        trace.add(
+            f"{name}_reduce",
+            stage,
+            blocks=max(1, _ceil_div(rows * half * terms, n_threads)),
+            threads_per_block=n_threads,
+            limbs=limbs,
+            tally=stages.tally_series_add(rows * half, order),
+            bytes_read=md_bytes(2 * rows * half * terms, limbs),
+            bytes_written=md_bytes(rows * half * terms, limbs),
+        )
+        length = half
 
 
 # ---------------------------------------------------------------------------

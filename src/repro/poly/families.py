@@ -1,0 +1,112 @@
+"""Parametrized benchmark families of polynomial systems.
+
+The canonical workloads of the polynomial homotopy literature (and of
+PHCpack's benchmark suite, which the paper's software grew out of), as
+reproducible :class:`~repro.poly.system.PolynomialSystem` inputs:
+
+* :func:`katsura` — the magnetism problem of Katsura: one linear
+  normalization plus ``n`` quadrics in ``n + 1`` unknowns, total
+  degree ``2^n`` with (generically) all solutions isolated — the
+  standard scaling family for path-tracking benchmarks;
+* :func:`cyclic` — the cyclic ``n``-roots problem: dense cyclic sums
+  of degrees ``1 .. n-1`` plus the degree-``n`` product equation,
+  famously ill-conditioned (for ``n`` divisible by a square, e.g.
+  ``n = 4``, the solution set is positive dimensional, which is what
+  makes it a stress test for adaptive precision);
+* :func:`noon` — the neural network family of Noonburg: ``n`` cubics
+  with a real parameter (classically ``1.1``).
+
+Every generator is deterministic — same ``n``, same system, same
+canonical term order — so tests and benchmarks across PRs see
+identical inputs.
+"""
+
+from __future__ import annotations
+
+from .system import PolynomialSystem
+
+__all__ = ["katsura", "cyclic", "noon"]
+
+
+def katsura(n: int) -> PolynomialSystem:
+    """The Katsura-``n`` system: ``n + 1`` unknowns ``u_0 .. u_n``.
+
+    Equations ``m = 0 .. n-1``:
+    ``sum_{l=-n}^{n} u_{|l|} u_{|m-l|} - u_m = 0`` (with ``u_l = 0``
+    for ``|l| > n``), plus the normalization
+    ``u_0 + 2 (u_1 + ... + u_n) - 1 = 0``.  Total degree ``2^n``.
+    """
+    if n < 1:
+        raise ValueError("katsura needs n >= 1")
+    variables = n + 1
+    equations = []
+    for m in range(n):
+        terms = []
+        for left in range(-n, n + 1):
+            right = m - left
+            if abs(right) > n:
+                continue
+            exponents = [0] * variables
+            exponents[abs(left)] += 1
+            exponents[abs(right)] += 1
+            terms.append((1, tuple(exponents)))
+        linear = [0] * variables
+        linear[m] = 1
+        terms.append((-1, tuple(linear)))
+        equations.append(terms)
+    normalization = []
+    for j in range(variables):
+        exponents = [0] * variables
+        exponents[j] = 1
+        normalization.append((1 if j == 0 else 2, tuple(exponents)))
+    normalization.append((-1, (0,) * variables))
+    equations.append(normalization)
+    return PolynomialSystem(equations, variables)
+
+
+def cyclic(n: int) -> PolynomialSystem:
+    """The cyclic ``n``-roots system.
+
+    Equations ``k = 1 .. n-1``:
+    ``sum_{i=0}^{n-1} prod_{j=0}^{k-1} x_{(i+j) mod n} = 0``, plus
+    ``x_0 x_1 ... x_{n-1} - 1 = 0``.  Total degree ``n!``.
+    """
+    if n < 2:
+        raise ValueError("cyclic needs n >= 2")
+    equations = []
+    for k in range(1, n):
+        terms = []
+        for i in range(n):
+            exponents = [0] * n
+            for j in range(k):
+                exponents[(i + j) % n] += 1
+            terms.append((1, tuple(exponents)))
+        equations.append(terms)
+    equations.append([(1, (1,) * n), (-1, (0,) * n)])
+    return PolynomialSystem(equations, n)
+
+
+def noon(n: int, parameter: float = 1.1) -> PolynomialSystem:
+    """The Noonburg neural network system with ``n`` neurons.
+
+    Equation ``i``: ``x_i * sum_{j != i} x_j^2 - parameter * x_i + 1 = 0``.
+    Total degree ``3^n``.
+    """
+    if n < 2:
+        raise ValueError("noon needs n >= 2")
+    equations = []
+    for i in range(n):
+        terms = []
+        for j in range(n):
+            if j == i:
+                continue
+            exponents = [0] * n
+            exponents[i] = 1
+            exponents[j] = 2
+            terms.append((1, tuple(exponents)))
+        linear = [0] * n
+        linear[i] = 1
+        terms.append((-parameter, tuple(linear)))
+        terms.append((1, (0,) * n))
+        equations.append(terms)
+    return PolynomialSystem(equations, n)

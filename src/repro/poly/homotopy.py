@@ -1,0 +1,441 @@
+"""Polynomial homotopies: total-degree starts and the gamma trick.
+
+The paper's workload tracks the solution paths of a *polynomial
+homotopy*
+
+    ``H(x, t) = gamma (1 - t) G(x) + t F(x)``,
+
+from the known roots of a start system ``G`` at ``t = 0`` to the roots
+of the target ``F`` at ``t = 1``, with a random complex ``gamma`` (the
+"gamma trick": for all but finitely many ``gamma`` on the unit circle
+the paths are free of singularities for ``t < 1``).
+
+The series/batch stack of this repository is real, so complex systems
+enter through **realification**: writing ``x_j = u_j + i v_j``, an
+``n``-dimensional complex system becomes a real
+:class:`~repro.poly.system.PolynomialSystem` in ``2n`` real variables
+(the ``u`` block then the ``v`` block) whose equations are the real and
+imaginary parts — every complex root corresponds to a real root of the
+realified system, and the complex ``gamma`` acts as a 2x2 rotation
+block mixing the real and imaginary equation parts.  The expansion is
+performed once, symbolically, at construction
+(:func:`realify_terms`); evaluation then runs entirely on the
+vectorized real kernels, bit-identical to the scalar reference.
+
+A :class:`Homotopy` is itself the residual/Jacobian object the
+trackers consume: ``homotopy(x, t)`` evaluates the combination with
+truncated series arithmetic, ``homotopy.jacobian(x0, t0)`` assembles
+the real ``2n x 2n`` Jacobian from the realified start and target
+Jacobians (one shared power-product pass each), and
+:meth:`Homotopy.track` / :meth:`Homotopy.track_fleet` seed the start
+solutions (products of roots of unity for the total-degree start
+system ``x_i^{d_i} - 1``) and hand the whole fleet to
+:func:`repro.batch.fleet.track_paths`.
+"""
+
+from __future__ import annotations
+
+import cmath
+import itertools
+import math
+
+import numpy as np
+
+from ..md.number import MultiDouble
+from ..vec import linalg
+from ..vec.mdarray import MDArray
+from .system import PolynomialSystem, _normalize_exponents
+
+__all__ = [
+    "realify_terms",
+    "roots_of_unity",
+    "total_degree_start",
+    "embed_complex",
+    "extract_complex",
+    "Homotopy",
+]
+
+#: Exact powers of the imaginary unit (``1j ** k`` rounds in Python).
+_I_POWERS = (1 + 0j, 0 + 1j, -1 + 0j, 0 - 1j)
+
+
+def realify_terms(equations, variables):
+    """Realify complex-coefficient term lists over ``variables``
+    complex unknowns.
+
+    Substituting ``x_j = u_j + i v_j`` and expanding binomially, every
+    equation splits into its real and imaginary parts — two real
+    equations over the ``2 * variables`` real unknowns
+    ``u_1 .. u_n, v_1 .. v_n``.  Returns the realified term lists,
+    real parts first (equation ``i`` of the complex system becomes
+    equations ``i`` and ``n + i`` of the real one).  Binomial
+    coefficients and powers of ``i`` are exact; the input coefficients
+    are combined in double precision complex arithmetic.
+    """
+    equations = [list(eq) for eq in equations]
+    n = int(variables)
+    real_parts, imaginary_parts = [], []
+    for eq in equations:
+        expansion = {}
+        for coefficient, exponents in eq:
+            exponents = _normalize_exponents(exponents, n)
+            partial = {(0,) * (2 * n): complex(coefficient)}
+            for j, power in enumerate(exponents):
+                if power == 0:
+                    continue
+                binomial = [
+                    (math.comb(power, k) * _I_POWERS[k % 4], power - k, k)
+                    for k in range(power + 1)
+                ]
+                grown = {}
+                for key, value in partial.items():
+                    for factor, u_power, v_power in binomial:
+                        new_key = list(key)
+                        new_key[j] += u_power
+                        new_key[n + j] += v_power
+                        new_key = tuple(new_key)
+                        grown[new_key] = grown.get(new_key, 0j) + value * factor
+                partial = grown
+            for key, value in partial.items():
+                expansion[key] = expansion.get(key, 0j) + value
+        real_eq = [(value.real, key) for key, value in expansion.items() if value.real]
+        imag_eq = [(value.imag, key) for key, value in expansion.items() if value.imag]
+        if not real_eq or not imag_eq:
+            raise ValueError(
+                "realification produced an identically zero equation part; "
+                "the complex system is degenerate"
+            )
+        real_parts.append(real_eq)
+        imaginary_parts.append(imag_eq)
+    return real_parts + imaginary_parts
+
+
+def roots_of_unity(degree: int) -> list:
+    """The ``degree`` complex roots of ``x^degree = 1``."""
+    if degree < 1:
+        raise ValueError("the degree must be positive")
+    return [
+        cmath.exp(2j * math.pi * k / degree) if k else 1 + 0j
+        for k in range(degree)
+    ]
+
+
+def total_degree_start(degrees) -> tuple:
+    """The total-degree start system ``x_i^{d_i} - 1 = 0``.
+
+    Returns ``(terms, solutions)``: the complex term lists over
+    ``len(degrees)`` variables and the full list of
+    ``prod(degrees)`` start solutions (all combinations of roots of
+    unity), in the deterministic ``itertools.product`` order.
+    """
+    degrees = [int(d) for d in degrees]
+    if any(d < 1 for d in degrees):
+        raise ValueError("every equation degree must be positive")
+    n = len(degrees)
+    terms = []
+    for i, degree in enumerate(degrees):
+        exponents = [0] * n
+        exponents[i] = degree
+        terms.append([(1, tuple(exponents)), (-1, (0,) * n)])
+    solutions = [
+        tuple(combo)
+        for combo in itertools.product(*[roots_of_unity(d) for d in degrees])
+    ]
+    return terms, solutions
+
+
+def embed_complex(point) -> list:
+    """A complex ``n``-point as the realified ``2n`` real vector
+    (``u`` block then ``v`` block)."""
+    values = [complex(value) for value in point]
+    return [value.real for value in values] + [value.imag for value in values]
+
+
+def extract_complex(point) -> list:
+    """The complex ``n``-point behind a realified ``2n`` real vector."""
+    values = [float(value) for value in point]
+    if len(values) % 2:
+        raise ValueError("a realified point has an even number of components")
+    n = len(values) // 2
+    return [complex(values[i], values[n + i]) for i in range(n)]
+
+
+class Homotopy:
+    """``H(x, t) = gamma (1 - t) G(x) + t F(x)``, realified.
+
+    ``target`` and ``start`` are systems of ``n`` equations in ``n``
+    complex unknowns, given as a real
+    :class:`~repro.poly.system.PolynomialSystem` or as raw
+    (possibly complex-coefficient) term lists.  The instance is
+    directly consumable by :func:`repro.series.newton.newton_series`,
+    :func:`repro.series.tracker.track_path` and
+    :func:`repro.batch.fleet.track_paths` — it is the residual callable
+    and carries its own :meth:`jacobian`.
+    """
+
+    def __init__(
+        self,
+        target,
+        start,
+        *,
+        variables=None,
+        gamma=None,
+        seed: int = 20220322,
+        start_points=(),
+    ):
+        target_terms, target_variables = _coerce_terms(target, variables)
+        start_terms, start_variables = _coerce_terms(start, variables)
+        if target_variables != start_variables:
+            raise ValueError(
+                f"target and start dimensions differ: "
+                f"{target_variables} vs {start_variables}"
+            )
+        self._dimension = target_variables
+        if len(target_terms) != self._dimension or len(start_terms) != self._dimension:
+            raise ValueError("homotopies need square systems (n equations, n unknowns)")
+        if gamma is None:
+            angle = float(np.random.default_rng(seed).uniform(0.0, 2.0 * math.pi))
+            gamma = cmath.exp(1j * angle)
+        self.gamma = complex(gamma)
+        if self.gamma == 0:
+            raise ValueError("gamma must be nonzero")
+        self._target = PolynomialSystem(
+            realify_terms(target_terms, self._dimension), 2 * self._dimension
+        )
+        self._start = PolynomialSystem(
+            realify_terms(start_terms, self._dimension), 2 * self._dimension
+        )
+        #: complex start points (roots of the start system)
+        self._start_points = [tuple(complex(v) for v in p) for p in start_points]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def total_degree(cls, target, *, variables=None, gamma=None, seed: int = 20220322):
+        """The total-degree homotopy of a target system.
+
+        The start system is ``x_i^{d_i} - 1`` with ``d_i`` the total
+        degree of target equation ``i``; the ``prod(d_i)`` start
+        solutions (all products of roots of unity) are seeded for
+        :meth:`track_fleet`.
+        """
+        target_terms, dimension = _coerce_terms(target, variables)
+        degrees = [
+            max(
+                sum(_normalize_exponents(exponents, dimension))
+                for _, exponents in eq
+            )
+            for eq in target_terms
+        ]
+        start_terms, solutions = total_degree_start(degrees)
+        return cls(
+            target_terms,
+            start_terms,
+            variables=dimension,
+            gamma=gamma,
+            seed=seed,
+            start_points=solutions,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Complex dimension ``n`` of the underlying systems."""
+        return self._dimension
+
+    @property
+    def real_dimension(self) -> int:
+        """Real dimension ``2n`` the trackers operate in."""
+        return 2 * self._dimension
+
+    @property
+    def target_system(self) -> PolynomialSystem:
+        """The realified target ``F`` (a real ``2n`` system)."""
+        return self._target
+
+    @property
+    def start_system(self) -> PolynomialSystem:
+        """The realified start ``G`` (a real ``2n`` system)."""
+        return self._start
+
+    @property
+    def path_count(self) -> int:
+        return len(self._start_points)
+
+    def start_solutions(self) -> list:
+        """The realified start points, one ``2n`` real vector per path."""
+        return [embed_complex(point) for point in self._start_points]
+
+    # ------------------------------------------------------------------
+    # residual evaluation (series arithmetic, both backends)
+    # ------------------------------------------------------------------
+    def __call__(self, x, t):
+        """``H(x, t)`` on truncated series arguments.
+
+        ``x`` is the list of ``2n`` unknown series, ``t`` the parameter
+        series.  Vectorized
+        (:class:`~repro.series.truncated.TruncatedSeries`) and scalar
+        reference (:class:`~repro.series.reference.ScalarSeries`)
+        arguments produce bit-identical coefficients: the start and
+        target systems are evaluated with the shared-monomial kernels
+        of their backend, and the gamma combination replays the same
+        operand order on both sides.
+        """
+        values = list(x)
+        if len(values) != self.real_dimension:
+            raise ValueError(
+                f"expected {self.real_dimension} component series, got {len(values)}"
+            )
+        from ..series.reference import ScalarSeries
+
+        if isinstance(values[0], ScalarSeries):
+            return self._reference_call(values, t)
+        return self._vectorized_call(values, t)
+
+    def _vectorized_call(self, values, t):
+        from ..series.vector import VectorSeries
+
+        vector = VectorSeries.from_components(values)
+        n = self._dimension
+        order = vector.order
+        t = t.pad(order).truncate(order)
+        prec = vector.precision
+        a = MultiDouble(self.gamma.real, prec)
+        b = MultiDouble(self.gamma.imag, prec)
+        g = self._start.evaluate_series(vector)
+        f = self._target.evaluate_series(vector)
+        g_re = MDArray(g.coefficients.data[:, :n])
+        g_im = MDArray(g.coefficients.data[:, n:])
+        f_re = MDArray(f.coefficients.data[:, :n])
+        f_im = MDArray(f.coefficients.data[:, n:])
+        # gamma acts as a rotation mixing real and imaginary parts
+        left_re = g_re * a - g_im * b
+        left_im = g_re * b + g_im * a
+        s = 1 - t
+        s_data = MDArray(
+            np.broadcast_to(s.coefficients.data[:, None, :], g_re.data.shape)
+        )
+        t_data = MDArray(
+            np.broadcast_to(t.coefficients.data[:, None, :], g_re.data.shape)
+        )
+        h_re = linalg.cauchy_product(left_re, s_data) + linalg.cauchy_product(
+            f_re, t_data
+        )
+        h_im = linalg.cauchy_product(left_im, s_data) + linalg.cauchy_product(
+            f_im, t_data
+        )
+        out = np.concatenate([h_re.data, h_im.data], axis=1)
+        return VectorSeries(MDArray(out)).components()
+
+    def _reference_call(self, values, t):
+        from .reference import reference_evaluate_series
+
+        n = self._dimension
+        order = max(series.order for series in values)
+        t = t.pad(order).truncate(order)
+        prec = values[0].precision
+        a = MultiDouble(self.gamma.real, prec)
+        b = MultiDouble(self.gamma.imag, prec)
+        g = reference_evaluate_series(self._start, values)
+        f = reference_evaluate_series(self._target, values)
+        s = 1 - t
+        out_re, out_im = [], []
+        for i in range(n):
+            left_re = g[i].scale(a) - g[n + i].scale(b)
+            left_im = g[i].scale(b) + g[n + i].scale(a)
+            out_re.append(left_re * s + f[i] * t)
+            out_im.append(left_im * s + f[n + i] * t)
+        return out_re + out_im
+
+    # ------------------------------------------------------------------
+    # Jacobian (one shared power-product pass per system)
+    # ------------------------------------------------------------------
+    def jacobian(self, x0, t0) -> MDArray:
+        """The real ``2n x 2n`` Jacobian ``dH/dx`` at ``(x0, t0)``."""
+        n = self._dimension
+        point = self._target._coerce_point(x0)
+        prec = point.precision
+        jg = self._start.jacobian_matrix(point)
+        jf = self._target.jacobian_matrix(point)
+        t_md = MultiDouble(t0, prec)
+        s_md = MultiDouble(1, prec) - t_md
+        a_s = MultiDouble(self.gamma.real, prec) * s_md
+        b_s = MultiDouble(self.gamma.imag, prec) * s_md
+        top = jg[:n] * a_s - jg[n:] * b_s + jf[:n] * t_md
+        bottom = jg[:n] * b_s + jg[n:] * a_s + jf[n:] * t_md
+        return MDArray(np.concatenate([top.data, bottom.data], axis=1))
+
+    # ------------------------------------------------------------------
+    # tracking drivers
+    # ------------------------------------------------------------------
+    def track(self, start=None, **kwargs):
+        """Track one path with
+        :func:`repro.series.tracker.track_path`; ``start`` defaults to
+        the first seeded start solution (realified, or a complex
+        ``n``-point which is embedded automatically)."""
+        from ..series.tracker import track_path
+
+        return track_path(self, self.jacobian, self._resolve_start(start), **kwargs)
+
+    def track_fleet(self, starts=None, **kwargs):
+        """Track a whole fleet with the lock-step batched
+        :func:`repro.batch.fleet.track_paths`; ``starts`` defaults to
+        every seeded start solution."""
+        from ..batch.fleet import track_paths
+
+        if starts is None:
+            starts = self.start_solutions()
+        else:
+            starts = [self._resolve_start(point) for point in starts]
+        return track_paths(self, self.jacobian, starts, **kwargs)
+
+    def _resolve_start(self, start):
+        if start is None:
+            if not self._start_points:
+                raise ValueError("this homotopy carries no seeded start solutions")
+            return embed_complex(self._start_points[0])
+        start = list(start)
+        if len(start) == self._dimension:
+            return embed_complex(start)
+        if len(start) == self.real_dimension:
+            return [float(value) for value in start]
+        raise ValueError(
+            f"expected a complex {self._dimension}-point or a realified "
+            f"{self.real_dimension}-point"
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def target_residual(self, point) -> float:
+        """Double estimate of ``max_i |F_i(x)|`` at a realified (or
+        complex) point — how well an endpoint solves the target."""
+        values = self._target.evaluate(self._resolve_start(point), 2)
+        return float(np.max(np.abs(values.to_double())))
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"Homotopy(dimension={self._dimension}, "
+            f"paths={self.path_count}, gamma={self.gamma:.6f})"
+        )
+
+
+def _coerce_terms(system, variables):
+    """Term lists + dimension from a PolynomialSystem or raw terms."""
+    if isinstance(system, PolynomialSystem):
+        return system.terms, system.variables
+    equations = [list(eq) for eq in system]
+    if variables is None:
+        for eq in equations:
+            for _, exponents in eq:
+                if not isinstance(exponents, dict):
+                    variables = len(tuple(exponents))
+                    break
+            if variables is not None:
+                break
+        if variables is None:
+            raise ValueError("pass variables= explicitly for dict-exponent terms")
+    return equations, int(variables)

@@ -1,0 +1,546 @@
+"""Polynomial systems over monomial supports, vectorized limb-major.
+
+The paper's workload is Newton's method for Taylor-series solutions of
+*polynomial homotopies*; this module supplies the missing first-class
+input object.  A :class:`PolynomialSystem` stores a system of ``n_e``
+polynomial equations in ``n_v`` variables by its monomial support:
+
+* one table of **distinct power products** ``x^a`` shared by all
+  equations *and all partial derivatives* — the exponent vectors are
+  collected once at construction, so every power product is computed
+  exactly once per evaluation and reused everywhere (the
+  arithmetic-circuit style evaluation the paper's Section on polynomial
+  evaluation and differentiation is built on);
+* per-equation padded term tables (power-product index + multiple
+  double coefficient) for the values, and per-entry tables for the
+  Jacobian (coefficient times exponent, derivative power-product
+  index).
+
+Evaluation is fully vectorized on the limb-major
+:class:`~repro.vec.mdarray.MDArray` layout: the variable power table is
+built level by level (one batched multiplication per degree), the
+power products are reduced with a ones-padded pairwise (binary tree)
+product (:meth:`MDArray.prod <repro.vec.mdarray.MDArray.prod>` /
+:func:`repro.vec.linalg.cauchy_product_reduce`), and each equation is
+one coefficient weighting plus a zero-padded pairwise term reduction —
+a handful of vectorized limb launches regardless of how many monomials
+the system carries.  On truncated-series arguments every
+multiplication is a batched Cauchy product through
+:func:`repro.vec.linalg.cauchy_product`, which is what lets a
+``PolynomialSystem`` be handed **directly** to
+:func:`repro.series.newton.newton_series`,
+:func:`repro.series.tracker.track_path` and the batched
+:func:`repro.batch.fleet.track_paths` fleet (they generate the
+residual/Jacobian adapters from the object).
+
+The scalar loop-per-monomial reference evaluator
+(:mod:`repro.poly.reference`) replays the identical power table,
+product trees and term reductions on :class:`~repro.md.number.MultiDouble`
+/ :class:`~repro.series.reference.ScalarSeries` elements, and is
+**bit-identical** to this vectorized path at every paper precision —
+the same contract :class:`~repro.series.reference.ScalarSeries` holds
+against :class:`~repro.series.truncated.TruncatedSeries`.  Operation
+counts live in :func:`repro.md.opcounts.polynomial_counts`; the
+analytic launch trace in
+:func:`repro.perf.costmodel.polynomial_evaluation_trace` (which the
+numeric path itself records through, keeping the two launch-identical).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from ..md.constants import get_precision
+from ..md.number import MultiDouble
+from ..md.opcounts import polynomial_counts
+from ..vec import linalg
+from ..vec.mdarray import MDArray
+
+__all__ = ["PolynomialSystem"]
+
+#: Scalar coefficient types accepted in term lists.
+_COEFFICIENT_TYPES = (int, float, Fraction, str, MultiDouble)
+
+
+def _normalize_exponents(exponents, variables):
+    """Coerce a term's exponents to a tuple of ``variables`` ints."""
+    if isinstance(exponents, dict):
+        out = [0] * variables
+        for index, power in exponents.items():
+            out[int(index)] = int(power)
+        exponents = out
+    exponents = tuple(int(e) for e in exponents)
+    if len(exponents) != variables:
+        raise ValueError(
+            f"expected {variables} exponents per monomial, got {len(exponents)}"
+        )
+    if any(e < 0 for e in exponents):
+        raise ValueError("monomial exponents must be nonnegative")
+    return exponents
+
+
+def _merge_terms(terms, variables):
+    """Collect like monomials (coefficients added exactly when both are
+    rational) into a deterministic graded-lexicographic term order."""
+    merged = {}
+    for coefficient, exponents in terms:
+        exponents = _normalize_exponents(exponents, variables)
+        if exponents in merged:
+            merged[exponents] = merged[exponents] + coefficient
+        else:
+            merged[exponents] = coefficient
+    ordered = sorted(merged, key=lambda e: (-sum(e), tuple(-x for x in e)))
+    return [(merged[e], e) for e in ordered if _nonzero(merged[e])]
+
+
+def _nonzero(coefficient) -> bool:
+    if isinstance(coefficient, MultiDouble):
+        return coefficient.to_fraction() != 0
+    return coefficient != 0
+
+
+class PolynomialSystem:
+    """A polynomial system stored by its (shared) monomial support."""
+
+    def __init__(self, terms, variables=None):
+        """Build from per-equation term lists.
+
+        Parameters
+        ----------
+        terms:
+            One list per equation of ``(coefficient, exponents)`` pairs,
+            where ``exponents`` is a length-``variables`` sequence of
+            nonnegative ints (or a ``{variable index: exponent}`` dict).
+            Like monomials are merged; term order is canonicalized
+            (graded lexicographic), which is part of the bit-identity
+            contract with the reference evaluator.
+        variables:
+            Number of variables; inferred from the first exponent
+            sequence when omitted.
+        """
+        equations = [list(eq) for eq in terms]
+        if not equations:
+            raise ValueError("a polynomial system needs at least one equation")
+        if variables is None:
+            for eq in equations:
+                for _, exponents in eq:
+                    if isinstance(exponents, dict):
+                        continue
+                    variables = len(tuple(exponents))
+                    break
+                if variables is not None:
+                    break
+            if variables is None:
+                raise ValueError(
+                    "pass variables= explicitly when every exponent is a dict"
+                )
+        variables = int(variables)
+        if variables < 1:
+            raise ValueError("a polynomial system needs at least one variable")
+        self._variables = variables
+        self._terms = [_merge_terms(eq, variables) for eq in equations]
+        if any(not eq for eq in self._terms):
+            raise ValueError("every equation needs at least one nonzero term")
+        self._build_tables()
+        #: per-precision cache of the coefficient arrays
+        self._coefficient_cache = {}
+
+    # ------------------------------------------------------------------
+    # support tables
+    # ------------------------------------------------------------------
+    def _build_tables(self) -> None:
+        variables = self._variables
+        zero = (0,) * variables
+        support = {zero}
+        for eq in self._terms:
+            for _, exponents in eq:
+                support.add(exponents)
+                for j in range(variables):
+                    if exponents[j] > 0:
+                        lowered = list(exponents)
+                        lowered[j] -= 1
+                        support.add(tuple(lowered))
+        ordered = sorted(support)
+        self._product_exponents = np.array(ordered, dtype=np.int64)
+        index_of = {exponents: i for i, exponents in enumerate(ordered)}
+        self._max_degree = int(self._product_exponents.max()) if ordered else 0
+
+        # evaluation term tables, padded to the widest equation with
+        # (zero coefficient, power product 1) slots — the padded
+        # multiplications and additions are really executed, and the
+        # reference evaluator replays them
+        term_slots = max(len(eq) for eq in self._terms)
+        n_eq = len(self._terms)
+        self._term_slots = term_slots
+        self._term_index = np.zeros((n_eq, term_slots), dtype=np.int64)
+        self._term_values = [[0] * term_slots for _ in range(n_eq)]
+        for i, eq in enumerate(self._terms):
+            for s, (coefficient, exponents) in enumerate(eq):
+                self._term_index[i, s] = index_of[exponents]
+                self._term_values[i][s] = coefficient
+
+        # Jacobian tables: entry (i, j) holds the terms of dF_i/dx_j
+        jac_terms = [
+            [[] for _ in range(variables)] for _ in range(n_eq)
+        ]
+        for i, eq in enumerate(self._terms):
+            for coefficient, exponents in eq:
+                for j in range(variables):
+                    if exponents[j] == 0:
+                        continue
+                    lowered = list(exponents)
+                    lowered[j] -= 1
+                    jac_terms[i][j].append(
+                        (_scale_coefficient(coefficient, exponents[j]), tuple(lowered))
+                    )
+        jacobian_slots = max(
+            (len(entry) for row in jac_terms for entry in row), default=0
+        )
+        jacobian_slots = max(jacobian_slots, 1)
+        self._jacobian_slots = jacobian_slots
+        self._jacobian_index = np.zeros(
+            (n_eq, variables, jacobian_slots), dtype=np.int64
+        )
+        self._jacobian_values = [
+            [[0] * jacobian_slots for _ in range(variables)] for _ in range(n_eq)
+        ]
+        for i in range(n_eq):
+            for j in range(variables):
+                for s, (coefficient, exponents) in enumerate(jac_terms[i][j]):
+                    self._jacobian_index[i, j, s] = index_of[exponents]
+                    self._jacobian_values[i][j][s] = coefficient
+
+    def _coefficient_arrays(self, limbs: int):
+        """The evaluation and Jacobian coefficient arrays at a precision
+        (each scalar rounded once, cached)."""
+        if limbs not in self._coefficient_cache:
+            prec = get_precision(limbs)
+            n_eq, t_slots = len(self._terms), self._term_slots
+            data = np.zeros((prec.limbs, n_eq, t_slots))
+            for i in range(n_eq):
+                for s in range(t_slots):
+                    data[:, i, s] = MultiDouble(self._term_values[i][s], prec).limbs
+            jac = np.zeros((prec.limbs, n_eq, self._variables, self._jacobian_slots))
+            for i in range(n_eq):
+                for j in range(self._variables):
+                    for s in range(self._jacobian_slots):
+                        jac[:, i, j, s] = MultiDouble(
+                            self._jacobian_values[i][j][s], prec
+                        ).limbs
+            self._coefficient_cache[limbs] = (MDArray(data), MDArray(jac))
+        return self._coefficient_cache[limbs]
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def equations(self) -> int:
+        return len(self._terms)
+
+    @property
+    def variables(self) -> int:
+        return self._variables
+
+    @property
+    def dimension(self) -> int:
+        """Alias for :attr:`variables` (square systems)."""
+        return self._variables
+
+    @property
+    def terms(self) -> list:
+        """The canonical per-equation term lists (coefficient, exponents)."""
+        return [list(eq) for eq in self._terms]
+
+    @property
+    def monomials(self) -> int:
+        """Monomials actually present across the equations."""
+        return sum(len(eq) for eq in self._terms)
+
+    @property
+    def distinct_products(self) -> int:
+        """Distinct power products shared across equations and
+        derivatives (including the constant product ``1``)."""
+        return int(self._product_exponents.shape[0])
+
+    @property
+    def max_degree(self) -> int:
+        """Highest single-variable exponent (depth of the power table)."""
+        return self._max_degree
+
+    @property
+    def degrees(self) -> tuple:
+        """Total degree of every equation (the Bézout numbers of the
+        total-degree homotopy)."""
+        return tuple(
+            max(sum(exponents) for _, exponents in eq) for eq in self._terms
+        )
+
+    @property
+    def total_degree(self) -> int:
+        """Product of the equation degrees (the Bézout path count)."""
+        total = 1
+        for degree in self.degrees:
+            total *= max(degree, 1)
+        return total
+
+    @property
+    def shape(self) -> dict:
+        """Problem-shape metadata (benchmark records, repr)."""
+        return {
+            "equations": self.equations,
+            "n": self.variables,
+            "degree": max(self.degrees),
+            "monomials": self.monomials,
+            "products": self.distinct_products,
+        }
+
+    def counts(self, order: int = 0):
+        """Operation counts of one evaluation/differentiation at a
+        truncation order (see :func:`repro.md.opcounts.polynomial_counts`)."""
+        return polynomial_counts(
+            self.equations,
+            self.variables,
+            monomials=self.monomials,
+            products=self.distinct_products,
+            max_degree=self.max_degree,
+            term_slots=self._term_slots,
+            jacobian_slots=self._jacobian_slots,
+            order=order,
+        )
+
+    # ------------------------------------------------------------------
+    # vectorized point evaluation
+    # ------------------------------------------------------------------
+    def _coerce_point(self, x, precision=None) -> MDArray:
+        if isinstance(x, MDArray):
+            point = x if precision is None else x.astype(precision)
+        else:
+            values = list(x)
+            prec = get_precision(
+                precision
+                if precision is not None
+                else next(
+                    (v.precision for v in values if isinstance(v, MultiDouble)), 2
+                )
+            )
+            point = MDArray.from_multidoubles(
+                [MultiDouble(v, prec) for v in values], prec.limbs
+            )
+        if point.shape != (self._variables,):
+            raise ValueError(
+                f"expected a point with {self._variables} components, "
+                f"got shape {point.shape}"
+            )
+        return point
+
+    def _point_products(self, point: MDArray) -> MDArray:
+        """All distinct power products at a point, shape ``(products,)``.
+
+        One batched multiplication per power level, one gather, one
+        ones-padded pairwise product reduction over the variables axis.
+        """
+        m = point.limbs
+        table = np.zeros((m, self._max_degree + 1, self._variables))
+        table[0, 0, :] = 1.0
+        if self._max_degree >= 1:
+            table[:, 1, :] = point.data
+            power = point
+            for degree in range(2, self._max_degree + 1):
+                power = power * point
+                table[:, degree, :] = power.data
+        gathered = table[:, self._product_exponents, np.arange(self._variables)]
+        return MDArray(gathered).prod(axis=1)
+
+    def evaluate(self, x, precision=None, *, trace=None, device="V100") -> MDArray:
+        """Evaluate every equation at a point, shape ``(equations,)``.
+
+        ``x`` is an :class:`MDArray` of shape ``(variables,)`` or a
+        sequence of scalars.  With ``trace`` given, the kernel launches
+        are recorded through
+        :func:`repro.perf.costmodel.polynomial_evaluation_trace` (the
+        shared launch structure of the numeric and analytic paths).
+        """
+        point = self._coerce_point(x, precision)
+        products = self._point_products(point)
+        values = self._reduce_terms(products, point.limbs)
+        if trace is not None:
+            self._record_trace(trace, point.limbs, device, evaluate=True)
+        return values
+
+    def _reduce_terms(self, products: MDArray, limbs: int) -> MDArray:
+        coefficients, _ = self._coefficient_arrays(limbs)
+        gathered = MDArray(products.data[:, self._term_index])
+        weighted = coefficients * gathered
+        return weighted.sum(axis=1)
+
+    def jacobian_matrix(
+        self, x, precision=None, *, trace=None, device="V100"
+    ) -> MDArray:
+        """The Jacobian ``dF_i/dx_j`` at a point, shape
+        ``(equations, variables)``."""
+        point = self._coerce_point(x, precision)
+        products = self._point_products(point)
+        matrix = self._reduce_jacobian(products, point.limbs)
+        if trace is not None:
+            self._record_trace(trace, point.limbs, device, evaluate=False, jacobian=True)
+        return matrix
+
+    def _reduce_jacobian(self, products: MDArray, limbs: int) -> MDArray:
+        _, jac_coefficients = self._coefficient_arrays(limbs)
+        gathered = MDArray(products.data[:, self._jacobian_index])
+        weighted = jac_coefficients * gathered
+        return weighted.sum(axis=2)
+
+    def evaluate_with_jacobian(
+        self, x, precision=None, *, trace=None, device="V100"
+    ) -> tuple:
+        """Values and Jacobian from **one** shared power-product pass —
+        the payoff of the shared-monomial tables."""
+        point = self._coerce_point(x, precision)
+        products = self._point_products(point)
+        values = self._reduce_terms(products, point.limbs)
+        matrix = self._reduce_jacobian(products, point.limbs)
+        if trace is not None:
+            self._record_trace(trace, point.limbs, device, evaluate=True, jacobian=True)
+        return values, matrix
+
+    def jacobian(self, x0, t0=None) -> MDArray:
+        """Tracker-facing Jacobian adapter ``jacobian(x0[, t0])``.
+
+        Mirrors :meth:`__call__`: when the system carries one more
+        variable than unknowns, the continuation parameter ``t0``
+        (default 0, the expansion point of
+        :func:`~repro.series.newton.newton_series`) fills the last
+        variable and the returned Jacobian is restricted to the
+        unknown columns; otherwise ``t0`` is ignored — the system does
+        not depend on the parameter.  Either way the object can be
+        handed to :func:`~repro.series.tracker.track_path` /
+        :func:`~repro.batch.fleet.track_paths` directly.
+        """
+        values = list(x0)
+        if len(values) + 1 == self._variables:
+            values = values + [0 if t0 is None else t0]
+            return self.jacobian_matrix(values)[:, :-1]
+        return self.jacobian_matrix(values)
+
+    # ------------------------------------------------------------------
+    # vectorized truncated-series evaluation
+    # ------------------------------------------------------------------
+    def _series_products(self, series_data: np.ndarray, limbs: int) -> MDArray:
+        """Power products on series arguments, shape ``(products, K+1)``."""
+        m, variables, terms = series_data.shape
+        table = np.zeros((limbs, self._max_degree + 1, variables, terms))
+        table[0, 0, :, 0] = 1.0  # the exact one series
+        if self._max_degree >= 1:
+            table[:, 1] = series_data
+            power = MDArray(series_data)
+            x = MDArray(series_data)
+            for degree in range(2, self._max_degree + 1):
+                power = linalg.cauchy_product(power, x)
+                table[:, degree] = power.data
+        gathered = table[:, self._product_exponents, np.arange(self._variables), :]
+        return linalg.cauchy_product_reduce(MDArray(gathered))
+
+    def evaluate_series(self, x, *, trace=None, device="V100"):
+        """Evaluate on a system of truncated power series.
+
+        ``x`` is a :class:`~repro.series.vector.VectorSeries` (or a
+        sequence of :class:`~repro.series.truncated.TruncatedSeries`) of
+        dimension ``variables``; the result is a ``VectorSeries`` of
+        dimension ``equations`` at the same truncation order.  Every
+        multiplication is a batched Cauchy product, so the launch count
+        is independent of the monomial count and linear only in
+        ``log2`` of the variables and term slots.
+        """
+        from ..series.vector import VectorSeries
+
+        if isinstance(x, VectorSeries):
+            vector = x
+        else:
+            vector = VectorSeries.from_components(list(x))
+        if vector.dimension != self._variables:
+            raise ValueError(
+                f"expected {self._variables} component series, got {vector.dimension}"
+            )
+        limbs = vector.limbs
+        products = self._series_products(vector.coefficients.data, limbs)
+        coefficients, _ = self._coefficient_arrays(limbs)
+        gathered = MDArray(products.data[:, self._term_index])
+        weighted = MDArray(coefficients.data[..., None]) * gathered
+        values = weighted.sum(axis=1)
+        if trace is not None:
+            self._record_trace(
+                trace, limbs, device, evaluate=True, order=vector.order
+            )
+        return VectorSeries(values)
+
+    def __call__(self, x, t=None):
+        """Residual adapter ``system(x, t)`` for the series solvers.
+
+        ``x`` is the list of unknown series the Newton staircase /
+        tracker supplies; ``t`` (the parameter series) is appended as
+        the last variable when the system carries one more variable
+        than unknowns, and ignored otherwise (a plain ``F(x)`` does not
+        depend on it).  Scalar-series arguments
+        (:class:`~repro.series.reference.ScalarSeries`) dispatch to the
+        loop-per-monomial reference evaluator, so
+        ``newton_series(..., backend="reference")`` replays the
+        bit-identical scalar path.
+        """
+        values = list(x)
+        if t is not None and len(values) + 1 == self._variables:
+            values = values + [t]
+        if len(values) != self._variables:
+            raise ValueError(
+                f"expected {self._variables} (or {self._variables - 1}) "
+                f"arguments, got {len(values)}"
+            )
+        from ..series.reference import ScalarSeries
+
+        if any(isinstance(v, ScalarSeries) for v in values):
+            from .reference import reference_evaluate_series
+
+            return reference_evaluate_series(self, values)
+        return self.evaluate_series(values).components()
+
+    # ------------------------------------------------------------------
+    # trace plumbing
+    # ------------------------------------------------------------------
+    def _record_trace(
+        self, trace, limbs, device, *, evaluate=True, jacobian=False, order=0
+    ) -> None:
+        from ..perf.costmodel import polynomial_evaluation_trace
+
+        polynomial_evaluation_trace(
+            self.equations,
+            self.variables,
+            self.distinct_products,
+            self.max_degree,
+            self._term_slots,
+            limbs,
+            order=order,
+            jacobian_slots=self._jacobian_slots if jacobian else None,
+            evaluate=evaluate,
+            device=device,
+            trace=trace,
+        )
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"PolynomialSystem(equations={self.equations}, "
+            f"variables={self.variables}, monomials={self.monomials}, "
+            f"products={self.distinct_products})"
+        )
+
+
+def _scale_coefficient(coefficient, factor: int):
+    """``coefficient * factor`` with exact arithmetic where possible
+    (the Jacobian coefficients are derived once at construction; both
+    evaluation paths then round the same stored value)."""
+    if isinstance(coefficient, MultiDouble):
+        return coefficient * factor
+    if isinstance(coefficient, str):
+        return Fraction(coefficient) * factor
+    return coefficient * factor

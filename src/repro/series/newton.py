@@ -60,7 +60,12 @@ from .reference import ScalarSeries
 from .truncated import TruncatedSeries
 from .vector import VectorSeries
 
-__all__ = ["NewtonSeriesResult", "newton_series", "newton_series_quadratic"]
+__all__ = [
+    "NewtonSeriesResult",
+    "newton_series",
+    "newton_series_quadratic",
+    "resolve_system_arguments",
+]
 
 #: Series arithmetic backends of :func:`newton_series`.
 _BACKENDS = {"vectorized": TruncatedSeries, "reference": ScalarSeries}
@@ -100,6 +105,36 @@ class NewtonSeriesResult:
     def evaluate(self, point) -> list:
         """Every component's series evaluated at ``point``."""
         return [s.evaluate(point) for s in self.series]
+
+
+def resolve_system_arguments(system, jacobian, data):
+    """Resolve the ``(system, jacobian, start)`` calling conventions.
+
+    The classic convention passes three values — a residual callable, a
+    Jacobian callable and the start data.  A
+    :class:`~repro.poly.system.PolynomialSystem` or
+    :class:`~repro.poly.homotopy.Homotopy` carries its own generated
+    Jacobian adapter, so it may be passed **directly** with the start
+    data in the second slot (``track_path(homotopy, start)``,
+    ``track_paths(homotopy, starts)``, ``newton_series(F, start,
+    order)``); this helper shifts the arguments and fills the Jacobian
+    in from the object.  Detection is structural (the second positional
+    value is not callable and the system provides a callable
+    ``jacobian`` attribute), so hand-written callables keep working
+    unchanged.
+    """
+    if data is None and jacobian is not None and not callable(jacobian):
+        jacobian, data = None, jacobian
+    if jacobian is None:
+        jacobian = getattr(system, "jacobian", None)
+        if not callable(jacobian):
+            raise TypeError(
+                "no Jacobian supplied and the system object does not provide "
+                "one; pass a jacobian callable or a PolynomialSystem/Homotopy"
+            )
+    if data is None:
+        raise TypeError("a start point is required")
+    return system, jacobian, data
 
 
 def _coerce_start(start, prec) -> list:
@@ -153,9 +188,9 @@ def _residual_column(residuals, k: int) -> MDArray:
 
 def newton_series(
     system,
-    jacobian,
-    start,
-    order: int,
+    jacobian=None,
+    start=None,
+    order=None,
     precision=2,
     *,
     tile_size=None,
@@ -171,12 +206,17 @@ def newton_series(
         Callable ``system(x, t) -> residuals`` where ``x`` is a list of
         :class:`TruncatedSeries` (one per unknown) and ``t`` the
         parameter series; it must return one series (or scalar) per
-        equation, evaluated with series arithmetic.
+        equation, evaluated with series arithmetic.  A
+        :class:`~repro.poly.system.PolynomialSystem` may be passed
+        directly — it is its own residual adapter and carries its own
+        Jacobian, so ``jacobian`` may then be omitted entirely
+        (``newton_series(F, start, order)``).
     jacobian:
         Callable ``jacobian(x0) -> J`` returning the ``n``-by-``n``
         Jacobian of ``F`` with respect to ``x`` at the head point
         (``t = 0``), as an :class:`~repro.vec.mdarray.MDArray` or a
-        nested list of scalars.
+        nested list of scalars.  ``None`` uses the ``jacobian``
+        generated by the system object.
     start:
         The solution at ``t = 0`` (one scalar per unknown).
     order:
@@ -195,6 +235,19 @@ def newton_series(
     """
     if backend not in _BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; expected one of {sorted(_BACKENDS)}")
+    if jacobian is not None and not callable(jacobian):
+        # called as newton_series(polynomial_system, start, ...): the
+        # start point sits in the jacobian slot — shift each *positional*
+        # value one slot left (keyword order=/precision= stay put)
+        if start is not None:
+            if order is not None:
+                precision = order
+            order = start
+        start = jacobian
+        jacobian = None
+    system, jacobian, start = resolve_system_arguments(system, jacobian, start)
+    if order is None:
+        raise TypeError("a truncation order is required")
     series_cls = _BACKENDS[backend]
     prec = get_precision(precision)
     limbs = prec.limbs

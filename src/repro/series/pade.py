@@ -147,6 +147,31 @@ class PadeApproximant:
         head = float(heads[0])
         return head / (head + tail)
 
+    def pole_radius(self) -> float:
+        """Distance to the nearest pole: the smallest root modulus of
+        the denominator (leading limbs, companion-matrix roots).
+
+        This is the "closest pole of the Padé approximant" that drives
+        the step size in Padé-based path trackers: unlike the
+        guaranteed-but-conservative Cauchy bound of
+        :meth:`pole_estimate` (which collapses toward zero whenever an
+        ill-conditioned Hankel solve inflates a denominator
+        coefficient, freezing the step), the actual root modulus stays
+        proportional to the true pole distance.  Falls back to the
+        Cauchy bound when the denominator heads are not finite;
+        ``inf`` for a constant denominator.
+        """
+        heads = self.denominator_array.data[0]
+        if not np.isfinite(heads).all():
+            return self.pole_estimate()
+        coefficients = np.trim_zeros(heads[::-1], trim="f")  # highest power first
+        if len(coefficients) <= 1:
+            return float("inf")
+        roots = np.roots(coefficients)
+        if len(roots) == 0:  # pragma: no cover - defensive
+            return float("inf")
+        return float(np.min(np.abs(roots)))
+
     def __repr__(self):  # pragma: no cover - cosmetic
         return (
             f"PadeApproximant(L={self.numerator_degree}, "

@@ -40,7 +40,13 @@ from ..core.least_squares import lstsq
 from ..md.constants import get_precision
 from ..md.number import MultiDouble
 from ..vec.mdarray import MDArray
-from .newton import _coerce_jacobian, _coerce_residual, _residual_column, newton_series
+from .newton import (
+    _coerce_jacobian,
+    _coerce_residual,
+    _residual_column,
+    newton_series,
+    resolve_system_arguments,
+)
 from .pade import pade
 from .truncated import TruncatedSeries
 
@@ -149,8 +155,8 @@ def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, i
 
 def track_path(
     system,
-    jacobian,
-    start,
+    jacobian=None,
+    start=None,
     *,
     t_start: float = 0.0,
     t_end: float = 1.0,
@@ -173,10 +179,15 @@ def track_path(
     system:
         Callable ``system(x, t) -> residuals`` evaluated with truncated
         series arithmetic, as in :func:`repro.series.newton.newton_series`
-        (``t`` is the *global* parameter series).
+        (``t`` is the *global* parameter series).  A
+        :class:`~repro.poly.system.PolynomialSystem` or
+        :class:`~repro.poly.homotopy.Homotopy` may be passed directly
+        — it generates its own residual/Jacobian adapters, so the call
+        collapses to ``track_path(homotopy, start)``.
     jacobian:
         Callable ``jacobian(x0, t0) -> J`` returning the Jacobian of
-        ``F`` with respect to ``x`` at the point ``x0``, ``t = t0``.
+        ``F`` with respect to ``x`` at the point ``x0``, ``t = t0``;
+        ``None`` uses the ``jacobian`` generated by the system object.
     start:
         The solution at ``t = t_start``.
     order:
@@ -203,6 +214,7 @@ def track_path(
     device:
         Simulated device for the cost model accounting.
     """
+    system, jacobian, start = resolve_system_arguments(system, jacobian, start)
     if not precision_ladder:
         raise ValueError("the precision ladder must not be empty")
     if order < 2:
@@ -272,9 +284,12 @@ def track_path(
             )
             step_model_ms += timed.kernel_ms
 
-            # step control on the Padé truncation estimate
+            # step control on the Padé truncation estimate; the pole
+            # cap uses the closest denominator root (pole_radius), not
+            # the Cauchy bound, so one ill-conditioned component cannot
+            # freeze the step at min_step
             h = min(remaining, trial_step) if trial_step else remaining
-            pole = min(a.pole_estimate() for a in approximants)
+            pole = min(a.pole_radius() for a in approximants)
             if pole != float("inf"):
                 h = min(h, _POLE_SAFETY * pole)
             h = min(remaining, max(h, min_step))

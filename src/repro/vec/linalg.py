@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from .complexmd import MDComplexArray
-from .mdarray import MDArray
+from .mdarray import MDArray, pairwise_reduce
 
 __all__ = [
     "matvec",
@@ -36,6 +36,7 @@ __all__ = [
     "transpose",
     "conjugate_transpose",
     "cauchy_product",
+    "cauchy_product_reduce",
     "convolution_coefficient",
     "convolve_matvec",
 ]
@@ -269,6 +270,43 @@ def convolve_matvec(matrices, vectors):
         )
     row_products = matrices * vectors.reshape(terms, 1, cols)
     return row_products.sum(axis=2).sum(axis=0)
+
+
+def cauchy_product_reduce(series_stack):
+    """Pairwise Cauchy-product reduction of a stack of series.
+
+    ``series_stack`` is an :class:`MDArray` whose **last** element axis
+    indexes series coefficients and whose **second-to-last** element
+    axis indexes the factors to be multiplied together (shape
+    ``(..., L, K+1)``); the result of shape ``(..., K+1)`` is the
+    truncated product of the ``L`` series, reduced with the same
+    zero-padded pairwise (binary tree) scheme as :meth:`MDArray.sum
+    <repro.vec.mdarray.MDArray.sum>` / :meth:`MDArray.prod
+    <repro.vec.mdarray.MDArray.prod>` — an odd half is padded with the
+    exact one series ``1 + 0 t + ...`` and the padded products are
+    really executed.  Each level is one batched :func:`cauchy_product`
+    launch sequence, so the multiplication depth is ``ceil(log2 L)``
+    regardless of how many factors a power product carries.  This is
+    the monomial-evaluation kernel of :mod:`repro.poly` on truncated
+    series arguments.
+    """
+    if series_stack.ndim < 2:
+        raise ValueError(
+            "cauchy_product_reduce expects a factor axis and a coefficient axis"
+        )
+    ax = series_stack.data.ndim - 2  # the factor axis of the storage array
+
+    def combine(first, second):
+        return cauchy_product(MDArray(first), MDArray(second)).data
+
+    def one_series_pad(shape):
+        pad = np.zeros(shape)
+        pad[0, ..., 0] = 1.0  # the exact one series
+        return pad
+
+    return MDArray(
+        pairwise_reduce(series_stack.data, ax, combine, one_series_pad)
+    )
 
 
 def transpose(a):

@@ -22,7 +22,41 @@ from ..md import generic
 from ..md.constants import get_precision
 from ..md.number import MultiDouble
 
-__all__ = ["MDArray"]
+__all__ = ["MDArray", "pairwise_reduce"]
+
+
+def pairwise_reduce(data, axis, combine, pad):
+    """Pairwise (binary tree) reduction along one storage axis.
+
+    The one reduction-tree shape of this library: the sequence along
+    ``axis`` is split into halves of ``ceil(n/2)`` and ``floor(n/2)``
+    elements, an odd second half is padded with one identity block
+    (``pad(shape) -> ndarray`` — exact zeros for sums, exact ones for
+    products), the halves are combined element by element
+    (``combine(first, second) -> ndarray``), and the halving repeats
+    until one element remains.  The padded identity operations are
+    really executed.
+
+    :meth:`MDArray.sum`, :meth:`MDArray.prod` and
+    :func:`repro.vec.linalg.cauchy_product_reduce` all run through this
+    single helper, and the scalar reference world replays the same tree
+    (:func:`repro.series.reference.pairwise_sum`,
+    :func:`repro.poly.reference.pairwise_product`) — which is what
+    makes vectorized and reference results **bit-identical**.  Keeping
+    one copy of the tree shape is part of that contract.
+    """
+    work = data
+    while work.shape[axis] > 1:
+        n = work.shape[axis]
+        half = (n + 1) // 2
+        first = np.take(work, np.arange(0, half), axis=axis)
+        second = np.take(work, np.arange(half, n), axis=axis)
+        if n % 2 == 1:
+            pad_shape = list(first.shape)
+            pad_shape[axis] = 1
+            second = np.concatenate([second, pad(pad_shape)], axis=axis)
+        work = combine(first, second)
+    return np.squeeze(work, axis=axis)
 
 
 class MDArray:
@@ -316,27 +350,44 @@ class MDArray:
         if axis is None:
             flat = self.reshape(self.size)
             return flat.sum(axis=0)
-        axis = axis % self.ndim
-        work = self.data
-        limb_axis_offset = 1  # element axis i is storage axis i+1
-        ax = axis + limb_axis_offset
-        while work.shape[ax] > 1:
-            n = work.shape[ax]
-            half = (n + 1) // 2
-            first = np.take(work, np.arange(0, half), axis=ax)
-            if n % 2 == 1:
-                pad_shape = list(first.shape)
-                second = np.take(work, np.arange(half, n), axis=ax)
-                pad_shape[ax] = 1
-                second = np.concatenate([second, np.zeros(pad_shape)], axis=ax)
-            else:
-                second = np.take(work, np.arange(half, n), axis=ax)
+        ax = axis % self.ndim + 1  # element axis i is storage axis i+1
+
+        def combine(first, second):
             a = tuple(first[k] for k in range(self.limbs))
             b = tuple(second[k] for k in range(self.limbs))
             result = generic.add(a, b, self.limbs)
-            work = np.stack(np.broadcast_arrays(*result), axis=0)
-        work = np.squeeze(work, axis=ax)
-        return MDArray(work)
+            return np.stack(np.broadcast_arrays(*result), axis=0)
+
+        return MDArray(pairwise_reduce(self.data, ax, combine, np.zeros))
+
+    def prod(self, axis=None) -> "MDArray":
+        """Product of elements via pairwise (binary tree) reduction.
+
+        The multiplicative twin of :meth:`sum`: the sequence is halved
+        level by level (padding an odd half with an exact one), so the
+        multiplication depth stays logarithmic — the reduction shape of
+        a power product kernel evaluating one monomial per thread
+        (:mod:`repro.poly`).  The padded multiplications by one are
+        really executed, exactly as the padded zero additions of
+        :meth:`sum` are.
+        """
+        if axis is None:
+            flat = self.reshape(self.size)
+            return flat.prod(axis=0)
+        ax = axis % self.ndim + 1  # element axis i is storage axis i+1
+
+        def combine(first, second):
+            a = tuple(first[k] for k in range(self.limbs))
+            b = tuple(second[k] for k in range(self.limbs))
+            result = generic.mul(a, b, self.limbs)
+            return np.stack(np.broadcast_arrays(*result), axis=0)
+
+        def one_pad(shape):
+            pad = np.zeros(shape)
+            pad[0] = 1.0  # exact one: leading limb 1, trailing limbs 0
+            return pad
+
+        return MDArray(pairwise_reduce(self.data, ax, combine, one_pad))
 
     def dot(self, other) -> "MDArray":
         """Inner product of two one-dimensional arrays."""

@@ -119,6 +119,40 @@ def test_path_fleet_quickstart(capsys):
     assert out.count("True") == 2
 
 
+def test_homotopy_quickstart(capsys):
+    """The total-degree fleet quickstart at its smallest family size.
+
+    Golden assertion on the solution count: cyclic-2 has exactly two
+    complex roots, and the fleet must find both (every path reaching
+    t = 1, two distinct endpoint clusters).
+    """
+    quickstart = importlib.import_module("homotopy_quickstart")
+    quickstart.main("cyclic", 2, max_steps=48)
+    out = capsys.readouterr().out
+    assert "total degree 2" in out
+    assert "Reached t = 1: 2/2 paths" in out
+    assert "Distinct solutions found: 2" in out
+    assert "1d -> 2d" in out  # at least one path escalates d -> dd
+    assert "x from batching" in out
+
+
+def test_homotopy_quickstart_distinct_endpoint_clustering():
+    quickstart = importlib.import_module("homotopy_quickstart")
+
+    class _Path:
+        def __init__(self, point, reached=True):
+            self.final_point = point
+            self.reached = reached
+
+    paths = [
+        _Path([1.0, 0.0]),          # 1 + 0j (realified 1-dim point)
+        _Path([1.0, 1e-6]),         # same cluster
+        _Path([-1.0, 0.0]),         # second cluster
+        _Path([5.0, 5.0], reached=False),  # ignored: never reached
+    ]
+    assert quickstart.distinct_endpoints(paths) == 2
+
+
 def test_path_fleet_matches_single_path_tracker():
     path_fleet = importlib.import_module("path_fleet")
     from repro.series import track_path

@@ -1,0 +1,79 @@
+"""Benchmark families: structure, reproducibility, known solutions."""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.poly import cyclic, katsura, noon
+from repro.poly.homotopy import embed_complex, realify_terms
+from repro.poly.system import PolynomialSystem
+
+
+class TestKatsura:
+    @pytest.mark.parametrize("n", [1, 3, 6])
+    def test_shape(self, n):
+        system = katsura(n)
+        assert system.equations == system.variables == n + 1
+        assert system.degrees == (2,) * n + (1,)
+        assert system.total_degree == 2 ** n
+
+    def test_known_solution(self):
+        # u_0 = 1, u_1 = ... = u_n = 0 solves every Katsura system
+        system = katsura(4)
+        values = system.evaluate([1.0, 0.0, 0.0, 0.0, 0.0], 2)
+        assert np.max(np.abs(values.to_double())) == 0.0
+
+    def test_deterministic(self):
+        assert katsura(3).terms == katsura(3).terms
+
+
+class TestCyclic:
+    @pytest.mark.parametrize("n", [2, 4, 5])
+    def test_shape(self, n):
+        system = cyclic(n)
+        assert system.equations == system.variables == n
+        assert system.degrees == tuple(range(1, n)) + (n,)
+        assert system.total_degree == math.factorial(n)
+
+    def test_cyclic3_roots_of_unity_solution(self):
+        # (1, w, w^2) with w a primitive cube root of unity solves
+        # cyclic-3 (realified check, since the root is complex)
+        system = cyclic(3)
+        omega = cmath.exp(2j * math.pi / 3)
+        real_system = PolynomialSystem(realify_terms(system.terms, 3), 6)
+        values = real_system.evaluate(embed_complex([1, omega, omega ** 2]), 2)
+        assert np.max(np.abs(values.to_double())) < 1e-14
+
+    def test_multilinear_power_table(self):
+        # cyclic monomials are squarefree: the power table is trivial
+        assert cyclic(5).max_degree == 1
+
+
+class TestNoon:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_shape(self, n):
+        system = noon(n)
+        assert system.equations == system.variables == n
+        assert system.degrees == (3,) * n
+        assert system.total_degree == 3 ** n
+
+    def test_parameter_enters_linear_term(self):
+        system = noon(3, parameter=2.5)
+        x = [0.4, -0.3, 0.8]
+        sumsq = sum(v * v for v in x)
+        expected = [
+            x[i] * (sumsq - x[i] * x[i]) - 2.5 * x[i] + 1 for i in range(3)
+        ]
+        assert system.evaluate(x, 2).to_double() == pytest.approx(expected)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            katsura(0)
+        with pytest.raises(ValueError):
+            cyclic(1)
+        with pytest.raises(ValueError):
+            noon(1)
