@@ -21,10 +21,12 @@ The paper's workload, end to end, with **no hand-written callables**:
    complex), target residuals and the predicted kernel cost of the
    fleet under batched execution.
 
-Run with:  python examples/homotopy_quickstart.py [family] [n]
+Run with:  python examples/homotopy_quickstart.py [family] [n] [backend]
            (e.g. ``cyclic 3`` — the default — or ``katsura 2``;
-           cyclic 5 reproduces the paper-scale workload if you are
-           willing to wait)
+           ``cyclic 3 complex`` tracks the n complex variables
+           natively instead of the realified 2n real ones; cyclic 5
+           reproduces the paper-scale workload if you are willing to
+           wait)
 """
 
 from __future__ import annotations
@@ -42,10 +44,19 @@ FAMILIES = {"cyclic": cyclic, "katsura": katsura, "noon": noon}
 CLUSTER_TOLERANCE = 1e-4
 
 
-def distinct_endpoints(paths) -> int:
+def fold_endpoint(homotopy, final_point) -> list:
+    """An endpoint as complex components, whatever the backend (the
+    native complex backend already tracks complex coordinates; the
+    realified backend folds `2n` reals back, losslessly)."""
+    if homotopy.backend == "complex":
+        return list(final_point)
+    return extract_complex(final_point)
+
+
+def distinct_endpoints(homotopy, paths) -> int:
     """Number of endpoint clusters among the paths that reached t = 1."""
     endpoints = [
-        extract_complex([float(value) for value in path.final_point])
+        fold_endpoint(homotopy, path.final_point)
         for path in paths
         if path.reached
     ]
@@ -62,6 +73,7 @@ def distinct_endpoints(paths) -> int:
 def main(
     family: str = "cyclic",
     n: int = 3,
+    backend: str = "realified",
     *,
     tol: float = 1e-6,
     order: int = 8,
@@ -69,16 +81,21 @@ def main(
     seed: int = 7,
 ) -> None:
     system = FAMILIES[family](n)
-    homotopy = Homotopy.total_degree(system, seed=seed)
+    homotopy = Homotopy.total_degree(system, seed=seed, backend=backend)
     counts = system.counts()
     print(
         f"{family}-{n}: {system.equations} equations, "
         f"{system.monomials} monomials, {system.distinct_products} distinct "
         f"power products, total degree {system.total_degree}"
     )
+    kind = (
+        f"{homotopy.dimension} native complex variables"
+        if backend == "complex"
+        else f"real dimension {homotopy.real_dimension}"
+    )
     print(
         f"Homotopy: gamma = {homotopy.gamma:.6f}, "
-        f"{homotopy.path_count} paths in real dimension {homotopy.real_dimension}"
+        f"{homotopy.path_count} paths in {kind} ({backend} backend)"
     )
     print(
         "One evaluation+Jacobian pass (shared power products): "
@@ -95,7 +112,9 @@ def main(
     for index, path in enumerate(fleet.paths):
         ladder = " -> ".join(path.precisions_used)
         residual = homotopy.target_residual(path.final_point)
-        endpoint = extract_complex([float(value) for value in path.final_point])
+        endpoint = [
+            complex(z) for z in fold_endpoint(homotopy, path.final_point)
+        ]
         rendered = ", ".join(f"{z:.4f}" for z in endpoint[: min(3, len(endpoint))])
         if len(endpoint) > 3:
             rendered += ", ..."
@@ -104,7 +123,7 @@ def main(
             f"{str(path.reached):>7s}  {residual:>9.1e}  ({rendered})"
         )
 
-    solutions = distinct_endpoints(fleet.paths)
+    solutions = distinct_endpoints(homotopy, fleet.paths)
     print(f"\nReached t = 1: {fleet.reached_count}/{fleet.batch} paths")
     print(f"Distinct solutions found: {solutions}")
     print(f"Lock-step rounds: {fleet.rounds}")
@@ -120,4 +139,5 @@ def main(
 if __name__ == "__main__":
     family_arg = sys.argv[1] if len(sys.argv) > 1 else "cyclic"
     n_arg = int(sys.argv[2]) if len(sys.argv) > 2 else 3
-    main(family_arg, n_arg)
+    backend_arg = sys.argv[3] if len(sys.argv) > 3 else "realified"
+    main(family_arg, n_arg, backend_arg)

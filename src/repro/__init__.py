@@ -78,6 +78,8 @@ def __getattr__(name):
         "TruncatedSeries": ("repro.series", "TruncatedSeries"),
         "VectorSeries": ("repro.series", "VectorSeries"),
         "ScalarSeries": ("repro.series", "ScalarSeries"),
+        "ComplexTruncatedSeries": ("repro.series", "ComplexTruncatedSeries"),
+        "ComplexVectorSeries": ("repro.series", "ComplexVectorSeries"),
         "pade": ("repro.series", "pade"),
         "newton_series": ("repro.series", "newton_series"),
         "solve_matrix_series": ("repro.series", "solve_matrix_series"),

@@ -30,6 +30,7 @@ from ..core.back_substitution import (
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..vec import batched as vb
+from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
 from .tracing import add_batched_launch
 
@@ -60,27 +61,34 @@ class BatchedBackSubstitutionResult:
 
     def finite_systems(self) -> np.ndarray:
         """Boolean mask of batch members with finite solutions."""
-        return np.isfinite(self.x.data).all(axis=(0, 2))
+        return finite_mask(self.x, axis=(0, 2))
 
 
-def batched_invert_upper_triangular(tiles_batch) -> MDArray:
+def batched_invert_upper_triangular(tiles_batch):
     """Invert a ``(b, n, n)`` batch of upper triangular tiles.
 
     Mirrors :func:`repro.core.tile_inverse.invert_upper_triangular` row
-    by row over the batch; a zero diagonal entry yields non-finite
-    entries in that system's slice instead of raising.
+    by row over the batch (real or complex); a zero diagonal entry
+    yields non-finite entries in that system's slice instead of raising.
     """
     if tiles_batch.ndim != 3 or tiles_batch.shape[1] != tiles_batch.shape[2]:
         raise ValueError("expected a (b, n, n) batch of square tiles")
     batch, n, _ = tiles_batch.shape
+    complex_data = isinstance(tiles_batch, MDComplexArray)
     limbs = tiles_batch.limbs
-    inverse = MDArray.zeros((batch, n, n), limbs)
+    inverse = (
+        MDComplexArray.zeros((batch, n, n), limbs)
+        if complex_data
+        else MDArray.zeros((batch, n, n), limbs)
+    )
     identity_rows = np.eye(n)
     with np.errstate(divide="ignore", invalid="ignore"):
         for i in range(n - 1, -1, -1):
             rhs = MDArray.from_double(
                 np.broadcast_to(identity_rows[i], (batch, n)).copy(), limbs
             )
+            if complex_data:
+                rhs = MDComplexArray(rhs, MDArray.zeros((batch, n), limbs))
             if i < n - 1:
                 # subtract U[i, i+1:] times the already computed rows
                 contribution = vb.batched_matvec(
@@ -103,6 +111,7 @@ def batched_back_substitution(
         raise ValueError(f"tile size {tile_size} must divide the dimension {dim}")
     n = tile_size
     tiles = dim // n
+    complex_data = isinstance(matrices, MDComplexArray)
     limbs = matrices.limbs
     if trace is None:
         trace = KernelTrace(
@@ -127,16 +136,20 @@ def batched_back_substitution(
             blocks=tiles,
             threads_per_block=n,
             limbs=limbs,
-            tally=stages.tally_tile_inverse(n).scaled(tiles),
-            bytes_read=md_bytes(tiles * n * n, limbs),
-            bytes_written=md_bytes(tiles * n * n, limbs),
+            tally=stages.tally_tile_inverse(n, complex_data).scaled(tiles),
+            bytes_read=md_bytes(tiles * n * n, limbs, complex_data),
+            bytes_written=md_bytes(tiles * n * n, limbs, complex_data),
             efficiency=TILE_INVERSION_EFFICIENCY,
         )
 
         # --------------------------------------------------------------
         # stage 2: back substitution over the tiles
         # --------------------------------------------------------------
-        x = MDArray.zeros((batch, dim), limbs)
+        x = (
+            MDComplexArray.zeros((batch, dim), limbs)
+            if complex_data
+            else MDArray.zeros((batch, dim), limbs)
+        )
         b = rhs.copy()
         for i in range(tiles - 1, -1, -1):
             lo, hi = i * n, (i + 1) * n
@@ -151,9 +164,9 @@ def batched_back_substitution(
                 blocks=1,
                 threads_per_block=n,
                 limbs=limbs,
-                tally=stages.tally_matvec(n, n),
-                bytes_read=md_bytes(n * n + n, limbs),
-                bytes_written=md_bytes(n, limbs),
+                tally=stages.tally_matvec(n, n, complex_data),
+                bytes_read=md_bytes(n * n + n, limbs, complex_data),
+                bytes_written=md_bytes(n, limbs, complex_data),
                 efficiency=BS_MULTIPLY_EFFICIENCY,
             )
             # b_j := b_j - A_{j,i} x_i for all j < i, one launch
@@ -170,9 +183,9 @@ def batched_back_substitution(
                     blocks=i,
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_update_rhs(n).scaled(i),
-                    bytes_read=md_bytes(i * (n * n + 2 * n), limbs),
-                    bytes_written=md_bytes(i * n, limbs),
+                    tally=stages.tally_update_rhs(n, complex_data).scaled(i),
+                    bytes_read=md_bytes(i * (n * n + 2 * n), limbs, complex_data),
+                    bytes_written=md_bytes(i * n, limbs, complex_data),
                     efficiency=BS_UPDATE_EFFICIENCY,
                 )
 

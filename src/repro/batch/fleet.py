@@ -26,6 +26,14 @@ it would take if tracked alone — a fleet of one reproduces
 Jacobian goes singular poisons only its own batch slice: it is detected
 (non-finite expansion), reported as ``failed``, and removed from the
 fleet without perturbing a single bit of its batch mates.
+
+Fleets of **complex** start points (the native backend of
+``Homotopy(..., backend="complex")``) run the identical lock-step
+machinery on the separated-plane complex kernels: the ``n`` complex
+variables stay ``n`` (no realification to ``2n``), the batched QR /
+triangular solves / Padé constructions dispatch on
+:class:`~repro.vec.complexmd.MDComplexArray` operands, and a complex
+fleet of one is bit-identical to complex ``track_path``.
 """
 
 from __future__ import annotations
@@ -39,17 +47,32 @@ from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
-from ..md.number import MultiDouble
+from ..md.number import ComplexMultiDouble, MultiDouble
+from ..series.complexvec import (
+    ComplexTruncatedSeries,
+    ComplexVectorSeries,
+    coerce_scalar,
+    evaluation_magnitudes,
+    leading_value,
+)
 from ..series.newton import (
     _coerce_jacobian,
     _coerce_residual,
+    _coerce_start,
     _residual_column,
     resolve_system_arguments,
 )
-from ..series.tracker import _BUDGET_SPLIT, _POLE_SAFETY, PathResult, PathStep
+from ..series.tracker import (
+    _BUDGET_SPLIT,
+    _pole_step_cap,
+    _resolve_pole_safety,
+    PathResult,
+    PathStep,
+)
 from ..series.truncated import TruncatedSeries
 from ..series.vector import VectorSeries
 from ..vec import batched as vb
+from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
 from .back_substitution import batched_back_substitution
 from .least_squares import batched_least_squares
@@ -128,6 +151,72 @@ class _PathState:
     precisions_used: list = field(default_factory=list)
 
 
+class _SolutionStore:
+    """The fleet-wide series expansion, ``(limbs, batch, n, K+1)`` raw
+    limb planes (one plane pair when complex) — the kind-dispatch shim
+    that keeps :func:`_advance_sub_batch` agnostic of real vs complex
+    tracking."""
+
+    def __init__(self, limbs, batch, n, order, complex_data):
+        shape = (limbs, batch, n, order + 1)
+        self.complex = complex_data
+        self.re = np.zeros(shape)
+        self.im = np.zeros(shape) if complex_data else None
+
+    def set_heads(self, p, heads, limbs):
+        if self.complex:
+            array = MDComplexArray.from_multidoubles(heads, limbs)
+            self.re[:, p, :, 0] = array.real.data
+            self.im[:, p, :, 0] = array.imag.data
+        else:
+            self.re[:, p, :, 0] = MDArray.from_multidoubles(heads, limbs).data
+
+    def set_column(self, k, x):
+        """Write the order-``k`` batched solve result ``x`` of shape
+        ``(b, n)``."""
+        if self.complex:
+            self.re[:, :, :, k] = x.real.data
+            self.im[:, :, :, k] = x.imag.data
+        else:
+            self.re[:, :, :, k] = x.data
+
+    def partial(self, p, i, k):
+        """Component ``i`` of path ``p`` through order ``k`` as a series."""
+        if self.complex:
+            return ComplexTruncatedSeries.from_mdarray(
+                MDComplexArray(
+                    MDArray(self.re[:, p, i, : k + 1]),
+                    MDArray(self.im[:, p, i, : k + 1]),
+                )
+            )
+        return TruncatedSeries.from_mdarray(MDArray(self.re[:, p, i, : k + 1]))
+
+    def flat_series(self, batch, n, order):
+        """All ``batch * n`` component series as one coefficient stack."""
+        limbs = self.re.shape[0]
+        if self.complex:
+            return MDComplexArray(
+                MDArray(self.re.reshape(limbs, batch * n, order + 1).copy()),
+                MDArray(self.im.reshape(limbs, batch * n, order + 1).copy()),
+            )
+        return MDArray(self.re.reshape(limbs, batch * n, order + 1).copy())
+
+    def path_vector(self, p):
+        """One path's expansion as a (complex) vector series."""
+        if self.complex:
+            return ComplexVectorSeries(
+                MDComplexArray(
+                    MDArray(self.re[:, p].copy()), MDArray(self.im[:, p].copy())
+                )
+            )
+        return VectorSeries(MDArray(self.re[:, p].copy()))
+
+    def path_finite(self, p) -> bool:
+        if not np.isfinite(self.re[:, p]).all():
+            return False
+        return self.im is None or bool(np.isfinite(self.im[:, p]).all())
+
+
 def track_paths(
     system,
     jacobian=None,
@@ -146,6 +235,7 @@ def track_paths(
     tile_size=None,
     bs_tile_size=None,
     correct: bool = True,
+    pole_safety=None,
     device: str = "V100",
 ) -> PathFleetResult:
     """Track a fleet of solution paths of ``F(x, t) = 0`` in lock-step.
@@ -162,7 +252,8 @@ def track_paths(
     ``system`` with the start points in the second slot
     (``track_paths(homotopy, starts)``) — the residual/Jacobian
     adapters are generated from the object, no hand-written callables
-    required.
+    required.  Complex start points track natively in ``n`` complex
+    variables on the separated-plane batched kernels.
 
     Returns a :class:`PathFleetResult`; its ``paths`` entries are
     bit-identical to tracking each start point alone with
@@ -184,6 +275,7 @@ def track_paths(
             "the Padé degrees must satisfy L + M + 1 <= order so the "
             "defect coefficient exists"
         )
+    pole_safety = _resolve_pole_safety(pole_safety)
     starts = [list(start) for start in starts]
     if not starts:
         raise ValueError("the fleet needs at least one start point")
@@ -200,13 +292,31 @@ def track_paths(
     ladder = [get_precision(p).limbs for p in precision_ladder]
     prec0 = get_precision(ladder[0])
 
+    head_lists = [_coerce_start(start, prec0, system) for start in starts]
+    complex_data = any(
+        isinstance(head, ComplexMultiDouble)
+        for heads in head_lists
+        for head in heads
+    )
+    if complex_data:
+        # one complex component makes the whole fleet complex
+        head_lists = [
+            [
+                head
+                if isinstance(head, ComplexMultiDouble)
+                else ComplexMultiDouble(head, MultiDouble(0, prec0))
+                for head in heads
+            ]
+            for heads in head_lists
+        ]
+
     fleet = PathFleetResult(device=device)
     fleet.paths = [PathResult(device=device) for _ in starts]
     states = []
-    for index, start in enumerate(starts):
+    for index, heads in enumerate(head_lists):
         state = _PathState(
             index=index,
-            heads=[MultiDouble(value, prec0) for value in start],
+            heads=heads,
             t_current=float(t_start),
             trial_step=float(initial_step) if initial_step else None,
             precisions_used=[prec0.name],
@@ -240,6 +350,8 @@ def track_paths(
                 tile_size=tile_size,
                 bs_tile_size=bs_tile_size,
                 correct=correct,
+                pole_safety=pole_safety,
+                complex_data=complex_data,
                 device=device,
                 model=model,
                 path_step_trace=path_step_trace,
@@ -267,6 +379,8 @@ def _advance_sub_batch(
     tile_size,
     bs_tile_size,
     correct,
+    pole_safety,
+    complex_data,
     device,
     model,
     path_step_trace,
@@ -277,7 +391,7 @@ def _advance_sub_batch(
     limbs = prec.limbs
     batch = len(batch_states)
     for state in batch_states:
-        state.heads = [MultiDouble(h, prec) for h in state.heads]
+        state.heads = [coerce_scalar(h, prec) for h in state.heads]
     fleet.sub_batches.append(
         (fleet.rounds, prec.name, tuple(state.index for state in batch_states))
     )
@@ -295,6 +409,8 @@ def _advance_sub_batch(
         for state in batch_states
     ]
 
+    series_cls = ComplexTruncatedSeries if complex_data else TruncatedSeries
+
     def make_local_system(t0):
         def local_system(x, s):
             shifted = TruncatedSeries.variable(s.order, prec, head=t0)
@@ -304,30 +420,27 @@ def _advance_sub_batch(
 
     local_systems = [make_local_system(state.t_current) for state in batch_states]
 
-    solution = np.zeros((limbs, batch, n, order + 1))
+    solution = _SolutionStore(limbs, batch, n, order, complex_data)
     for p, state in enumerate(batch_states):
-        solution[:, p, :, 0] = MDArray.from_multidoubles(state.heads, limbs).data
+        solution.set_heads(p, state.heads, limbs)
 
     with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         qr = batched_blocked_qr(
             vb.stack(head_matrices), qr_tile, device=device, trace=round_trace
         )
-        q_transposed = vb.batched_transpose(qr.Q)
+        q_conjugate = vb.batched_conjugate_transpose(qr.Q)
         uppers = qr.R[:, :n, :n]
         for k in range(1, order + 1):
             rhs_rows = []
             for p, state in enumerate(batch_states):
-                partial = [
-                    TruncatedSeries.from_mdarray(MDArray(solution[:, p, i, : k + 1]))
-                    for i in range(n)
-                ]
-                t = TruncatedSeries.variable(k, prec)
+                partial = [solution.partial(p, i, k) for i in range(n)]
+                t = series_cls.variable(k, prec)
                 residuals = _coerce_residual(
-                    local_systems[p](partial, t), n, k, prec
+                    local_systems[p](partial, t), n, k, prec, series_cls
                 )
                 rhs_rows.append(_residual_column(residuals, k))
             rhs = vb.stack(rhs_rows)
-            qhb = vb.batched_matvec(q_transposed, rhs)
+            qhb = vb.batched_matvec(q_conjugate, rhs)
             add_batched_launch(
                 round_trace,
                 batch,
@@ -336,21 +449,19 @@ def _advance_sub_batch(
                 blocks=max(1, stages.ceil_div(n, qr_tile)),
                 threads_per_block=qr_tile,
                 limbs=limbs,
-                tally=stages.tally_matvec(n, n),
-                bytes_read=md_bytes(n * n + n, limbs),
-                bytes_written=md_bytes(n, limbs),
+                tally=stages.tally_matvec(n, n, complex_data),
+                bytes_read=md_bytes(n * n + n, limbs, complex_data),
+                bytes_written=md_bytes(n, limbs, complex_data),
             )
             bs = batched_back_substitution(
                 uppers, qhb[:, :n], bs_tile, device=device, trace=round_trace
             )
-            solution[:, :, :, k] = bs.x.data
+            solution.set_column(k, bs.x)
 
         # --------------------------------------------------------------
         # one batched Padé construction for all batch * n components
         # --------------------------------------------------------------
-        flat_series = MDArray(
-            solution.reshape(limbs, batch * n, order + 1).copy()
-        )
+        flat_series = solution.flat_series(batch, n, order)
         approximants_flat = batched_pade(
             flat_series,
             numerator_degree,
@@ -370,6 +481,7 @@ def _advance_sub_batch(
             numerator_degree=numerator_degree,
             denominator_degree=denominator_degree,
             device=device,
+            complex_data=complex_data,
         )
     )
     fleet.fleet_model_ms += fleet_timed.kernel_ms
@@ -388,6 +500,7 @@ def _advance_sub_batch(
             numerator_degree=numerator_degree,
             denominator_degree=denominator_degree,
             device=device,
+            complex_data=complex_data,
         )
     )
     accepted = []
@@ -396,7 +509,7 @@ def _advance_sub_batch(
         state.step_model_ms += step_timed.kernel_ms
 
         approximants = approximants_flat[p * n : (p + 1) * n]
-        if not _path_is_finite(solution[:, p], approximants):
+        if not (solution.path_finite(p) and _approximants_finite(approximants)):
             result.failed = True
             result.failure = (
                 "singular batched linear solve: non-finite series expansion "
@@ -408,15 +521,14 @@ def _advance_sub_batch(
             _finalize(state, result, t_end)
             continue
 
-        expansion_vector = VectorSeries(MDArray(solution[:, p].copy()))
+        expansion_vector = solution.path_vector(p)
         remaining = t_end - state.t_current
 
-        # step control on the Padé truncation estimate (pole_radius, as
-        # in track_path — decision for decision)
+        # step control on the Padé truncation estimate (pole_radius
+        # shrunk by the pole_safety fraction, as in track_path —
+        # decision for decision)
         h = min(remaining, state.trial_step) if state.trial_step else remaining
-        pole = min(a.pole_radius() for a in approximants)
-        if pole != float("inf"):
-            h = min(h, _POLE_SAFETY * pole)
+        h = _pole_step_cap(h, approximants, pole_safety)
         h = min(remaining, max(h, min_step))
         truncation = max(a.error_estimate(h) for a in approximants)
         while truncation > _BUDGET_SPLIT * tol and h > min_step:
@@ -424,7 +536,7 @@ def _advance_sub_batch(
             truncation = max(a.error_estimate(h) for a in approximants)
 
         # precision control on the coefficient-condition estimate
-        values = np.abs(expansion_vector.evaluate(h).to_double())
+        values = evaluation_magnitudes(expansion_vector.evaluate(h))
         conditions = expansion_vector.coefficient_condition(h, values=values)
         noise = prec.eps * float(np.max(conditions * np.maximum(values, 1.0)))
         converged = truncation <= _BUDGET_SPLIT * tol
@@ -474,7 +586,7 @@ def _advance_sub_batch(
                 precision_noise=noise,
                 escalations=state.step_escalations,
                 model_ms=state.step_model_ms,
-                point=tuple(float(value) for value in new_heads),
+                point=tuple(leading_value(value) for value in new_heads),
             )
         )
         result.escalations += state.step_escalations
@@ -497,19 +609,25 @@ def _batched_newton_correct(
     The residual series are evaluated per path (each has its own
     ``t``); the ``b`` least squares solves of every polish iteration
     run as one batched launch sequence.  Per path this matches
-    :func:`repro.series.tracker._newton_correct` bit for bit.
+    :func:`repro.series.tracker._newton_correct` bit for bit — on
+    complex fleets through the separated-plane complex kernels.
     """
     limbs = prec.limbs
     batch = len(heads_list)
     n = len(heads_list[0])
     heads_list = [list(heads) for heads in heads_list]
+    complex_data = isinstance(heads_list[0][0], ComplexMultiDouble)
+    series_cls = ComplexTruncatedSeries if complex_data else TruncatedSeries
+    from_scalars = (
+        MDComplexArray.from_multidoubles if complex_data else MDArray.from_multidoubles
+    )
     with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         for _ in range(iterations):
             matrices, rhs_rows = [], []
             for heads, t_value in zip(heads_list, t_values):
-                x = [TruncatedSeries([h], prec) for h in heads]
+                x = [series_cls([h], prec) for h in heads]
                 t = TruncatedSeries([MultiDouble(t_value, prec)], prec)
-                residuals = _coerce_residual(system(x, t), n, 0, prec)
+                residuals = _coerce_residual(system(x, t), n, 0, prec, series_cls)
                 matrices.append(
                     _coerce_jacobian(jacobian(list(heads), t_value), n, limbs)
                 )
@@ -521,23 +639,20 @@ def _batched_newton_correct(
                 device=device,
             )
             stacked = vb.stack(
-                [MDArray.from_multidoubles(heads, limbs) for heads in heads_list]
+                [from_scalars(heads, limbs) for heads in heads_list]
             )
             corrected = stacked + solve.x
             heads_list = [list(corrected[p]) for p in range(batch)]
     return heads_list
 
 
-def _path_is_finite(solution_slice, approximants) -> bool:
-    """Whether one path's expansion and approximants are all finite."""
-    if not np.isfinite(solution_slice).all():
-        return False
-    for approximant in approximants:
-        if not np.isfinite(approximant.numerator_array.data).all():
-            return False
-        if not np.isfinite(approximant.denominator_array.data).all():
-            return False
-    return True
+def _approximants_finite(approximants) -> bool:
+    """Whether one path's Padé approximants are all finite."""
+    return all(
+        finite_mask(approximant.numerator_array)
+        and finite_mask(approximant.denominator_array)
+        for approximant in approximants
+    )
 
 
 def _finalize(state, result, t_end) -> None:

@@ -20,6 +20,7 @@ from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..vec import batched as vb
+from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
 from .back_substitution import batched_back_substitution
 from .qr import batched_blocked_qr
@@ -55,7 +56,7 @@ class BatchedLeastSquaresResult:
 
     def finite_systems(self) -> np.ndarray:
         """Boolean mask of batch members with finite solutions."""
-        return np.isfinite(self.x.data).all(axis=(0, 2))
+        return finite_mask(self.x, axis=(0, 2))
 
 
 def batched_least_squares(
@@ -79,6 +80,7 @@ def batched_least_squares(
 
     qr = batched_blocked_qr(matrices, tile_size, device=device)
 
+    complex_data = isinstance(matrices, MDComplexArray)
     bs_trace = KernelTrace(
         device, label=f"batched least squares back substitution b={batch} dim={cols}"
     )
@@ -91,9 +93,9 @@ def batched_least_squares(
         blocks=max(1, -(-rows // tile_size)),
         threads_per_block=tile_size,
         limbs=matrices.limbs,
-        tally=stages.tally_matvec(rows, rows),
-        bytes_read=md_bytes(rows * rows + rows, matrices.limbs),
-        bytes_written=md_bytes(rows, matrices.limbs),
+        tally=stages.tally_matvec(rows, rows, complex_data),
+        bytes_read=md_bytes(rows * rows + rows, matrices.limbs, complex_data),
+        bytes_written=md_bytes(rows, matrices.limbs, complex_data),
     )
 
     uppers = qr.R[:, :cols, :cols]

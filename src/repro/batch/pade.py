@@ -19,9 +19,11 @@ import numpy as np
 
 from ..core.least_squares import resolve_tile_sizes
 from ..md.constants import get_precision
+from ..series.complexvec import ComplexTruncatedSeries
 from ..series.pade import PadeApproximant
 from ..series.truncated import TruncatedSeries
 from ..vec import linalg
+from ..vec.complexmd import MDComplexArray, map_planes
 from ..vec.mdarray import MDArray
 from .least_squares import batched_least_squares
 
@@ -36,6 +38,11 @@ def _gather_batched(data, indices) -> MDArray:
     valid = (indices >= 0) & (indices < data.shape[2])
     safe = np.where(valid, indices, 0)
     return MDArray(np.where(valid, data[:, :, safe], 0.0))
+
+
+def _gather_batch(array, indices):
+    """Kind-aware batched gather (per plane on complex stacks)."""
+    return map_planes(array, lambda data: _gather_batched(data, indices).data)
 
 
 def batched_pade(
@@ -75,7 +82,7 @@ def batched_pade(
     each bit-identical to the unbatched construction (their ``trace``
     fields are ``None``; the batched solve owns one shared trace).
     """
-    if isinstance(series_batch, MDArray):
+    if isinstance(series_batch, (MDArray, MDComplexArray)):
         if series_batch.ndim != 2:
             raise ValueError("expected an (B, K+1) coefficient array")
         coefficients = series_batch.copy()
@@ -87,7 +94,7 @@ def batched_pade(
             raise ValueError("batched_pade needs at least one series")
         converted = []
         for member in members:
-            if not isinstance(member, TruncatedSeries):
+            if not isinstance(member, (TruncatedSeries, ComplexTruncatedSeries)):
                 member = TruncatedSeries(list(member), precision)
             elif precision is not None and get_precision(precision).limbs != member.limbs:
                 member = member.astype(precision)
@@ -96,14 +103,26 @@ def batched_pade(
         limbs = converted[0].limbs
         if any(s.order != order or s.limbs != limbs for s in converted):
             raise ValueError("all series of a batch must share order and precision")
-        coefficients = MDArray(
-            np.stack([s.coefficients.data for s in converted], axis=1)
-        )
+        if any(isinstance(s, ComplexTruncatedSeries) for s in converted):
+            if not all(isinstance(s, ComplexTruncatedSeries) for s in converted):
+                raise ValueError("cannot mix real and complex series in one batch")
+            coefficients = MDComplexArray(
+                MDArray(
+                    np.stack([s.coefficients.real.data for s in converted], axis=1)
+                ),
+                MDArray(
+                    np.stack([s.coefficients.imag.data for s in converted], axis=1)
+                ),
+            )
+        else:
+            coefficients = MDArray(
+                np.stack([s.coefficients.data for s in converted], axis=1)
+            )
+    complex_data = isinstance(coefficients, MDComplexArray)
     prec = get_precision(coefficients.limbs)
     limbs = prec.limbs
     B = coefficients.shape[0]
     order = coefficients.shape[1] - 1
-    data = coefficients.data  # limb-major (m, B, K+1)
 
     if numerator_degree is None and denominator_degree is None:
         numerator_degree = denominator_degree = order // 2
@@ -125,10 +144,12 @@ def batched_pade(
         ones = np.zeros((limbs, B, 1))
         ones[0] = 1.0
         denominator_array = MDArray(ones)
+        if complex_data:
+            denominator_array = MDComplexArray(denominator_array)
     else:
         i = np.arange(1, M + 1)
-        systems = _gather_batched(data, L + i[:, None] - i[None, :])
-        rhs = -_gather_batched(data, L + i)
+        systems = _gather_batch(coefficients, L + i[:, None] - i[None, :])
+        rhs = -_gather_batch(coefficients, L + i)
         tile_size, _ = resolve_tile_sizes(M, tile_size, None)
         solution = batched_least_squares(
             systems, rhs, tile_size=tile_size, device=device
@@ -138,22 +159,35 @@ def batched_pade(
             trace.extend(solution.bs_trace)
         one = np.zeros((limbs, B, 1))
         one[0] = 1.0
-        denominator_array = MDArray(
-            np.concatenate([one, solution.x.data], axis=2)
-        )
+        if complex_data:
+            denominator_array = MDComplexArray(
+                MDArray(np.concatenate([one, solution.x.real.data], axis=2)),
+                MDArray(
+                    np.concatenate(
+                        [np.zeros((limbs, B, 1)), solution.x.imag.data], axis=2
+                    )
+                ),
+            )
+        else:
+            denominator_array = MDArray(
+                np.concatenate([one, solution.x.data], axis=2)
+            )
 
     # numerators: p = (c * q) truncated at order L, one batched convolution
-    q_padded = MDArray(
-        np.concatenate(
-            [
-                denominator_array.data[:, :, : L + 1],
-                np.zeros((limbs, B, max(0, L - M))),
-            ],
-            axis=2,
+    def _pad_q(plane):
+        return np.concatenate(
+            [plane[:, :, : L + 1], np.zeros((limbs, B, max(0, L - M)))], axis=2
         )
-    )
+
+    if complex_data:
+        q_padded = MDComplexArray(
+            MDArray(_pad_q(denominator_array.real.data)),
+            MDArray(_pad_q(denominator_array.imag.data)),
+        )
+    else:
+        q_padded = MDArray(_pad_q(denominator_array.data))
     numerator_array = linalg.cauchy_product(
-        _gather_batched(data, np.arange(L + 1)), q_padded
+        _gather_batch(coefficients, np.arange(L + 1)), q_padded
     )
 
     # defects: coefficient of t**(L+M+1) in q f - p, batched over B

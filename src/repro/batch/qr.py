@@ -33,6 +33,7 @@ from ..core import stages
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..vec import batched as vb
+from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
 from .tracing import add_batched_launch
 
@@ -69,9 +70,9 @@ class BatchedQRResult:
 
         Storage is ``(m, b, rows, cols)``: the limb axis leads, so the
         reduction keeps only the batch axis."""
-        q_ok = np.isfinite(self.Q.data).all(axis=(0, 2, 3))
-        r_ok = np.isfinite(self.R.data).all(axis=(0, 2, 3))
-        return q_ok & r_ok
+        return finite_mask(self.Q, axis=(0, 2, 3)) & finite_mask(
+            self.R, axis=(0, 2, 3)
+        )
 
 
 def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> BatchedQRResult:
@@ -87,6 +88,7 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
     if n <= 0 or cols % n != 0:
         raise ValueError(f"tile size {tile_size} must divide the column count {cols}")
     tiles = cols // n
+    complex_data = isinstance(matrices, MDComplexArray)
     limbs = matrices.limbs
     if trace is None:
         trace = KernelTrace(
@@ -94,7 +96,7 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
         )
 
     R = matrices.copy()
-    Q = vb.batched_identity(batch, rows, limbs)
+    Q = vb.batched_identity(batch, rows, limbs, complex_data=complex_data)
 
     with np.errstate(divide="ignore", invalid="ignore"):
         for k in range(tiles):
@@ -118,15 +120,18 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                     blocks=max(1, -(-length // n)),
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_householder_vector(length),
-                    bytes_read=md_bytes(length, limbs),
-                    bytes_written=md_bytes(length + 1, limbs),
+                    tally=stages.tally_householder_vector(length, complex_data),
+                    bytes_read=md_bytes(length, limbs, complex_data),
+                    bytes_written=md_bytes(length + 1, limbs, complex_data),
                 )
 
-                # t = beta * (panel block)^T v   (stage beta*R^T*v)
+                # t = beta * (panel block)^H v   (stage beta*R^T*v)
                 panel_cols = col0 + n - j
                 block = R[:, j:rows, j : col0 + n]  # (b, length, panel_cols)
-                t = vb.batched_matvec(vb.batched_transpose(block), v)
+                t = vb.batched_matvec(
+                    vb.batched_transpose(block),
+                    v.conj() if complex_data else v,
+                )
                 w = t * beta.reshape(batch, 1)
                 add_batched_launch(
                     trace,
@@ -136,10 +141,10 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                     blocks=max(1, -(-length // n)),
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_matvec(panel_cols, length)
-                    + stages.tally_matvec(panel_cols, 1),
-                    bytes_read=md_bytes(length * panel_cols + length, limbs),
-                    bytes_written=md_bytes(panel_cols, limbs),
+                    tally=stages.tally_matvec(panel_cols, length, complex_data)
+                    + stages.tally_matvec(panel_cols, 1, complex_data),
+                    bytes_read=md_bytes(length * panel_cols + length, limbs, complex_data),
+                    bytes_written=md_bytes(panel_cols, limbs, complex_data),
                 )
 
                 # rank-1 update of the panel (stage update R)
@@ -152,28 +157,38 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                     blocks=max(1, panel_cols),
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_rank1_update(length, panel_cols),
-                    bytes_read=md_bytes(length * panel_cols + length + panel_cols, limbs),
-                    bytes_written=md_bytes(length * panel_cols, limbs),
+                    tally=stages.tally_rank1_update(length, panel_cols, complex_data),
+                    bytes_read=md_bytes(length * panel_cols + length + panel_cols, limbs, complex_data),
+                    bytes_written=md_bytes(length * panel_cols, limbs, complex_data),
                 )
 
                 # the reflector annihilates the subdiagonal of column j exactly
                 if length > 1:
-                    R[:, j + 1 : rows, j] = MDArray.zeros((batch, length - 1), limbs)
+                    zero_tail = (
+                        MDComplexArray.zeros((batch, length - 1), limbs)
+                        if complex_data
+                        else MDArray.zeros((batch, length - 1), limbs)
+                    )
+                    R[:, j + 1 : rows, j] = zero_tail
 
                 # embed v into the panel-height vector stored in Y
-                padded = MDArray.zeros((batch, r), limbs)
+                padded = (
+                    MDComplexArray.zeros((batch, r), limbs)
+                    if complex_data
+                    else MDArray.zeros((batch, r), limbs)
+                )
                 padded[:, l:] = v
                 vectors.append(padded)
                 betas.append(beta)
 
             # ----------------------------------------------------------
-            # 2. aggregate the panel reflectors: W, Y and YWT = Y W^T
+            # 2. aggregate the panel reflectors: W, Y and YWT = Y W^H
             # ----------------------------------------------------------
             W, Y = _batched_accumulate_wy(
-                vectors, betas, trace=trace, batch=batch, threads_per_block=n
+                vectors, betas, trace=trace, batch=batch, threads_per_block=n,
+                complex_data=complex_data,
             )
-            YWT = vb.batched_matmul(Y, vb.batched_transpose(W))
+            YWT = vb.batched_matmul(Y, vb.batched_conjugate_transpose(W))
             add_batched_launch(
                 trace,
                 batch,
@@ -182,15 +197,15 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                 blocks=max(1, -(-(r * r) // n)),
                 threads_per_block=n,
                 limbs=limbs,
-                tally=stages.tally_matmul(r, n, r),
-                bytes_read=md_bytes(2 * r * n, limbs),
-                bytes_written=md_bytes(r * r, limbs),
+                tally=stages.tally_matmul(r, n, r, complex_data),
+                bytes_read=md_bytes(2 * r * n, limbs, complex_data),
+                bytes_written=md_bytes(r * r, limbs, complex_data),
             )
 
             # ----------------------------------------------------------
-            # 3. update Q in two stages: QWY := Q * WY^T, then Q += QWY
+            # 3. update Q in two stages: QWY := Q * WY^H, then Q += QWY
             # ----------------------------------------------------------
-            WYH = vb.batched_transpose(YWT)
+            WYH = vb.batched_conjugate_transpose(YWT)
             QWY = vb.batched_matmul(Q[:, :, col0:rows], WYH)
             add_batched_launch(
                 trace,
@@ -200,9 +215,9 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                 blocks=max(1, -(-(rows * r) // n)),
                 threads_per_block=n,
                 limbs=limbs,
-                tally=stages.tally_matmul(rows, r, r),
-                bytes_read=md_bytes(rows * r + r * r, limbs),
-                bytes_written=md_bytes(rows * r, limbs),
+                tally=stages.tally_matmul(rows, r, r, complex_data),
+                bytes_read=md_bytes(rows * r + r * r, limbs, complex_data),
+                bytes_written=md_bytes(rows * r, limbs, complex_data),
             )
             Q[:, :, col0:rows] = Q[:, :, col0:rows] + QWY
             add_batched_launch(
@@ -213,9 +228,9 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                 blocks=max(1, -(-(rows * r) // n)),
                 threads_per_block=n,
                 limbs=limbs,
-                tally=stages.tally_matrix_add(rows, r),
-                bytes_read=md_bytes(2 * rows * r, limbs),
-                bytes_written=md_bytes(rows * r, limbs),
+                tally=stages.tally_matrix_add(rows, r, complex_data),
+                bytes_read=md_bytes(2 * rows * r, limbs, complex_data),
+                bytes_written=md_bytes(rows * r, limbs, complex_data),
             )
 
             # ----------------------------------------------------------
@@ -233,9 +248,9 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                     blocks=max(1, -(-(r * c) // n)),
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_matmul(r, r, c),
-                    bytes_read=md_bytes(r * r + r * c, limbs),
-                    bytes_written=md_bytes(r * c, limbs),
+                    tally=stages.tally_matmul(r, r, c, complex_data),
+                    bytes_read=md_bytes(r * r + r * c, limbs, complex_data),
+                    bytes_written=md_bytes(r * c, limbs, complex_data),
                 )
                 R[:, col0:rows, col0 + n : cols] = C + YWTC
                 add_batched_launch(
@@ -246,34 +261,39 @@ def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> Batche
                     blocks=max(1, -(-(r * c) // n)),
                     threads_per_block=n,
                     limbs=limbs,
-                    tally=stages.tally_matrix_add(r, c),
-                    bytes_read=md_bytes(2 * r * c, limbs),
-                    bytes_written=md_bytes(r * c, limbs),
+                    tally=stages.tally_matrix_add(r, c, complex_data),
+                    bytes_read=md_bytes(2 * r * c, limbs, complex_data),
+                    bytes_written=md_bytes(r * c, limbs, complex_data),
                 )
 
     return BatchedQRResult(Q=Q, R=R, trace=trace, tile_size=n, tiles=tiles)
 
 
-def _batched_accumulate_wy(vectors, betas, *, trace, batch, threads_per_block):
+def _batched_accumulate_wy(
+    vectors, betas, *, trace, batch, threads_per_block, complex_data=False
+):
     """WY accumulation over the batch (formula 16, one launch per column).
 
     Mirrors :func:`repro.core.wy.accumulate_wy` on ``(b, r)`` vectors
-    and ``(b,)`` betas; each slice is bit-identical to the unbatched
-    accumulation.
+    and ``(b,)`` betas (Hermitian transpose on complex data); each
+    slice is bit-identical to the unbatched accumulation.
     """
     r = vectors[0].shape[1]
     n = len(vectors)
     limbs = vectors[0].limbs
-    W = MDArray.zeros((batch, r, n), limbs)
-    Y = MDArray.zeros((batch, r, n), limbs)
+    make_zeros = MDComplexArray.zeros if complex_data else MDArray.zeros
+    W = make_zeros((batch, r, n), limbs)
+    Y = make_zeros((batch, r, n), limbs)
     for l, (v, beta) in enumerate(zip(vectors, betas)):
         Y[:, :, l] = v
         beta_column = beta.reshape(batch, 1)
         if l == 0:
             z = -(v * beta_column)
         else:
-            # z = -beta (v + W[:, :, :l] (Y[:, :, :l]^T v))
-            yhv = vb.batched_matvec(vb.batched_transpose(Y[:, :, :l]), v)
+            # z = -beta (v + W[:, :, :l] (Y[:, :, :l]^H v))
+            yhv = vb.batched_matvec(
+                vb.batched_conjugate_transpose(Y[:, :, :l]), v
+            )
             wyhv = vb.batched_matvec(W[:, :, :l], yhv)
             z = -((v + wyhv) * beta_column)
         W[:, :, l] = z
@@ -285,9 +305,9 @@ def _batched_accumulate_wy(vectors, betas, *, trace, batch, threads_per_block):
             blocks=max(1, -(-r // threads_per_block)),
             threads_per_block=threads_per_block,
             limbs=limbs,
-            tally=stages.tally_compute_w_column(r, l),
-            bytes_read=md_bytes(r * (2 * l + 1), limbs),
-            bytes_written=md_bytes(r, limbs),
+            tally=stages.tally_compute_w_column(r, l, complex_data),
+            bytes_read=md_bytes(r * (2 * l + 1), limbs, complex_data),
+            bytes_written=md_bytes(r, limbs, complex_data),
         )
     return W, Y
 

@@ -256,7 +256,7 @@ def tally_update_rhs(n: int, complex_data: bool = False) -> OperationTally:
     return tally + OperationTally(subtractions=n * _complex_factor_add(complex_data))
 
 
-def tally_series_product(count: int, order: int = 0) -> OperationTally:
+def tally_series_product(count: int, order: int = 0, complex_data: bool = False) -> OperationTally:
     """``count`` truncated Cauchy products at truncation ``order``.
 
     Each product executes the full ``(K+1)²`` grid of coefficient
@@ -266,27 +266,48 @@ def tally_series_product(count: int, order: int = 0) -> OperationTally:
     zero additions are counted because the kernel really executes
     them).  At ``order == 0`` this degenerates to one plain
     multiplication per product — the point-evaluation case of the
-    polynomial kernels.
+    polynomial kernels.  A complex Cauchy product runs the real grid
+    four times (the separated-plane kernel of
+    :func:`repro.vec.linalg.cauchy_product`) and combines the planes
+    with one addition and one subtraction per output coefficient.
     """
     terms = order + 1
+    mults = count * terms * terms
+    adds = count * terms * pairwise_addition_count(terms)
+    if complex_data:
+        return OperationTally(
+            multiplications=4.0 * mults,
+            additions=4.0 * adds + count * terms,
+            subtractions=float(count * terms),
+        )
     return OperationTally(
-        multiplications=float(count * terms * terms),
-        additions=float(count * terms * pairwise_addition_count(terms)),
+        multiplications=float(mults),
+        additions=float(adds),
     )
 
 
-def tally_series_scale(count: int, order: int = 0) -> OperationTally:
+def tally_series_scale(count: int, order: int = 0, complex_data: bool = False) -> OperationTally:
     """``count`` scalar-times-series products (one multiplication per
     retained coefficient) — the coefficient weighting of the polynomial
-    term kernels."""
-    return OperationTally(multiplications=float(count * (order + 1)))
+    term kernels (4 multiplications, one addition and one subtraction
+    per complex coefficient)."""
+    terms = count * (order + 1)
+    if complex_data:
+        return OperationTally(
+            multiplications=4.0 * terms,
+            additions=float(terms),
+            subtractions=float(terms),
+        )
+    return OperationTally(multiplications=float(terms))
 
 
-def tally_series_add(count: int, order: int = 0) -> OperationTally:
+def tally_series_add(count: int, order: int = 0, complex_data: bool = False) -> OperationTally:
     """``count`` series additions (one addition per retained
-    coefficient) — the pairwise term-reduction levels of the polynomial
-    kernels."""
-    return OperationTally(additions=float(count * (order + 1)))
+    coefficient; two on complex planes) — the pairwise term-reduction
+    levels of the polynomial kernels."""
+    return OperationTally(
+        additions=float(count * (order + 1)) * _complex_factor_add(complex_data)
+    )
 
 
 def tally_series_convolution(n: int, terms: int, complex_data: bool = False) -> OperationTally:

@@ -310,6 +310,21 @@ class ComplexMultiDouble:
     def __complex__(self) -> complex:
         return complex(self.real.to_float(), self.imag.to_float())
 
+    def as_complex(self) -> complex:
+        """Round to a Python ``complex`` (the leading limb of each
+        plane) — the lossy convenience view; the instance itself keeps
+        every limb."""
+        return complex(self)
+
+    def to_decimal_string(self, digits=None) -> str:
+        """Decimal string ``re ± im i`` at full working precision."""
+        imag = self.imag.to_decimal_string(digits)
+        sign = "-" if imag.startswith("-") else "+"
+        return (
+            f"{self.real.to_decimal_string(digits)} {sign} "
+            f"{imag.lstrip('-')}i"
+        )
+
     def __repr__(self):  # pragma: no cover - cosmetic
         return f"ComplexMultiDouble({self.real!r}, {self.imag!r})"
 

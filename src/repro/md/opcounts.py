@@ -33,10 +33,12 @@ __all__ = [
     "cost_table",
     "SeriesOperationCounts",
     "SERIES_OPERATIONS",
+    "COMPLEX_SERIES_OPERATIONS",
     "series_newton_orders",
     "pairwise_addition_count",
     "pairwise_reduction_levels",
     "series_counts",
+    "complex_series_counts",
     "series_flops",
     "series_launches",
     "series_cost_table",
@@ -165,6 +167,11 @@ def cost_table(limb_counts=(2, 4, 8), source: str = "paper"):
 
 #: Series operations catalogued by :func:`series_counts`.
 SERIES_OPERATIONS = ("add", "sub", "scale", "mul", "reciprocal", "div", "sqrt", "exp", "log")
+
+#: Series operations with a native complex (separated-plane) kernel,
+#: catalogued by :func:`complex_series_counts` — the ring operations of
+#: :class:`repro.series.complexvec.ComplexTruncatedSeries`.
+COMPLEX_SERIES_OPERATIONS = ("add", "sub", "scale", "mul")
 
 
 @dataclass(frozen=True)
@@ -401,16 +408,91 @@ def series_counts(operation: str, order: int, batch: int = 1) -> SeriesOperation
     raise ValueError(f"unknown series operation {operation!r}")
 
 
+@lru_cache(maxsize=None)
+def complex_series_counts(operation: str, order: int, batch: int = 1) -> SeriesOperationCounts:
+    """Multiple double operation counts of one **complex** series
+    operation on the separated-plane kernels
+    (:class:`repro.series.complexvec.ComplexTruncatedSeries`).
+
+    The counts mirror, kernel for kernel, the **channel-stacked**
+    complex arithmetic of :class:`~repro.vec.complexmd.MDComplexArray`
+    — the ~4x real-arithmetic factor of the paper's Table 5 with the
+    launch counts of the implemented kernels:
+
+    * ``add`` / ``sub`` — one real addition per plane, both planes in
+      **one** stacked launch;
+    * ``scale`` by a complex scalar — the four real products as one
+      ``(2, 2)`` channel-grid multiply launch, then one addition
+      launch combining the planes (``re = rr + (-ii)``,
+      ``im = ri + ir``; the negation is exact, so the combine is one
+      addition and one effective subtraction per coefficient);
+    * ``mul`` (complex Cauchy product) — the real product grid
+      executed over the four plane combinations in **one**
+      channel-stacked launch sequence
+      (:func:`repro.vec.linalg.cauchy_product` on complex operands:
+      4x the multiplications and reduction additions, same launch
+      count as the real grid), then the one-launch plane combine.
+    """
+    if batch < 1:
+        raise ValueError("the batch size must be at least 1")
+    if batch != 1:
+        return complex_series_counts(operation, order).batched(batch)
+    if order < 0:
+        raise ValueError("the truncation order must be nonnegative")
+    K = order
+    terms = K + 1
+    if operation == "add":
+        return SeriesOperationCounts("add_complex", K, add=2.0 * terms, launches=1)
+    if operation == "sub":
+        return SeriesOperationCounts("sub_complex", K, sub=2.0 * terms, launches=1)
+    if operation == "scale":
+        return SeriesOperationCounts(
+            "scale_complex",
+            K,
+            mul=4.0 * terms,
+            add=float(terms),
+            sub=float(terms),
+            launches=2,
+        )
+    if operation == "mul":
+        real = series_counts("mul", K)
+        return SeriesOperationCounts(
+            "mul_complex",
+            K,
+            mul=4.0 * real.mul,
+            add=4.0 * real.add + terms,
+            sub=float(terms),
+            launches=real.launches + 1,
+        )
+    raise ValueError(
+        f"unknown complex series operation {operation!r}; expected one of "
+        f"{COMPLEX_SERIES_OPERATIONS}"
+    )
+
+
 def series_flops(
-    operation: str, order: int, limbs: int, source: str = "paper", batch: int = 1
+    operation: str,
+    order: int,
+    limbs: int,
+    source: str = "paper",
+    batch: int = 1,
+    complex_data: bool = False,
 ) -> float:
     """Double precision flop count of one series operation at a
     precision, using the Table 1 multipliers (or the measured ones);
-    linear in the ``batch`` size."""
-    return series_counts(operation, order, batch).flops(limbs, source)
+    linear in the ``batch`` size.  ``complex_data=True`` prices the
+    separated-plane complex kernel (:func:`complex_series_counts`)."""
+    counts = (
+        complex_series_counts(operation, order, batch)
+        if complex_data
+        else series_counts(operation, order, batch)
+    )
+    return counts.flops(limbs, source)
 
 
-def series_launches(operation: str, order: int, batch: int = 1) -> float:
+def series_launches(
+    operation: str, order: int, batch: int = 1, complex_data: bool = False
+) -> float:
     """Vectorized limb-kernel launches of one series operation.
 
     This is the launch-count view of the batched structure: a scalar
@@ -420,9 +502,15 @@ def series_launches(operation: str, order: int, batch: int = 1) -> float:
     model compares against kernel launch overheads.  The count is
     **independent of the batch size** (one launch advances the whole
     batch); ``batch`` is accepted so call sites can state the fleet
-    width they are accounting for.
+    width they are accounting for.  ``complex_data=True`` counts the
+    separated-plane complex kernel's launches.
     """
-    return series_counts(operation, order, batch).launches
+    counts = (
+        complex_series_counts(operation, order, batch)
+        if complex_data
+        else series_counts(operation, order, batch)
+    )
+    return counts.launches
 
 
 # ---------------------------------------------------------------------------
@@ -518,6 +606,7 @@ def polynomial_counts(
     term_slots: int,
     jacobian_slots: int,
     order: int = 0,
+    complex_data: bool = False,
 ) -> PolynomialOperationCounts:
     """Operation counts of the shared-monomial polynomial kernels.
 
@@ -525,13 +614,20 @@ def polynomial_counts(
     :class:`~repro.poly.system.PolynomialSystem` derives from its
     monomial support (see its :meth:`~repro.poly.system.PolynomialSystem.counts`
     method, which fills them in); ``order`` is the truncation order of
-    the series arguments (0 for point evaluation).
+    the series arguments (0 for point evaluation).  With
+    ``complex_data=True`` every multiplication is a complex
+    (separated-plane) one — 4x the real multiplications plus the
+    plane-combination additions/subtractions, 2x the reduction
+    additions — matching :func:`complex_series_counts` and the complex
+    tallies of :mod:`repro.core.stages`.
     """
     if min(equations, variables, products, term_slots) < 1:
         raise ValueError("the polynomial shape numbers must be positive")
     K = order
     terms = K + 1
-    product_ops = series_counts("mul", K)
+    product_ops = (
+        complex_series_counts("mul", K) if complex_data else series_counts("mul", K)
+    )
 
     # power table: one batched series multiplication per degree level
     # (powers 0 and 1 are free; levels 2 .. max_degree each multiply all
@@ -549,13 +645,28 @@ def polynomial_counts(
 
     def _term_pass(name: str, rows: int, slots: int) -> SeriesOperationCounts:
         # coefficient weighting: one scalar-times-series launch
-        counts = SeriesOperationCounts(name, K, mul=float(rows * slots * terms), launches=1)
+        if complex_data:
+            counts = SeriesOperationCounts(
+                name,
+                K,
+                mul=4.0 * rows * slots * terms,
+                add=float(rows * slots * terms),
+                sub=float(rows * slots * terms),
+                launches=1,
+            )
+        else:
+            counts = SeriesOperationCounts(
+                name, K, mul=float(rows * slots * terms), launches=1
+            )
         # pairwise term reduction (zero-padded)
         length = slots
         while length > 1:
             half = (length + 1) // 2
             counts = counts + SeriesOperationCounts(
-                name, K, add=float(rows * half * terms), launches=1
+                name,
+                K,
+                add=float(rows * half * terms) * (2.0 if complex_data else 1.0),
+                launches=1,
             )
             length = half
         return counts._renamed(name, K)

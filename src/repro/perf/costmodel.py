@@ -355,6 +355,7 @@ def newton_series_trace(
     tile_size=None,
     bs_tile_size=None,
     device="V100",
+    complex_data=False,
     trace=None,
 ):
     """Analytic trace of the order-by-order series Newton staircase.
@@ -366,7 +367,10 @@ def newton_series_trace(
     the host side of the simulation; their multiple double operation
     and launch counts are catalogued separately by
     :func:`repro.md.opcounts.series_counts` /
-    :func:`repro.md.opcounts.series_launches`.
+    :func:`repro.md.opcounts.series_launches`.  With
+    ``complex_data=True`` the trace prices the native complex staircase
+    (``n`` complex variables, 4x-real multiply tallies) — the launch
+    sequence stays identical, only the tallies and bytes grow.
     """
     n = dimension
     tile_size, bs_tile_size = _series_tiles(n, tile_size, bs_tile_size)
@@ -374,7 +378,7 @@ def newton_series_trace(
         trace = KernelTrace(
             device, label=f"newton series model dim={n} order={order}"
         )
-    qr_trace(n, n, tile_size, limbs, device, complex_data=False, trace=trace)
+    qr_trace(n, n, tile_size, limbs, device, complex_data=complex_data, trace=trace)
     for _ in range(order):
         trace.add(
             "apply_qt",
@@ -382,12 +386,12 @@ def newton_series_trace(
             blocks=max(1, _ceil_div(n, tile_size)),
             threads_per_block=tile_size,
             limbs=limbs,
-            tally=stages.tally_matvec(n, n),
-            bytes_read=md_bytes(n * n + n, limbs),
-            bytes_written=md_bytes(n, limbs),
+            tally=stages.tally_matvec(n, n, complex_data),
+            bytes_read=md_bytes(n * n + n, limbs, complex_data),
+            bytes_written=md_bytes(n, limbs, complex_data),
         )
         back_substitution_trace(
-            n // bs_tile_size, bs_tile_size, limbs, device, trace=trace
+            n // bs_tile_size, bs_tile_size, limbs, device, complex_data, trace=trace
         )
     return trace
 
@@ -445,6 +449,7 @@ def polynomial_evaluation_trace(
     jacobian_slots=None,
     evaluate=True,
     device="V100",
+    complex_data=False,
     trace=None,
 ):
     """Analytic trace of one shared-monomial polynomial evaluation.
@@ -484,9 +489,9 @@ def polynomial_evaluation_trace(
             blocks=max(1, _ceil_div(count * terms, n_threads)),
             threads_per_block=n_threads,
             limbs=limbs,
-            tally=stages.tally_series_product(count, order),
-            bytes_read=md_bytes(2 * count * terms, limbs),
-            bytes_written=md_bytes(count * terms, limbs),
+            tally=stages.tally_series_product(count, order, complex_data),
+            bytes_read=md_bytes(2 * count * terms, limbs, complex_data),
+            bytes_written=md_bytes(count * terms, limbs, complex_data),
         )
     length = variables
     while length > 1:
@@ -498,9 +503,9 @@ def polynomial_evaluation_trace(
             blocks=max(1, _ceil_div(count * terms, n_threads)),
             threads_per_block=n_threads,
             limbs=limbs,
-            tally=stages.tally_series_product(count, order),
-            bytes_read=md_bytes(2 * count * terms, limbs),
-            bytes_written=md_bytes(count * terms, limbs),
+            tally=stages.tally_series_product(count, order, complex_data),
+            bytes_read=md_bytes(2 * count * terms, limbs, complex_data),
+            bytes_written=md_bytes(count * terms, limbs, complex_data),
         )
         length = half
     if evaluate:
@@ -512,6 +517,7 @@ def polynomial_evaluation_trace(
             term_slots,
             order,
             limbs,
+            complex_data,
         )
     if jacobian_slots is not None:
         _poly_term_stages(
@@ -522,11 +528,12 @@ def polynomial_evaluation_trace(
             max(jacobian_slots, 1),
             order,
             limbs,
+            complex_data,
         )
     return trace
 
 
-def _poly_term_stages(trace, name, stage, rows, slots, order, limbs):
+def _poly_term_stages(trace, name, stage, rows, slots, order, limbs, complex_data=False):
     """Coefficient weighting + pairwise term reduction of one pass."""
     terms = order + 1
     n_threads = POLY_THREADS_PER_BLOCK
@@ -536,9 +543,9 @@ def _poly_term_stages(trace, name, stage, rows, slots, order, limbs):
         blocks=max(1, _ceil_div(rows * slots * terms, n_threads)),
         threads_per_block=n_threads,
         limbs=limbs,
-        tally=stages.tally_series_scale(rows * slots, order),
-        bytes_read=md_bytes(rows * slots * (1 + terms), limbs),
-        bytes_written=md_bytes(rows * slots * terms, limbs),
+        tally=stages.tally_series_scale(rows * slots, order, complex_data),
+        bytes_read=md_bytes(rows * slots * (1 + terms), limbs, complex_data),
+        bytes_written=md_bytes(rows * slots * terms, limbs, complex_data),
     )
     length = slots
     while length > 1:
@@ -549,9 +556,9 @@ def _poly_term_stages(trace, name, stage, rows, slots, order, limbs):
             blocks=max(1, _ceil_div(rows * half * terms, n_threads)),
             threads_per_block=n_threads,
             limbs=limbs,
-            tally=stages.tally_series_add(rows * half, order),
-            bytes_read=md_bytes(2 * rows * half * terms, limbs),
-            bytes_written=md_bytes(rows * half * terms, limbs),
+            tally=stages.tally_series_add(rows * half, order, complex_data),
+            bytes_read=md_bytes(2 * rows * half * terms, limbs, complex_data),
+            bytes_written=md_bytes(rows * half * terms, limbs, complex_data),
         )
         length = half
 
@@ -604,6 +611,7 @@ def path_fleet_trace(
     numerator_degree=None,
     denominator_degree=None,
     device="V100",
+    complex_data=False,
 ):
     """Analytic trace of one lock-step fleet step over ``batch`` paths.
 
@@ -632,6 +640,7 @@ def path_fleet_trace(
         tile_size=tile_size,
         bs_tile_size=bs_tile_size,
         device=device,
+        complex_data=complex_data,
     )
     trace.extend(newton.batched(batch))
     pade = pade_trace(
@@ -639,6 +648,7 @@ def path_fleet_trace(
         denominator_degree,
         limbs,
         device=device,
+        complex_data=complex_data,
     )
     trace.extend(pade.batched(batch * dimension))
     return trace
@@ -654,6 +664,7 @@ def path_step_trace(
     numerator_degree=None,
     denominator_degree=None,
     device="V100",
+    complex_data=False,
     trace=None,
 ):
     """Analytic trace of one adaptive path tracking step.
@@ -661,7 +672,8 @@ def path_step_trace(
     One series Newton expansion of the local solution plus one Padé
     construction per solution component, the work
     :func:`repro.series.tracker.track_path` performs (at one precision)
-    per accepted or rejected step.
+    per accepted or rejected step.  ``complex_data=True`` prices the
+    native complex step (launch-identical, 4x-real multiply tallies).
     """
     if numerator_degree is None:
         numerator_degree = (order - 1) // 2
@@ -679,6 +691,7 @@ def path_step_trace(
         tile_size=tile_size,
         bs_tile_size=bs_tile_size,
         device=device,
+        complex_data=complex_data,
         trace=trace,
     )
     for _ in range(dimension):
@@ -687,6 +700,7 @@ def path_step_trace(
             denominator_degree,
             limbs,
             device=device,
+            complex_data=complex_data,
             trace=trace,
         )
     return trace

@@ -10,8 +10,9 @@ of the target ``F`` at ``t = 1``, with a random complex ``gamma`` (the
 "gamma trick": for all but finitely many ``gamma`` on the unit circle
 the paths are free of singularities for ``t < 1``).
 
-The series/batch stack of this repository is real, so complex systems
-enter through **realification**: writing ``x_j = u_j + i v_j``, an
+Two backends evaluate the same homotopy.  The default
+(``backend="realified"``) runs complex systems on the real stack
+through **realification**: writing ``x_j = u_j + i v_j``, an
 ``n``-dimensional complex system becomes a real
 :class:`~repro.poly.system.PolynomialSystem` in ``2n`` real variables
 (the ``u`` block then the ``v`` block) whose equations are the real and
@@ -21,6 +22,17 @@ block mixing the real and imaginary equation parts.  The expansion is
 performed once, symbolically, at construction
 (:func:`realify_terms`); evaluation then runs entirely on the
 vectorized real kernels, bit-identical to the scalar reference.
+
+``backend="complex"`` skips the detour entirely: the systems keep
+their ``n`` complex variables and evaluate natively on the
+separated-plane complex kernels
+(:class:`~repro.series.complexvec.ComplexVectorSeries` residuals,
+:class:`~repro.vec.complexmd.MDComplexArray` Jacobians), so a tracked
+step pays the ~4x complex-arithmetic factor of the paper's Table 5
+instead of the ~8x QR flops of the doubled realified dimension.  The
+realified backend remains the cross-check: both track the same paths
+to the same endpoints (pinned to working precision by the
+cross-backend tests).
 
 A :class:`Homotopy` is itself the residual/Jacobian object the
 trackers consume: ``homotopy(x, t)`` evaluates the combination with
@@ -41,8 +53,10 @@ import math
 
 import numpy as np
 
-from ..md.number import MultiDouble
+from ..md.constants import get_precision
+from ..md.number import ComplexMultiDouble, MultiDouble
 from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
 from .system import PolynomialSystem, _normalize_exponents
 
@@ -146,32 +160,85 @@ def total_degree_start(degrees) -> tuple:
 
 def embed_complex(point) -> list:
     """A complex ``n``-point as the realified ``2n`` real vector
-    (``u`` block then ``v`` block)."""
-    values = [complex(value) for value in point]
-    return [value.real for value in values] + [value.imag for value in values]
+    (``u`` block then ``v`` block).
+
+    Multiple double components (:class:`ComplexMultiDouble`,
+    :class:`MultiDouble`) pass through at full precision — the inverse
+    of :func:`extract_complex`, so the round trip is lossless in both
+    directions; plain numbers embed as doubles.
+    """
+    reals, imags = [], []
+    for value in point:
+        if isinstance(value, ComplexMultiDouble):
+            reals.append(value.real)
+            imags.append(value.imag)
+        elif isinstance(value, MultiDouble):
+            reals.append(value)
+            imags.append(MultiDouble(0, value.precision))
+        else:
+            value = complex(value)
+            reals.append(value.real)
+            imags.append(value.imag)
+    return reals + imags
 
 
 def extract_complex(point) -> list:
-    """The complex ``n``-point behind a realified ``2n`` real vector."""
-    values = [float(value) for value in point]
+    """The complex ``n``-point behind a realified ``2n`` real vector.
+
+    Returns one :class:`~repro.md.number.ComplexMultiDouble` per
+    component at the **full precision of the input**: a qd/od-tracked
+    endpoint keeps every limb of its coordinates (the old behaviour
+    rounded everything through ``float``, silently reporting multiple
+    double roots at double precision).  The components compare equal to
+    plain ``complex`` values and expose :meth:`ComplexMultiDouble.as_complex`
+    for the rounded view, so ``embed_complex`` → track →
+    ``extract_complex`` round trips are lossless.
+    """
+    values = list(point)
     if len(values) % 2:
         raise ValueError("a realified point has an even number of components")
     n = len(values) // 2
-    return [complex(values[i], values[n + i]) for i in range(n)]
+    prec = next(
+        (value.precision for value in values if isinstance(value, MultiDouble)),
+        get_precision(2),
+    )
+
+    def _part(value) -> MultiDouble:
+        return value if isinstance(value, MultiDouble) else MultiDouble(value, prec)
+
+    return [
+        ComplexMultiDouble(_part(values[i]), _part(values[n + i])) for i in range(n)
+    ]
 
 
 class Homotopy:
-    """``H(x, t) = gamma (1 - t) G(x) + t F(x)``, realified.
+    """``H(x, t) = gamma (1 - t) G(x) + t F(x)``.
 
     ``target`` and ``start`` are systems of ``n`` equations in ``n``
-    complex unknowns, given as a real
+    complex unknowns, given as a
     :class:`~repro.poly.system.PolynomialSystem` or as raw
     (possibly complex-coefficient) term lists.  The instance is
     directly consumable by :func:`repro.series.newton.newton_series`,
     :func:`repro.series.tracker.track_path` and
     :func:`repro.batch.fleet.track_paths` — it is the residual callable
     and carries its own :meth:`jacobian`.
+
+    Two interchangeable backends evaluate the same homotopy:
+
+    * ``backend="realified"`` (default, the bit-levelable cross-check)
+      expands ``x = u + iv`` symbolically and tracks ``2n`` real
+      variables on the real kernels — every complex multiplication
+      becomes ~8x the real QR flops through the doubled dimension;
+    * ``backend="complex"`` keeps the ``n`` complex variables and runs
+      **natively** on the separated-plane complex kernels
+      (:class:`~repro.vec.complexmd.MDComplexArray`,
+      :class:`~repro.series.complexvec.ComplexVectorSeries`), where a
+      complex multiplication costs ~4x the real one (Table 5) — no
+      realification anywhere on the path.
     """
+
+    #: Supported evaluation backends.
+    BACKENDS = ("realified", "complex")
 
     def __init__(
         self,
@@ -182,7 +249,13 @@ class Homotopy:
         gamma=None,
         seed: int = 20220322,
         start_points=(),
+        backend: str = "realified",
     ):
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self._backend = backend
         target_terms, target_variables = _coerce_terms(target, variables)
         start_terms, start_variables = _coerce_terms(start, variables)
         if target_variables != start_variables:
@@ -199,12 +272,17 @@ class Homotopy:
         self.gamma = complex(gamma)
         if self.gamma == 0:
             raise ValueError("gamma must be nonzero")
-        self._target = PolynomialSystem(
-            realify_terms(target_terms, self._dimension), 2 * self._dimension
-        )
-        self._start = PolynomialSystem(
-            realify_terms(start_terms, self._dimension), 2 * self._dimension
-        )
+        if backend == "complex":
+            # native complex systems: the term lists go in untouched
+            self._target = PolynomialSystem(target_terms, self._dimension)
+            self._start = PolynomialSystem(start_terms, self._dimension)
+        else:
+            self._target = PolynomialSystem(
+                realify_terms(target_terms, self._dimension), 2 * self._dimension
+            )
+            self._start = PolynomialSystem(
+                realify_terms(start_terms, self._dimension), 2 * self._dimension
+            )
         #: complex start points (roots of the start system)
         self._start_points = [tuple(complex(v) for v in p) for p in start_points]
 
@@ -212,7 +290,15 @@ class Homotopy:
     # construction
     # ------------------------------------------------------------------
     @classmethod
-    def total_degree(cls, target, *, variables=None, gamma=None, seed: int = 20220322):
+    def total_degree(
+        cls,
+        target,
+        *,
+        variables=None,
+        gamma=None,
+        seed: int = 20220322,
+        backend: str = "realified",
+    ):
         """The total-degree homotopy of a target system.
 
         The start system is ``x_i^{d_i} - 1`` with ``d_i`` the total
@@ -236,11 +322,25 @@ class Homotopy:
             gamma=gamma,
             seed=seed,
             start_points=solutions,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The evaluation backend (``"realified"`` or ``"complex"``)."""
+        return self._backend
+
+    @property
+    def complex_coefficients(self) -> bool:
+        """Whether the residuals are complex series — true on the
+        native complex backend (the gamma combination is complex even
+        over real-coefficient systems), so the trackers promote every
+        start point to the complex staircase."""
+        return self._backend == "complex"
+
     @property
     def dimension(self) -> int:
         """Complex dimension ``n`` of the underlying systems."""
@@ -248,17 +348,25 @@ class Homotopy:
 
     @property
     def real_dimension(self) -> int:
-        """Real dimension ``2n`` the trackers operate in."""
+        """Real dimension ``2n`` of the realified formulation."""
         return 2 * self._dimension
 
     @property
+    def tracking_dimension(self) -> int:
+        """Number of tracked variables: ``n`` complex ones on the
+        native backend, ``2n`` real ones on the realified backend."""
+        return self._dimension if self._backend == "complex" else 2 * self._dimension
+
+    @property
     def target_system(self) -> PolynomialSystem:
-        """The realified target ``F`` (a real ``2n`` system)."""
+        """The target ``F`` (realified ``2n`` real system, or the
+        native ``n`` complex system on the complex backend)."""
         return self._target
 
     @property
     def start_system(self) -> PolynomialSystem:
-        """The realified start ``G`` (a real ``2n`` system)."""
+        """The start ``G`` (realified ``2n`` real system, or the
+        native ``n`` complex system on the complex backend)."""
         return self._start
 
     @property
@@ -266,7 +374,11 @@ class Homotopy:
         return len(self._start_points)
 
     def start_solutions(self) -> list:
-        """The realified start points, one ``2n`` real vector per path."""
+        """The start points in tracker coordinates: one ``2n`` real
+        vector per path (realified), or one complex ``n``-point per
+        path (native complex backend)."""
+        if self._backend == "complex":
+            return [list(point) for point in self._start_points]
         return [embed_complex(point) for point in self._start_points]
 
     # ------------------------------------------------------------------
@@ -285,15 +397,111 @@ class Homotopy:
         operand order on both sides.
         """
         values = list(x)
-        if len(values) != self.real_dimension:
+        if len(values) != self.tracking_dimension:
             raise ValueError(
-                f"expected {self.real_dimension} component series, got {len(values)}"
+                f"expected {self.tracking_dimension} component series, "
+                f"got {len(values)}"
             )
+        if self._backend == "complex":
+            return self._complex_call(values, t)
         from ..series.reference import ScalarSeries
 
         if isinstance(values[0], ScalarSeries):
             return self._reference_call(values, t)
         return self._vectorized_call(values, t)
+
+    def _complex_call(self, values, t):
+        """Native complex residual: ``n`` complex component series in,
+        ``n`` complex residual series out — the start and target are
+        evaluated with the separated-plane shared-monomial kernels and
+        the gamma combination is one complex scale plus the ``1 - t`` /
+        ``t`` convolutions (4x-real-multiply arithmetic instead of the
+        realified detour's doubled dimension).
+
+        The homotopy parameter is real on every tracked path, so the
+        hot path convolves all four result planes against the broadcast
+        real ``1 - t`` / ``t`` series in **one** batched real Cauchy
+        launch; a genuinely complex ``t`` falls back to the two complex
+        convolutions.
+        """
+        from ..series.complexvec import ComplexTruncatedSeries, ComplexVectorSeries
+        from ..series.truncated import TruncatedSeries
+
+        vector = ComplexVectorSeries.from_components(values)
+        order = vector.order
+        prec = vector.precision
+        t_imag = None
+        if isinstance(t, ComplexTruncatedSeries):
+            if t.coefficients.imag.data.any():
+                t_imag = t
+            else:
+                t = TruncatedSeries.from_mdarray(t.coefficients.real)
+        elif not isinstance(t, TruncatedSeries):
+            raise TypeError(
+                "the complex backend evaluates vectorized series only; "
+                "use the realified backend for the scalar reference"
+            )
+        gamma = ComplexMultiDouble(
+            MultiDouble(self.gamma.real, prec), MultiDouble(self.gamma.imag, prec)
+        )
+        g = self._start.evaluate_series(vector)
+        f = self._target.evaluate_series(vector)
+        if not isinstance(g, ComplexVectorSeries):  # real-coefficient start
+            g = ComplexVectorSeries.from_components(g.components())
+        if not isinstance(f, ComplexVectorSeries):
+            f = ComplexVectorSeries.from_components(f.components())
+        left = g.scale(gamma)
+        n = self._dimension
+
+        if t_imag is not None:  # general complex parameter (rare)
+            t_c = t_imag.pad(order).truncate(order)
+            s_c = ComplexTruncatedSeries.one(order, prec) - t_c
+            shape = left.coefficients.real.data.shape
+
+            def _broadcast(series) -> MDComplexArray:
+                return MDComplexArray(
+                    MDArray(
+                        np.broadcast_to(
+                            series.coefficients.real.data[:, None, :], shape
+                        )
+                    ),
+                    MDArray(
+                        np.broadcast_to(
+                            series.coefficients.imag.data[:, None, :], shape
+                        )
+                    ),
+                )
+
+            h = linalg.cauchy_product(left.coefficients, _broadcast(s_c)) + (
+                linalg.cauchy_product(f.coefficients, _broadcast(t_c))
+            )
+            return ComplexVectorSeries(h).components()
+
+        t = t.pad(order).truncate(order)
+        s = 1 - t
+        # stack [left_re, left_im, f_re, f_im] against [s, s, t, t]:
+        # one real batched Cauchy launch covers all four planes
+        planes = np.concatenate(
+            [
+                left.coefficients.real.data,
+                left.coefficients.imag.data,
+                f.coefficients.real.data,
+                f.coefficients.imag.data,
+            ],
+            axis=1,
+        )
+        s_data = np.broadcast_to(
+            s.coefficients.data[:, None, :], (prec.limbs, 2 * n, order + 1)
+        )
+        t_data = np.broadcast_to(
+            t.coefficients.data[:, None, :], (prec.limbs, 2 * n, order + 1)
+        )
+        factors = np.concatenate([s_data, t_data], axis=1)
+        product = linalg.cauchy_product(MDArray(planes), MDArray(factors))
+        h = MDArray(product.data[:, : 2 * n]) + MDArray(product.data[:, 2 * n :])
+        return ComplexVectorSeries(
+            MDComplexArray(MDArray(h.data[:, :n]), MDArray(h.data[:, n:]))
+        ).components()
 
     def _vectorized_call(self, values, t):
         from ..series.vector import VectorSeries
@@ -353,8 +561,13 @@ class Homotopy:
     # ------------------------------------------------------------------
     # Jacobian (one shared power-product pass per system)
     # ------------------------------------------------------------------
-    def jacobian(self, x0, t0) -> MDArray:
-        """The real ``2n x 2n`` Jacobian ``dH/dx`` at ``(x0, t0)``."""
+    def jacobian(self, x0, t0):
+        """The Jacobian ``dH/dx`` at ``(x0, t0)``: the real ``2n x 2n``
+        matrix on the realified backend, the native complex ``n x n``
+        matrix (an :class:`~repro.vec.complexmd.MDComplexArray`) on the
+        complex backend."""
+        if self._backend == "complex":
+            return self._complex_jacobian(x0, t0)
         n = self._dimension
         point = self._target._coerce_point(x0)
         prec = point.precision
@@ -367,6 +580,21 @@ class Homotopy:
         top = jg[:n] * a_s - jg[n:] * b_s + jf[:n] * t_md
         bottom = jg[:n] * b_s + jg[n:] * a_s + jf[n:] * t_md
         return MDArray(np.concatenate([top.data, bottom.data], axis=1))
+
+    def _complex_jacobian(self, x0, t0) -> MDComplexArray:
+        point = self._target._coerce_point(list(x0))
+        if not isinstance(point, MDComplexArray):
+            point = MDComplexArray(point, MDArray.zeros(point.shape, point.limbs))
+        prec = point.precision
+        jg = self._start.jacobian_matrix(point)
+        jf = self._target.jacobian_matrix(point)
+        t_md = MultiDouble(t0, prec)
+        s_md = MultiDouble(1, prec) - t_md
+        gamma_s = ComplexMultiDouble(
+            MultiDouble(self.gamma.real, prec) * s_md,
+            MultiDouble(self.gamma.imag, prec) * s_md,
+        )
+        return jg * gamma_s + jf * t_md
 
     # ------------------------------------------------------------------
     # tracking drivers
@@ -396,12 +624,37 @@ class Homotopy:
         if start is None:
             if not self._start_points:
                 raise ValueError("this homotopy carries no seeded start solutions")
-            return embed_complex(self._start_points[0])
-        start = list(start)
+            start = list(self._start_points[0])
+        else:
+            start = list(start)
+        if self._backend == "complex":
+            if len(start) == self._dimension:
+                # keep multiple double components at full precision —
+                # only plain numbers round through complex()
+                return [
+                    value
+                    if isinstance(value, ComplexMultiDouble)
+                    else ComplexMultiDouble(value)
+                    if isinstance(value, MultiDouble)
+                    else complex(value)
+                    for value in start
+                ]
+            if len(start) == self.real_dimension:
+                # accept a realified 2n vector (cross-check convenience);
+                # extract_complex preserves every limb
+                return extract_complex(start)
+            raise ValueError(
+                f"expected a complex {self._dimension}-point or a realified "
+                f"{self.real_dimension}-point"
+            )
         if len(start) == self._dimension:
             return embed_complex(start)
         if len(start) == self.real_dimension:
-            return [float(value) for value in start]
+            # multiple double components pass through at full precision
+            return [
+                value if isinstance(value, MultiDouble) else float(value)
+                for value in start
+            ]
         raise ValueError(
             f"expected a complex {self._dimension}-point or a realified "
             f"{self.real_dimension}-point"
@@ -412,14 +665,23 @@ class Homotopy:
     # ------------------------------------------------------------------
     def target_residual(self, point) -> float:
         """Double estimate of ``max_i |F_i(x)|`` at a realified (or
-        complex) point — how well an endpoint solves the target."""
-        values = self._target.evaluate(self._resolve_start(point), 2)
+        complex) point — how well an endpoint solves the target.
+
+        Multiple double components evaluate at their own precision (a
+        qd-tracked endpoint's residual is measured at qd, not at the
+        double-rounded point), and only the final magnitude rounds to
+        a ``float``.
+        """
+        values = self._target.evaluate(self._resolve_start(point))
+        if isinstance(values, MDComplexArray):
+            return float(np.max(np.abs(values.to_complex())))
         return float(np.max(np.abs(values.to_double())))
 
     def __repr__(self):  # pragma: no cover - cosmetic
         return (
             f"Homotopy(dimension={self._dimension}, "
-            f"paths={self.path_count}, gamma={self.gamma:.6f})"
+            f"paths={self.path_count}, gamma={self.gamma:.6f}, "
+            f"backend={self._backend!r})"
         )
 
 

@@ -53,15 +53,32 @@ from fractions import Fraction
 import numpy as np
 
 from ..md.constants import get_precision
-from ..md.number import MultiDouble
+from ..md.number import ComplexMultiDouble, MultiDouble
 from ..md.opcounts import polynomial_counts
 from ..vec import linalg
+from ..vec.complexmd import MDComplexArray, map_planes
 from ..vec.mdarray import MDArray
 
 __all__ = ["PolynomialSystem"]
 
-#: Scalar coefficient types accepted in term lists.
-_COEFFICIENT_TYPES = (int, float, Fraction, str, MultiDouble)
+#: Scalar coefficient types accepted in term lists (complex
+#: coefficients make the system a native complex one — no symbolic
+#: realification required).
+_COEFFICIENT_TYPES = (int, float, complex, Fraction, str, MultiDouble, ComplexMultiDouble)
+
+#: Coefficient/point scalar types that mark data as complex.
+_COMPLEX_SCALARS = (complex, ComplexMultiDouble)
+
+
+def _coefficient_parts(coefficient):
+    """Split a coefficient into (real, imaginary) scalars usable by
+    :class:`MultiDouble` — the separated-plane storage of complex
+    coefficients."""
+    if isinstance(coefficient, ComplexMultiDouble):
+        return coefficient.real, coefficient.imag
+    if isinstance(coefficient, complex):
+        return coefficient.real, coefficient.imag
+    return coefficient, 0
 
 
 def _normalize_exponents(exponents, variables):
@@ -98,6 +115,11 @@ def _merge_terms(terms, variables):
 def _nonzero(coefficient) -> bool:
     if isinstance(coefficient, MultiDouble):
         return coefficient.to_fraction() != 0
+    if isinstance(coefficient, ComplexMultiDouble):
+        return (
+            coefficient.real.to_fraction() != 0
+            or coefficient.imag.to_fraction() != 0
+        )
     return coefficient != 0
 
 
@@ -143,8 +165,14 @@ class PolynomialSystem:
         self._terms = [_merge_terms(eq, variables) for eq in equations]
         if any(not eq for eq in self._terms):
             raise ValueError("every equation needs at least one nonzero term")
+        #: whether any coefficient is complex (native complex system)
+        self._complex_coefficients = any(
+            isinstance(coefficient, _COMPLEX_SCALARS)
+            for eq in self._terms
+            for coefficient, _ in eq
+        )
         self._build_tables()
-        #: per-precision cache of the coefficient arrays
+        #: per-(precision, kind) cache of the coefficient arrays
         self._coefficient_cache = {}
 
     # ------------------------------------------------------------------
@@ -212,25 +240,45 @@ class PolynomialSystem:
                     self._jacobian_index[i, j, s] = index_of[exponents]
                     self._jacobian_values[i][j][s] = coefficient
 
-    def _coefficient_arrays(self, limbs: int):
+    def _coefficient_arrays(self, limbs: int, complex_data: bool = False):
         """The evaluation and Jacobian coefficient arrays at a precision
-        (each scalar rounded once, cached)."""
-        if limbs not in self._coefficient_cache:
+        (each scalar rounded once, cached per precision and kind).
+
+        With ``complex_data=True`` the arrays are
+        :class:`MDComplexArray` values (real coefficients get exact
+        zero imaginary planes) so evaluation runs natively complex.
+        """
+        complex_data = bool(complex_data or self._complex_coefficients)
+        key = (limbs, complex_data)
+        if key not in self._coefficient_cache:
             prec = get_precision(limbs)
             n_eq, t_slots = len(self._terms), self._term_slots
-            data = np.zeros((prec.limbs, n_eq, t_slots))
+            planes = 2 if complex_data else 1
+            data = np.zeros((planes, prec.limbs, n_eq, t_slots))
             for i in range(n_eq):
                 for s in range(t_slots):
-                    data[:, i, s] = MultiDouble(self._term_values[i][s], prec).limbs
-            jac = np.zeros((prec.limbs, n_eq, self._variables, self._jacobian_slots))
+                    re, im = _coefficient_parts(self._term_values[i][s])
+                    data[0, :, i, s] = MultiDouble(re, prec).limbs
+                    if complex_data:
+                        data[1, :, i, s] = MultiDouble(im, prec).limbs
+            jac = np.zeros(
+                (planes, prec.limbs, n_eq, self._variables, self._jacobian_slots)
+            )
             for i in range(n_eq):
                 for j in range(self._variables):
                     for s in range(self._jacobian_slots):
-                        jac[:, i, j, s] = MultiDouble(
-                            self._jacobian_values[i][j][s], prec
-                        ).limbs
-            self._coefficient_cache[limbs] = (MDArray(data), MDArray(jac))
-        return self._coefficient_cache[limbs]
+                        re, im = _coefficient_parts(self._jacobian_values[i][j][s])
+                        jac[0, :, i, j, s] = MultiDouble(re, prec).limbs
+                        if complex_data:
+                            jac[1, :, i, j, s] = MultiDouble(im, prec).limbs
+            if complex_data:
+                self._coefficient_cache[key] = (
+                    MDComplexArray(MDArray(data[0]), MDArray(data[1])),
+                    MDComplexArray(MDArray(jac[0]), MDArray(jac[1])),
+                )
+            else:
+                self._coefficient_cache[key] = (MDArray(data[0]), MDArray(jac[0]))
+        return self._coefficient_cache[key]
 
     # ------------------------------------------------------------------
     # basic properties
@@ -242,6 +290,13 @@ class PolynomialSystem:
     @property
     def variables(self) -> int:
         return self._variables
+
+    @property
+    def complex_coefficients(self) -> bool:
+        """Whether any coefficient is complex (the system then
+        evaluates natively complex even at real points, and the series
+        drivers promote real start points to the complex staircase)."""
+        return self._complex_coefficients
 
     @property
     def dimension(self) -> int:
@@ -296,9 +351,10 @@ class PolynomialSystem:
             "products": self.distinct_products,
         }
 
-    def counts(self, order: int = 0):
+    def counts(self, order: int = 0, complex_data: bool = False):
         """Operation counts of one evaluation/differentiation at a
-        truncation order (see :func:`repro.md.opcounts.polynomial_counts`)."""
+        truncation order (see :func:`repro.md.opcounts.polynomial_counts`);
+        a complex-coefficient system always counts complex."""
         return polynomial_counts(
             self.equations,
             self.variables,
@@ -308,13 +364,14 @@ class PolynomialSystem:
             term_slots=self._term_slots,
             jacobian_slots=self._jacobian_slots,
             order=order,
+            complex_data=bool(complex_data or self._complex_coefficients),
         )
 
     # ------------------------------------------------------------------
     # vectorized point evaluation
     # ------------------------------------------------------------------
-    def _coerce_point(self, x, precision=None) -> MDArray:
-        if isinstance(x, MDArray):
+    def _coerce_point(self, x, precision=None):
+        if isinstance(x, (MDArray, MDComplexArray)):
             point = x if precision is None else x.astype(precision)
         else:
             values = list(x)
@@ -322,12 +379,35 @@ class PolynomialSystem:
                 precision
                 if precision is not None
                 else next(
-                    (v.precision for v in values if isinstance(v, MultiDouble)), 2
+                    (
+                        v.precision
+                        for v in values
+                        if isinstance(v, (MultiDouble, ComplexMultiDouble))
+                    ),
+                    2,
                 )
             )
-            point = MDArray.from_multidoubles(
-                [MultiDouble(v, prec) for v in values], prec.limbs
-            )
+            if any(isinstance(v, _COMPLEX_SCALARS) for v in values):
+                point = MDComplexArray.from_multidoubles(
+                    [
+                        v
+                        if isinstance(v, ComplexMultiDouble)
+                        else ComplexMultiDouble(
+                            MultiDouble(v.real, prec) if isinstance(v, complex) else MultiDouble(v, prec),
+                            MultiDouble(v.imag, prec) if isinstance(v, complex) else MultiDouble(0, prec),
+                        )
+                        for v in values
+                    ],
+                    prec.limbs,
+                )
+            else:
+                point = MDArray.from_multidoubles(
+                    [MultiDouble(v, prec) for v in values], prec.limbs
+                )
+        if self._complex_coefficients and not isinstance(point, MDComplexArray):
+            # a complex-coefficient system evaluates complex even at a
+            # real point — promote with an exact zero imaginary plane
+            point = MDComplexArray(point, MDArray.zeros(point.shape, point.limbs))
         if point.shape != (self._variables,):
             raise ValueError(
                 f"expected a point with {self._variables} components, "
@@ -335,13 +415,33 @@ class PolynomialSystem:
             )
         return point
 
-    def _point_products(self, point: MDArray) -> MDArray:
+    def _point_products(self, point):
         """All distinct power products at a point, shape ``(products,)``.
 
         One batched multiplication per power level, one gather, one
-        ones-padded pairwise product reduction over the variables axis.
+        ones-padded pairwise product reduction over the variables axis
+        (complex points run the identical structure on separated
+        real/imaginary planes).
         """
         m = point.limbs
+        if isinstance(point, MDComplexArray):
+            table_re = np.zeros((m, self._max_degree + 1, self._variables))
+            table_im = np.zeros_like(table_re)
+            table_re[0, 0, :] = 1.0  # the exact complex one
+            if self._max_degree >= 1:
+                table_re[:, 1, :] = point.real.data
+                table_im[:, 1, :] = point.imag.data
+                power = point
+                for degree in range(2, self._max_degree + 1):
+                    power = power * point
+                    table_re[:, degree, :] = power.real.data
+                    table_im[:, degree, :] = power.imag.data
+            select = (self._product_exponents, np.arange(self._variables))
+            gathered = MDComplexArray(
+                MDArray(table_re[:, select[0], select[1]]),
+                MDArray(table_im[:, select[0], select[1]]),
+            )
+            return gathered.prod(axis=1)
         table = np.zeros((m, self._max_degree + 1, self._variables))
         table[0, 0, :] = 1.0
         if self._max_degree >= 1:
@@ -366,12 +466,24 @@ class PolynomialSystem:
         products = self._point_products(point)
         values = self._reduce_terms(products, point.limbs)
         if trace is not None:
-            self._record_trace(trace, point.limbs, device, evaluate=True)
+            self._record_trace(
+                trace,
+                point.limbs,
+                device,
+                evaluate=True,
+                complex_data=isinstance(point, MDComplexArray),
+            )
         return values
 
-    def _reduce_terms(self, products: MDArray, limbs: int) -> MDArray:
-        coefficients, _ = self._coefficient_arrays(limbs)
-        gathered = MDArray(products.data[:, self._term_index])
+    @staticmethod
+    def _take(array, indices):
+        """Kind-aware index gather along the first element axis."""
+        return map_planes(array, lambda data: data[:, indices])
+
+    def _reduce_terms(self, products, limbs: int):
+        complex_data = isinstance(products, MDComplexArray)
+        coefficients, _ = self._coefficient_arrays(limbs, complex_data)
+        gathered = self._take(products, self._term_index)
         weighted = coefficients * gathered
         return weighted.sum(axis=1)
 
@@ -384,12 +496,20 @@ class PolynomialSystem:
         products = self._point_products(point)
         matrix = self._reduce_jacobian(products, point.limbs)
         if trace is not None:
-            self._record_trace(trace, point.limbs, device, evaluate=False, jacobian=True)
+            self._record_trace(
+                trace,
+                point.limbs,
+                device,
+                evaluate=False,
+                jacobian=True,
+                complex_data=isinstance(point, MDComplexArray),
+            )
         return matrix
 
-    def _reduce_jacobian(self, products: MDArray, limbs: int) -> MDArray:
-        _, jac_coefficients = self._coefficient_arrays(limbs)
-        gathered = MDArray(products.data[:, self._jacobian_index])
+    def _reduce_jacobian(self, products, limbs: int):
+        complex_data = isinstance(products, MDComplexArray)
+        _, jac_coefficients = self._coefficient_arrays(limbs, complex_data)
+        gathered = self._take(products, self._jacobian_index)
         weighted = jac_coefficients * gathered
         return weighted.sum(axis=2)
 
@@ -403,7 +523,14 @@ class PolynomialSystem:
         values = self._reduce_terms(products, point.limbs)
         matrix = self._reduce_jacobian(products, point.limbs)
         if trace is not None:
-            self._record_trace(trace, point.limbs, device, evaluate=True, jacobian=True)
+            self._record_trace(
+                trace,
+                point.limbs,
+                device,
+                evaluate=True,
+                jacobian=True,
+                complex_data=isinstance(point, MDComplexArray),
+            )
         return values, matrix
 
     def jacobian(self, x0, t0=None) -> MDArray:
@@ -428,8 +555,29 @@ class PolynomialSystem:
     # ------------------------------------------------------------------
     # vectorized truncated-series evaluation
     # ------------------------------------------------------------------
-    def _series_products(self, series_data: np.ndarray, limbs: int) -> MDArray:
-        """Power products on series arguments, shape ``(products, K+1)``."""
+    def _series_products(self, series_coefficients, limbs: int):
+        """Power products on series arguments, shape ``(products, K+1)``
+        (complex series arguments stay complex throughout)."""
+        if isinstance(series_coefficients, MDComplexArray):
+            _, variables, terms = series_coefficients.real.data.shape
+            table_re = np.zeros((limbs, self._max_degree + 1, variables, terms))
+            table_im = np.zeros_like(table_re)
+            table_re[0, 0, :, 0] = 1.0  # the exact complex one series
+            if self._max_degree >= 1:
+                table_re[:, 1] = series_coefficients.real.data
+                table_im[:, 1] = series_coefficients.imag.data
+                power = series_coefficients
+                for degree in range(2, self._max_degree + 1):
+                    power = linalg.cauchy_product(power, series_coefficients)
+                    table_re[:, degree] = power.real.data
+                    table_im[:, degree] = power.imag.data
+            select = (self._product_exponents, np.arange(self._variables))
+            gathered = MDComplexArray(
+                MDArray(table_re[:, select[0], select[1], :]),
+                MDArray(table_im[:, select[0], select[1], :]),
+            )
+            return linalg.cauchy_product_reduce(gathered)
+        series_data = series_coefficients.data
         m, variables, terms = series_data.shape
         table = np.zeros((limbs, self._max_degree + 1, variables, terms))
         table[0, 0, :, 0] = 1.0  # the exact one series
@@ -453,27 +601,57 @@ class PolynomialSystem:
         multiplication is a batched Cauchy product, so the launch count
         is independent of the monomial count and linear only in
         ``log2`` of the variables and term slots.
+
+        A :class:`~repro.series.complexvec.ComplexVectorSeries` (or
+        complex component series) evaluates **natively complex** on the
+        separated-plane kernels and returns a ``ComplexVectorSeries``;
+        a complex-coefficient system promotes real arguments the same
+        way — no symbolic realification anywhere.
         """
+        from ..series.complexvec import ComplexTruncatedSeries, ComplexVectorSeries
         from ..series.vector import VectorSeries
 
-        if isinstance(x, VectorSeries):
+        if isinstance(x, (VectorSeries, ComplexVectorSeries)):
             vector = x
         else:
-            vector = VectorSeries.from_components(list(x))
+            components = list(x)
+            if any(isinstance(c, ComplexTruncatedSeries) for c in components):
+                vector = ComplexVectorSeries.from_components(components)
+            else:
+                vector = VectorSeries.from_components(components)
+        if self._complex_coefficients and isinstance(vector, VectorSeries):
+            vector = ComplexVectorSeries.from_components(vector.components())
         if vector.dimension != self._variables:
             raise ValueError(
                 f"expected {self._variables} component series, got {vector.dimension}"
             )
         limbs = vector.limbs
-        products = self._series_products(vector.coefficients.data, limbs)
-        coefficients, _ = self._coefficient_arrays(limbs)
-        gathered = MDArray(products.data[:, self._term_index])
-        weighted = MDArray(coefficients.data[..., None]) * gathered
+        complex_data = isinstance(vector, ComplexVectorSeries)
+        products = self._series_products(vector.coefficients, limbs)
+        coefficients, _ = self._coefficient_arrays(limbs, complex_data)
+        gathered = self._take(products, self._term_index)
+        if complex_data:
+            weighted = (
+                MDComplexArray(
+                    MDArray(coefficients.real.data[..., None]),
+                    MDArray(coefficients.imag.data[..., None]),
+                )
+                * gathered
+            )
+        else:
+            weighted = MDArray(coefficients.data[..., None]) * gathered
         values = weighted.sum(axis=1)
         if trace is not None:
             self._record_trace(
-                trace, limbs, device, evaluate=True, order=vector.order
+                trace,
+                limbs,
+                device,
+                evaluate=True,
+                order=vector.order,
+                complex_data=complex_data,
             )
+        if complex_data:
+            return ComplexVectorSeries(values)
         return VectorSeries(values)
 
     def __call__(self, x, t=None):
@@ -497,9 +675,17 @@ class PolynomialSystem:
                 f"expected {self._variables} (or {self._variables - 1}) "
                 f"arguments, got {len(values)}"
             )
+        from ..series.complexvec import ComplexTruncatedSeries
         from ..series.reference import ScalarSeries
 
         if any(isinstance(v, ScalarSeries) for v in values):
+            if self._complex_coefficients or any(
+                isinstance(v, ComplexTruncatedSeries) for v in values
+            ):
+                raise TypeError(
+                    "complex systems have no scalar-series reference "
+                    "evaluator; the realified backend is the cross-check"
+                )
             from .reference import reference_evaluate_series
 
             return reference_evaluate_series(self, values)
@@ -509,7 +695,15 @@ class PolynomialSystem:
     # trace plumbing
     # ------------------------------------------------------------------
     def _record_trace(
-        self, trace, limbs, device, *, evaluate=True, jacobian=False, order=0
+        self,
+        trace,
+        limbs,
+        device,
+        *,
+        evaluate=True,
+        jacobian=False,
+        order=0,
+        complex_data=False,
     ) -> None:
         from ..perf.costmodel import polynomial_evaluation_trace
 
@@ -524,6 +718,7 @@ class PolynomialSystem:
             jacobian_slots=self._jacobian_slots if jacobian else None,
             evaluate=evaluate,
             device=device,
+            complex_data=bool(complex_data or self._complex_coefficients),
             trace=trace,
         )
 

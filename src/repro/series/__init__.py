@@ -42,6 +42,7 @@ solver-backed stages is produced by the analytic hooks in
 ``newton_series_trace``, ``pade_trace``, ``path_step_trace``).
 """
 
+from .complexvec import ComplexTruncatedSeries, ComplexVectorSeries
 from .matrix_series import (
     MatrixSeriesSolveResult,
     series_from_vectors,
@@ -58,6 +59,8 @@ __all__ = [
     "TruncatedSeries",
     "ScalarSeries",
     "VectorSeries",
+    "ComplexTruncatedSeries",
+    "ComplexVectorSeries",
     "MatrixSeriesSolveResult",
     "solve_matrix_series",
     "series_from_vectors",

@@ -51,10 +51,17 @@ from ..core.stages import ceil_div
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
-from ..md.number import MultiDouble
+from ..md.number import ComplexMultiDouble, MultiDouble
 from ..md.opcounts import series_newton_orders
 from ..vec import linalg
+from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
+from .complexvec import (
+    ComplexTruncatedSeries,
+    ComplexVectorSeries,
+    coerce_scalar,
+    is_complex_scalar,
+)
 from .matrix_series import solve_matrix_series
 from .reference import ScalarSeries
 from .truncated import TruncatedSeries
@@ -137,24 +144,50 @@ def resolve_system_arguments(system, jacobian, data):
     return system, jacobian, data
 
 
-def _coerce_start(start, prec) -> list:
-    heads = [MultiDouble(value, prec) for value in start]
+def _coerce_start(start, prec, system=None) -> list:
+    """Coerce a start point; complex components (``complex`` or
+    :class:`ComplexMultiDouble`) mark the whole point — and hence the
+    expansion — as complex data.  A system object whose
+    ``complex_coefficients`` attribute is true (a complex-coefficient
+    :class:`~repro.poly.system.PolynomialSystem`, a complex-backend
+    :class:`~repro.poly.homotopy.Homotopy`) promotes even an all-real
+    start point to the complex staircase — its residuals are complex
+    series regardless of the point."""
+    values = list(start)
+    force_complex = bool(getattr(system, "complex_coefficients", False))
+    if force_complex or any(is_complex_scalar(value) for value in values):
+        heads = [
+            coerce_scalar(value, prec)
+            if is_complex_scalar(value)
+            else ComplexMultiDouble(MultiDouble(value, prec), MultiDouble(0, prec))
+            for value in values
+        ]
+    else:
+        heads = [MultiDouble(value, prec) for value in values]
     if not heads:
         raise ValueError("the start point must have at least one component")
     return heads
 
 
 def _coerce_jacobian(value, n: int, limbs: int):
-    """Accept an MDArray, a nested list of scalars, or a flat list."""
-    if isinstance(value, MDArray):
+    """Accept an MDArray/MDComplexArray, a nested list of scalars, or a
+    flat list (complex scalar entries produce a complex matrix)."""
+    if isinstance(value, (MDArray, MDComplexArray)):
         matrix = value if value.limbs == limbs else value.astype(limbs)
     else:
         entries = list(value)
         if entries and isinstance(entries[0], (list, tuple)):
             entries = [item for row in entries for item in row]
-        matrix = MDArray.from_multidoubles(
-            [MultiDouble(e, limbs) for e in entries], limbs
-        ).reshape(n, n)
+        if any(is_complex_scalar(e) for e in entries):
+            prec = get_precision(limbs)
+            matrix = MDComplexArray.from_multidoubles(
+                [coerce_scalar(e if is_complex_scalar(e) else complex(e), prec) for e in entries],
+                limbs,
+            ).reshape(n, n)
+        else:
+            matrix = MDArray.from_multidoubles(
+                [MultiDouble(e, limbs) for e in entries], limbs
+            ).reshape(n, n)
     if matrix.shape != (n, n):
         raise ValueError(
             f"the Jacobian must be {n}x{n}, got shape {matrix.shape}"
@@ -177,9 +210,18 @@ def _coerce_residual(values, n: int, order: int, prec, series_cls=TruncatedSerie
     return out
 
 
-def _residual_column(residuals, k: int) -> MDArray:
+def _residual_column(residuals, k: int):
     """The negated order-``k`` coefficient of every residual component
-    as one ``(n,)`` array (a limb-major column gather)."""
+    as one ``(n,)`` array (a limb-major column gather; complex
+    residuals gather both planes)."""
+    if residuals and isinstance(residuals[0].coefficients, MDComplexArray):
+        real = np.stack(
+            [r.coefficients.real.data[:, k] for r in residuals], axis=-1
+        )
+        imag = np.stack(
+            [r.coefficients.imag.data[:, k] for r in residuals], axis=-1
+        )
+        return MDComplexArray(MDArray(-real), MDArray(-imag))
     data = np.stack(
         [residual.coefficients.data[:, k] for residual in residuals], axis=-1
     )
@@ -251,7 +293,15 @@ def newton_series(
     series_cls = _BACKENDS[backend]
     prec = get_precision(precision)
     limbs = prec.limbs
-    heads = _coerce_start(start, prec)
+    heads = _coerce_start(start, prec, system)
+    complex_data = isinstance(heads[0], ComplexMultiDouble)
+    if complex_data:
+        if backend != "vectorized":
+            raise ValueError(
+                "complex expansions run on the vectorized backend only; the "
+                "realified homotopy backend is the scalar-levelable cross-check"
+            )
+        series_cls = ComplexTruncatedSeries
     n = len(heads)
     tile_size, bs_tile_size = resolve_tile_sizes(n, tile_size, bs_tile_size)
 
@@ -261,7 +311,7 @@ def newton_series(
     t_head = series_cls([MultiDouble(0, prec)], prec)
     x_head = [series_cls([h], prec) for h in heads]
     head_residuals = _coerce_residual(system(x_head, t_head), n, 0, prec, series_cls)
-    head_residual = max(abs(float(r.coefficient(0))) for r in head_residuals)
+    head_residual = max(float(abs(r.coefficient(0))) for r in head_residuals)
 
     qr = blocked_qr(head_matrix, tile_size, device=device)
     q_conjugate = linalg.conjugate_transpose(qr.Q)
@@ -272,13 +322,17 @@ def newton_series(
     )
     trace.extend(qr.trace)
 
-    solution = VectorSeries.zeros(n, order, prec)
-    solution.set_coefficient(0, MDArray.from_multidoubles(heads, limbs))
+    if complex_data:
+        solution = ComplexVectorSeries.zeros(n, order, prec)
+        solution.set_coefficient(0, MDComplexArray.from_multidoubles(heads, limbs))
+    else:
+        solution = VectorSeries.zeros(n, order, prec)
+        solution.set_coefficient(0, MDArray.from_multidoubles(heads, limbs))
     for k in range(1, order + 1):
         if backend == "vectorized":
             # partial series through order k-1 (column k still zero)
             partial = [
-                TruncatedSeries.from_mdarray(solution.coefficients[i, : k + 1])
+                series_cls.from_mdarray(solution.coefficients[i, : k + 1])
                 for i in range(n)
             ]
         else:
@@ -305,9 +359,9 @@ def newton_series(
             blocks=max(1, ceil_div(n, tile_size)),
             threads_per_block=tile_size,
             limbs=limbs,
-            tally=stages.tally_matvec(n, n),
-            bytes_read=md_bytes(n * n + n, limbs),
-            bytes_written=md_bytes(n, limbs),
+            tally=stages.tally_matvec(n, n, complex_data),
+            bytes_read=md_bytes(n * n + n, limbs, complex_data),
+            bytes_written=md_bytes(n, limbs, complex_data),
         )
         bs = tiled_back_substitution(
             upper, qhb[:n], bs_tile_size, device=device, trace=trace

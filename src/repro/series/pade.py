@@ -35,7 +35,9 @@ from ..core.least_squares import lstsq
 from ..md.constants import Precision, get_precision
 from ..md.number import MultiDouble
 from ..vec import linalg
+from ..vec.complexmd import MDComplexArray, map_planes
 from ..vec.mdarray import MDArray
+from .complexvec import ComplexTruncatedSeries
 from .truncated import TruncatedSeries
 
 __all__ = ["PadeApproximant", "pade"]
@@ -46,6 +48,28 @@ def _horner(coefficients, point: MultiDouble) -> MultiDouble:
     for coefficient in reversed(coefficients[:-1]):
         total = total * point + coefficient
     return total
+
+
+def _magnitude(value) -> float:
+    """Leading-double magnitude of a real or complex multiple double."""
+    return float(abs(value))
+
+
+def _leading_heads(array) -> np.ndarray:
+    """Leading limbs of a coefficient array — ``complex128`` values for
+    complex (separated-plane) data, doubles for real data."""
+    if isinstance(array, MDComplexArray):
+        return array.real.data[0] + 1j * array.imag.data[0]
+    return array.data[0]
+
+
+def _limb_planes(array) -> np.ndarray:
+    """All limb planes of a coefficient array stacked along axis 0 (both
+    planes for complex data) — the raw material of limb-aware
+    nonzero tests."""
+    if isinstance(array, MDComplexArray):
+        return np.concatenate([array.real.data, array.imag.data], axis=0)
+    return array.data
 
 
 @dataclass
@@ -124,10 +148,10 @@ class PadeApproximant:
             return 0.0
         if self.defect is None:
             return float("inf")
-        q_value = abs(float(self.evaluate_denominator(point)))
+        q_value = _magnitude(self.evaluate_denominator(point))
         if q_value == 0.0:
             return float("inf")
-        return abs(float(self.defect)) * t ** (self.order + 1) / q_value
+        return _magnitude(self.defect) * t ** (self.order + 1) / q_value
 
     def pole_estimate(self) -> float:
         """Cauchy lower bound on the distance to the nearest pole.
@@ -140,7 +164,7 @@ class PadeApproximant:
         """
         if self.denominator_degree == 0:
             return float("inf")
-        heads = np.abs(self.denominator_array.data[0])
+        heads = np.abs(_leading_heads(self.denominator_array))
         tail = float(np.max(heads[1:]))
         if tail == 0.0:
             return float("inf")
@@ -160,13 +184,36 @@ class PadeApproximant:
         proportional to the true pole distance.  Falls back to the
         Cauchy bound when the denominator heads are not finite;
         ``inf`` for a constant denominator.
+
+        The effective denominator degree uses a **limb-aware** nonzero
+        test on the stored coefficient array: a coefficient whose
+        leading limb underflows to ``0.0`` while lower limbs stay
+        nonzero still counts (its limb sum stands in for the head), so
+        no denominator root silently drops out of the step-control
+        estimate at qd/od.
         """
-        heads = self.denominator_array.data[0]
-        if not np.isfinite(heads).all():
+        planes = _limb_planes(self.denominator_array)  # (limbs[, planes], M+1)
+        if not np.isfinite(planes).all():
             return self.pole_estimate()
-        coefficients = np.trim_zeros(heads[::-1], trim="f")  # highest power first
-        if len(coefficients) <= 1:
+        heads = _leading_heads(self.denominator_array)
+        # limb-aware: a coefficient is nonzero when ANY limb of ANY
+        # plane is; where the head underflowed to 0.0, the limb sum is
+        # the best available double approximation of the coefficient
+        nonzero = np.any(planes != 0.0, axis=0)
+        if isinstance(self.denominator_array, MDComplexArray):
+            summed = (
+                self.denominator_array.real.data.sum(axis=0)
+                + 1j * self.denominator_array.imag.data.sum(axis=0)
+            )
+        else:
+            summed = self.denominator_array.data.sum(axis=0)
+        approx = np.where(heads != 0.0, heads, summed)
+        degrees = np.nonzero(nonzero)[0]
+        if len(degrees) == 0 or degrees[-1] == 0:
             return float("inf")
+        coefficients = approx[degrees[-1] :: -1]  # highest power first
+        if coefficients[0] == 0.0:  # pragma: no cover - fully cancelled limbs
+            return self.pole_estimate()
         roots = np.roots(coefficients)
         if len(roots) == 0:  # pragma: no cover - defensive
             return float("inf")
@@ -186,6 +233,12 @@ def _gather_coefficients(data, indices):
     valid = (indices >= 0) & (indices < data.shape[1])
     safe = np.where(valid, indices, 0)
     return MDArray(np.where(valid, data[:, safe], 0.0))
+
+
+def _gather(array, indices):
+    """Kind-aware gather: :func:`_gather_coefficients` applied to every
+    limb plane through :func:`repro.vec.complexmd.map_planes`."""
+    return map_planes(array, lambda data: _gather_coefficients(data, indices).data)
 
 
 def pade(
@@ -216,12 +269,13 @@ def pade(
     device:
         Simulated device the Hankel solve is attributed to.
     """
-    if not isinstance(series, TruncatedSeries):
+    if not isinstance(series, (TruncatedSeries, ComplexTruncatedSeries)):
         series = TruncatedSeries(series, precision if precision is not None else 2)
     elif precision is not None and get_precision(precision).limbs != series.limbs:
         series = series.astype(precision)
     prec = series.precision
     limbs = prec.limbs
+    complex_data = isinstance(series, ComplexTruncatedSeries)
 
     if numerator_degree is None and denominator_degree is None:
         numerator_degree = denominator_degree = series.order // 2
@@ -238,38 +292,51 @@ def pade(
             f"got a series of order {series.order}"
         )
 
-    data = series.coefficients.data  # limb-major (m, K+1)
+    coefficients = series.coefficients  # limb-major (m, K+1) [per plane]
 
     # denominator: Hankel system  sum_j c_{L+i-j} q_j = -c_{L+i},
     # gathered from the coefficient array in one indexing per side
     trace = None
     if M == 0:
         denominator_array = MDArray.from_double(np.ones(1), limbs)
+        if complex_data:
+            denominator_array = MDComplexArray(denominator_array)
     else:
         i = np.arange(1, M + 1)
-        system = _gather_coefficients(data, L + i[:, None] - i[None, :])
-        rhs = -_gather_coefficients(data, L + i)
+        system = _gather(coefficients, L + i[:, None] - i[None, :])
+        rhs = -_gather(coefficients, L + i)
         solution = lstsq(system, rhs, tile_size=tile_size, device=device)
         trace = solution.combined_trace
         one = np.zeros((limbs, 1))
         one[0, 0] = 1.0
-        denominator_array = MDArray(
-            np.concatenate([one, solution.x.data], axis=1)
-        )
+        if complex_data:
+            denominator_array = MDComplexArray(
+                MDArray(np.concatenate([one, solution.x.real.data], axis=1)),
+                MDArray(
+                    np.concatenate([np.zeros((limbs, 1)), solution.x.imag.data], axis=1)
+                ),
+            )
+        else:
+            denominator_array = MDArray(
+                np.concatenate([one, solution.x.data], axis=1)
+            )
 
     # numerator: p = (c * q) truncated at order L, one batched
     # triangular convolution over the coefficient arrays
-    q_padded = MDArray(
-        np.concatenate(
-            [
-                denominator_array.data[:, : L + 1],
-                np.zeros((limbs, max(0, L - M))),
-            ],
-            axis=1,
+    def _pad_denominator(plane):
+        return np.concatenate(
+            [plane[:, : L + 1], np.zeros((limbs, max(0, L - M)))], axis=1
         )
-    )
+
+    if complex_data:
+        q_padded = MDComplexArray(
+            MDArray(_pad_denominator(denominator_array.real.data)),
+            MDArray(_pad_denominator(denominator_array.imag.data)),
+        )
+    else:
+        q_padded = MDArray(_pad_denominator(denominator_array.data))
     numerator_array = linalg.cauchy_product(
-        _gather_coefficients(data, np.arange(L + 1)), q_padded
+        _gather(coefficients, np.arange(L + 1)), q_padded
     )
 
     # defect: coefficient of t**(L+M+1) in q f - p (p has no such term)

@@ -38,11 +38,18 @@ import numpy as np
 
 from ..core.least_squares import lstsq
 from ..md.constants import get_precision
-from ..md.number import MultiDouble
-from ..vec.mdarray import MDArray
+from ..md.number import ComplexMultiDouble, MultiDouble
+from .complexvec import (
+    ComplexTruncatedSeries,
+    coerce_scalar,
+    evaluation_magnitudes,
+    leading_value,
+    scalar_array,
+)
 from .newton import (
     _coerce_jacobian,
     _coerce_residual,
+    _coerce_start,
     _residual_column,
     newton_series,
     resolve_system_arguments,
@@ -71,8 +78,38 @@ def __getattr__(name):
 #: Fraction of the error budget granted to each of the two estimates.
 _BUDGET_SPLIT = 0.5
 
-#: Safety factor between the Padé pole estimate and the accepted step.
+#: Default safety fraction between the Padé pole-radius estimate and the
+#: accepted step (the literature's beta ~ 0.5): stepping to the raw pole
+#: radius would land essentially *on* the nearest pole of the Padé
+#: approximant, where the truncation estimate is meaningless.  Both
+#: :func:`track_path` and :func:`repro.batch.fleet.track_paths` accept a
+#: ``pole_safety`` override.
 _POLE_SAFETY = 0.5
+
+
+def _resolve_pole_safety(pole_safety) -> float:
+    """Validate the pole safety fraction (``None`` means the default)."""
+    if pole_safety is None:
+        return _POLE_SAFETY
+    pole_safety = float(pole_safety)
+    if not 0.0 < pole_safety <= 1.0:
+        raise ValueError(
+            f"the pole safety fraction must lie in (0, 1], got {pole_safety}"
+        )
+    return pole_safety
+
+
+def _pole_step_cap(h, approximants, pole_safety) -> float:
+    """Cap a trial step at ``pole_safety`` times the closest Padé pole.
+
+    A constant-denominator approximant reports an infinite pole radius;
+    the cap is skipped explicitly (``inf`` would otherwise poison the
+    ``min`` with NaNs on 0 * inf style arithmetic downstream).
+    """
+    pole = min(a.pole_radius() for a in approximants)
+    if pole == float("inf"):
+        return h
+    return min(h, pole_safety * pole)
 
 
 @dataclass
@@ -137,18 +174,24 @@ def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, i
 
     The order-zero residual column is gathered straight from the
     residual series' limb-major coefficient arrays, and the point
-    update is one vectorized multiple double addition.
+    update is one vectorized multiple double addition.  Complex heads
+    run the identical polish on the separated-plane complex kernels.
     """
     n = len(heads)
     limbs = prec.limbs
+    series_cls = (
+        ComplexTruncatedSeries
+        if heads and isinstance(heads[0], ComplexMultiDouble)
+        else TruncatedSeries
+    )
     for _ in range(iterations):
-        x = [TruncatedSeries([h], prec) for h in heads]
+        x = [series_cls([h], prec) for h in heads]
         t = TruncatedSeries([MultiDouble(t_value, prec)], prec)
-        residuals = _coerce_residual(system(x, t), n, 0, prec)
+        residuals = _coerce_residual(system(x, t), n, 0, prec, series_cls)
         matrix = _coerce_jacobian(jacobian(list(heads), t_value), n, limbs)
         rhs = _residual_column(residuals, 0)
         update = lstsq(matrix, rhs, tile_size=tile_size, device=device).x
-        corrected = MDArray.from_multidoubles(heads, limbs) + update
+        corrected = scalar_array(heads, limbs) + update
         heads = list(corrected)
     return heads
 
@@ -170,6 +213,7 @@ def track_path(
     max_steps: int = 64,
     tile_size=None,
     correct: bool = True,
+    pole_safety=None,
     device: str = "V100",
 ) -> PathResult:
     """Track a solution path of ``F(x, t) = 0`` from ``t_start`` to ``t_end``.
@@ -211,8 +255,17 @@ def track_path(
     correct:
         Polish every predicted point with two scalar Newton iterations
         (recommended; keeps the expansion points on the path).
+    pole_safety:
+        Safety fraction beta between the closest Padé pole and the
+        accepted step (``h <= beta * pole_radius``); defaults to the
+        literature's beta = 0.5.  Must lie in ``(0, 1]``.
     device:
         Simulated device for the cost model accounting.
+
+    Complex start points (``complex`` components or
+    :class:`~repro.md.number.ComplexMultiDouble` values) track the path
+    natively in ``n`` complex variables on the separated-plane complex
+    kernels — the backend of ``Homotopy(..., backend="complex")``.
     """
     system, jacobian, start = resolve_system_arguments(system, jacobian, start)
     if not precision_ladder:
@@ -233,11 +286,13 @@ def track_path(
     from ..perf.model import PerformanceModel
 
     model = PerformanceModel(device)
+    pole_safety = _resolve_pole_safety(pole_safety)
     ladder = [get_precision(p).limbs for p in precision_ladder]
     rung = 0
 
     prec = get_precision(ladder[rung])
-    heads = [MultiDouble(value, prec) for value in start]
+    heads = _coerce_start(start, prec, system)
+    complex_data = isinstance(heads[0], ComplexMultiDouble)
     n = len(heads)
 
     result = PathResult(device=device)
@@ -252,7 +307,7 @@ def track_path(
 
         while True:
             prec = get_precision(ladder[rung])
-            heads = [MultiDouble(h, prec) for h in heads]
+            heads = [coerce_scalar(h, prec) for h in heads]
 
             def local_system(x, s, _t0=t_current, _prec=prec):
                 shifted = TruncatedSeries.variable(s.order, _prec, head=_t0)
@@ -280,6 +335,7 @@ def track_path(
                     numerator_degree=numerator_degree,
                     denominator_degree=denominator_degree,
                     device=device,
+                    complex_data=complex_data,
                 )
             )
             step_model_ms += timed.kernel_ms
@@ -287,11 +343,10 @@ def track_path(
             # step control on the Padé truncation estimate; the pole
             # cap uses the closest denominator root (pole_radius), not
             # the Cauchy bound, so one ill-conditioned component cannot
-            # freeze the step at min_step
+            # freeze the step at min_step — shrunk by the pole_safety
+            # fraction so the step never lands on the pole itself
             h = min(remaining, trial_step) if trial_step else remaining
-            pole = min(a.pole_radius() for a in approximants)
-            if pole != float("inf"):
-                h = min(h, _POLE_SAFETY * pole)
+            h = _pole_step_cap(h, approximants, pole_safety)
             h = min(remaining, max(h, min_step))
             truncation = max(a.error_estimate(h) for a in approximants)
             while truncation > _BUDGET_SPLIT * tol and h > min_step:
@@ -301,7 +356,7 @@ def track_path(
             # precision control on the coefficient-condition estimate,
             # computed on the expansion's limb-major coefficient array
             # for the whole system at once (one Horner sweep, reused)
-            values = np.abs(expansion.vector.evaluate(h).to_double())
+            values = evaluation_magnitudes(expansion.vector.evaluate(h))
             conditions = expansion.vector.coefficient_condition(h, values=values)
             noise = prec.eps * float(
                 np.max(conditions * np.maximum(values, 1.0))
@@ -333,7 +388,7 @@ def track_path(
                 precision_noise=noise,
                 escalations=step_escalations,
                 model_ms=step_model_ms,
-                point=tuple(float(value) for value in new_heads),
+                point=tuple(leading_value(value) for value in new_heads),
             )
         )
         result.escalations += step_escalations

@@ -264,6 +264,17 @@ class TruncatedSeries:
             return TruncatedSeries.constant(other, self.order, self._precision)
         raise TypeError(f"cannot combine TruncatedSeries with {type(other)!r}")
 
+    def _coerce_operand(self, other):
+        """Operator-facing coercion: ``None`` for foreign operands so
+        the binary operators can return ``NotImplemented`` and let the
+        other type's reflected operator run (e.g. a real ``t`` series
+        times a :class:`~repro.series.complexvec.ComplexTruncatedSeries`
+        dispatches to the complex arithmetic)."""
+        try:
+            return self._coerce(other)
+        except TypeError:
+            return None
+
     def _head_array(self, order: int) -> MDArray:
         """View of the coefficients through ``order`` (no copy)."""
         return MDArray(self._coefficients.data[:, : order + 1])
@@ -273,7 +284,9 @@ class TruncatedSeries:
     # operation is a constant number of vectorized limb operations
     # ------------------------------------------------------------------
     def __add__(self, other):
-        other = self._coerce(other)
+        other = self._coerce_operand(other)
+        if other is None:
+            return NotImplemented
         order = min(self.order, other.order)
         return TruncatedSeries._wrap(
             self._head_array(order) + other._head_array(order), self._precision
@@ -283,7 +296,9 @@ class TruncatedSeries:
         return self.__add__(other)
 
     def __sub__(self, other):
-        other = self._coerce(other)
+        other = self._coerce_operand(other)
+        if other is None:
+            return NotImplemented
         order = min(self.order, other.order)
         return TruncatedSeries._wrap(
             self._head_array(order) - other._head_array(order), self._precision
@@ -295,7 +310,9 @@ class TruncatedSeries:
     def __mul__(self, other):
         if isinstance(other, _SCALAR_TYPES):
             return self.scale(other)
-        other = self._coerce(other)
+        other = self._coerce_operand(other)
+        if other is None:
+            return NotImplemented
         return TruncatedSeries._wrap(
             linalg.cauchy_product(self._coefficients, other._coefficients),
             self._precision,

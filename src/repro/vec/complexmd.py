@@ -13,9 +13,60 @@ import numpy as np
 
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
-from .mdarray import MDArray
+from .mdarray import MDArray, pairwise_reduce
 
-__all__ = ["MDComplexArray"]
+__all__ = ["MDComplexArray", "combine_product_grid", "map_planes", "finite_mask"]
+
+
+def map_planes(array, func):
+    """Apply an ndarray transform to every limb plane of a (possibly
+    complex) multiple double array, preserving its kind.
+
+    ``func`` receives one raw limb-major storage array and returns the
+    transformed storage — the single kind-dispatch point for gathers,
+    fancy indexing and other structural operations shared by the real
+    and complex code paths (padding, Hankel gathers, index takes).
+    """
+    if isinstance(array, MDComplexArray):
+        return MDComplexArray(
+            MDArray(func(array.real.data)), MDArray(func(array.imag.data))
+        )
+    return MDArray(func(array.data))
+
+
+def finite_mask(array, axis=None):
+    """Finiteness of a (possibly complex) multiple double array.
+
+    With ``axis=None`` returns one bool for the whole array; with an
+    axis tuple, reduces :func:`numpy.isfinite` over those storage axes
+    (the limb axis is storage axis 0).  Complex arrays require both
+    planes finite — the shared helper behind every ``finite_systems``
+    mask of the batched solvers.
+    """
+    if isinstance(array, MDComplexArray):
+        return finite_mask(array.real, axis) & finite_mask(array.imag, axis)
+    finite = np.isfinite(array.data)
+    return bool(finite.all()) if axis is None else finite.all(axis=axis)
+
+
+def combine_product_grid(grid_data) -> "MDComplexArray":
+    """Fold a ``(m, 2, 2, ...)`` real product grid into one complex
+    array with a single addition launch.
+
+    ``grid_data[:, i, j]`` holds the real products of plane ``i`` of
+    the left operand with plane ``j`` of the right operand
+    (``0`` = real, ``1`` = imaginary), so ``re = rr + (-ii)`` and
+    ``im = ri + ir``.  The negation is exact and ``generic.sub`` is
+    add-of-negation, so this is bit-identical to the classical
+    four-multiply/one-subtract/one-add complex product — shared by
+    :meth:`MDComplexArray.__mul__` and the complex convolution kernels
+    of :mod:`repro.vec.linalg`, which keeps the three call sites
+    bit-identical by construction.
+    """
+    first = np.stack([grid_data[:, 0, 0], grid_data[:, 0, 1]], axis=1)  # rr, ri
+    second = np.stack([-grid_data[:, 1, 1], grid_data[:, 1, 0]], axis=1)  # -ii, ir
+    out = (MDArray(first) + MDArray(second)).data
+    return MDComplexArray(MDArray(out[:, 0]), MDArray(out[:, 1]))
 
 
 class MDComplexArray:
@@ -54,6 +105,28 @@ class MDComplexArray:
         """Build from separate real/imaginary double arrays."""
         return cls(MDArray.from_double(real, precision), MDArray.from_double(imag, precision))
 
+    @classmethod
+    def from_multidoubles(cls, values, precision=None) -> "MDComplexArray":
+        """Build a one-dimensional array from scalar values.
+
+        Accepts :class:`~repro.md.number.ComplexMultiDouble`,
+        :class:`~repro.md.number.MultiDouble` and plain
+        complex/float scalars — the complex twin of
+        :meth:`MDArray.from_multidoubles`."""
+        values = [
+            v if isinstance(v, ComplexMultiDouble) else ComplexMultiDouble(v, precision=precision or 2)
+            for v in values
+        ]
+        if not values:
+            raise ValueError("cannot build an MDComplexArray from an empty sequence")
+        if precision is None:
+            precision = values[0].precision
+        limbs = get_precision(precision).limbs
+        return cls(
+            MDArray.from_multidoubles([v.real for v in values], limbs),
+            MDArray.from_multidoubles([v.imag for v in values], limbs),
+        )
+
     # ------------------------------------------------------------------
     # properties / conversions
     # ------------------------------------------------------------------
@@ -88,6 +161,17 @@ class MDComplexArray:
     def to_scalar(self, index) -> ComplexMultiDouble:
         return ComplexMultiDouble(self.real.to_multidouble(index), self.imag.to_multidouble(index))
 
+    def to_multidouble(self, index) -> ComplexMultiDouble:
+        """Alias of :meth:`to_scalar` (mirrors :meth:`MDArray.to_multidouble`)."""
+        return self.to_scalar(index)
+
+    def astype(self, precision) -> "MDComplexArray":
+        """Convert both planes to another precision."""
+        m_new = get_precision(precision).limbs
+        if m_new == self.limbs:
+            return self.copy()
+        return MDComplexArray(self.real.astype(m_new), self.imag.astype(m_new))
+
     def copy(self) -> "MDComplexArray":
         return MDComplexArray(self.real.copy(), self.imag.copy())
 
@@ -113,6 +197,23 @@ class MDComplexArray:
 
     def __len__(self) -> int:
         return len(self.real)
+
+    def __iter__(self):
+        """Iterate over the first element axis.
+
+        A one-dimensional array yields scalar
+        :class:`~repro.md.number.ComplexMultiDouble` values, a
+        higher-dimensional array its sub-arrays — the same bridge back
+        into the scalar world as :meth:`MDArray.__iter__`.
+        """
+        if self.ndim == 0:
+            raise TypeError("iteration over a zero-dimensional MDComplexArray")
+        if self.ndim == 1:
+            for j in range(self.shape[0]):
+                yield self.to_scalar(j)
+        else:
+            for j in range(self.shape[0]):
+                yield self[j]
 
     def __getitem__(self, key) -> "MDComplexArray":
         return MDComplexArray(self.real[key], self.imag[key])
@@ -142,33 +243,83 @@ class MDComplexArray:
             return MDComplexArray.from_complex(values, self.limbs)
         raise TypeError(f"cannot combine MDComplexArray with {type(other)!r}")
 
+    def _stacked(self) -> np.ndarray:
+        """Both planes stacked onto a channel axis right after the limb
+        axis, shape ``(m, 2, *shape)`` — one vectorized limb operation
+        then advances both planes at once."""
+        return np.stack([self.real.data, self.imag.data], axis=1)
+
+    @staticmethod
+    def _from_channels(data) -> "MDComplexArray":
+        return MDComplexArray(MDArray(data[:, 0]), MDArray(data[:, 1]))
+
+    def _channel_operands(self, other) -> tuple:
+        """Channel-stacked storage of both operands with their element
+        shapes padded to a common rank, so the channel axis stays
+        aligned under NumPy's right-aligned broadcasting."""
+        rank = max(self.ndim, other.ndim)
+
+        def expand(array):
+            data = array._stacked()
+            pad = rank - array.ndim
+            return data.reshape(data.shape[:2] + (1,) * pad + data.shape[2:])
+
+        return expand(self), expand(other)
+
     def __add__(self, other):
         other = self._coerce(other)
-        return MDComplexArray(self.real + other.real, self.imag + other.imag)
+        # one launch over both channel planes (addition on expansions is
+        # elementwise, so the channel stacking changes no bits)
+        a, b = self._channel_operands(other)
+        out = MDArray(a) + MDArray(b)
+        return MDComplexArray._from_channels(out.data)
 
     __radd__ = __add__
 
     def __sub__(self, other):
         other = self._coerce(other)
-        return MDComplexArray(self.real - other.real, self.imag - other.imag)
+        a, b = self._channel_operands(other)
+        out = MDArray(a) - MDArray(b)
+        return MDComplexArray._from_channels(out.data)
 
     def __rsub__(self, other):
         return self._coerce(other) - self
 
     def __mul__(self, other):
         other = self._coerce(other)
-        re = self.real * other.real - self.imag * other.imag
-        im = self.real * other.imag + self.imag * other.real
-        return MDComplexArray(re, im)
+        # the four real products (re*re, re*im, im*re, im*im) as one
+        # vectorized multiplication over a (2, 2) channel grid, then one
+        # addition launch combining the planes: re = rr + (-ii),
+        # im = ri + ir.  generic.sub is add-of-negation, so this is
+        # bit-identical to the four-multiply/one-sub/one-add formula.
+        a, b = self._channel_operands(other)
+        a = a[:, :, None]
+        b = b[:, None, :]
+        shape = np.broadcast_shapes(a.shape, b.shape)
+        grid = (
+            MDArray(np.broadcast_to(a, shape)) * MDArray(np.broadcast_to(b, shape))
+        ).data
+        return combine_product_grid(grid)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other):
         other = self._coerce(other)
-        denom = other.real * other.real + other.imag * other.imag
-        re = (self.real * other.real + self.imag * other.imag) / denom
-        im = (self.imag * other.real - self.real * other.imag) / denom
-        return MDComplexArray(re, im)
+        # x / y = x * conj(y) / |y|^2: one channel-grid multiplication,
+        # one squared modulus, one division launch over both planes
+        numerator = self * other.conj()
+        denom = other.abs2()
+        stacked = numerator._stacked()
+        # align the denominator explicitly: limb axis first, a length-1
+        # channel axis, then the element shape left-padded to the
+        # numerator's rank (plain right-aligned broadcasting would let
+        # the limb axis alias the channel axis)
+        pad = numerator.ndim - denom.ndim
+        shaped = denom.data.reshape(
+            (denom.data.shape[0], 1) + (1,) * pad + denom.data.shape[1:]
+        )
+        out = MDArray(stacked) / MDArray(np.broadcast_to(shaped, stacked.shape))
+        return MDComplexArray._from_channels(out.data)
 
     def __rtruediv__(self, other):
         return self._coerce(other) / self
@@ -190,7 +341,45 @@ class MDComplexArray:
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None) -> "MDComplexArray":
-        return MDComplexArray(self.real.sum(axis), self.imag.sum(axis))
+        if axis is None:
+            return self.reshape(self.size).sum(axis=0)
+        # one pairwise reduction launch sequence over both channel
+        # planes (bit-identical to reducing the planes separately)
+        stacked = MDArray(self._stacked())
+        out = stacked.sum(axis=axis % self.ndim + 1)
+        return MDComplexArray._from_channels(out.data)
+
+    def prod(self, axis=None) -> "MDComplexArray":
+        """Product of elements via pairwise (binary tree) reduction.
+
+        The complex twin of :meth:`MDArray.prod`: the same ones-padded
+        pairwise tree (the identity block is the exact complex one,
+        real plane 1, imaginary plane 0), with every combination one
+        vectorized complex multiplication over both planes — the
+        reduction shape of the power-product kernels of
+        :mod:`repro.poly` on complex data.
+        """
+        if axis is None:
+            flat = self.reshape(self.size)
+            return flat.prod(axis=0)
+        # channel axis (real/imag) leads, then the limb axis; element
+        # axis i is therefore storage axis i + 2 of the stacked array
+        data = np.stack([self.real.data, self.imag.data], axis=0)
+        ax = axis % self.ndim + 2
+
+        def combine(first, second):
+            a = MDComplexArray(MDArray(first[0]), MDArray(first[1]))
+            b = MDComplexArray(MDArray(second[0]), MDArray(second[1]))
+            c = a * b
+            return np.stack([c.real.data, c.imag.data], axis=0)
+
+        def one_pad(shape):
+            pad = np.zeros(shape)
+            pad[0, 0] = 1.0  # exact complex one: real head 1, all else 0
+            return pad
+
+        out = pairwise_reduce(data, ax, combine, one_pad)
+        return MDComplexArray(MDArray(out[0]), MDArray(out[1]))
 
     def dot(self, other) -> "MDComplexArray":
         """Unconjugated inner product ``sum(self * other)``."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .complexmd import MDComplexArray
+from .complexmd import MDComplexArray, combine_product_grid
 from .mdarray import MDArray, pairwise_reduce
 
 __all__ = [
@@ -178,6 +178,38 @@ def _apply_mask(a, mask):
 # triangular (series) convolutions — the kernels of repro.series
 # ---------------------------------------------------------------------------
 
+def _coerce_complex(array, limbs) -> MDComplexArray:
+    """Promote a real operand to complex (exact zero imaginary plane)."""
+    if _is_complex(array):
+        return array
+    return MDComplexArray(array, MDArray.zeros(array.shape, limbs))
+
+
+def _cauchy_product_complex(a, b, order):
+    """Complex truncated Cauchy product via **one** real product-grid
+    launch: the four real combinations (``a_re b_re``, ``a_re b_im``,
+    ``a_im b_re``, ``a_im b_im``) are stacked onto a leading ``(2, 2)``
+    channel grid and convolved together, then combined with one
+    subtraction and one addition launch — the four-real-multiplies
+    structure the paper's Table 5 prices complex arithmetic at.
+    """
+    limbs = a.limbs if _is_complex(a) else b.limbs
+    a = _coerce_complex(a, limbs)
+    b = _coerce_complex(b, limbs)
+    m = a.limbs
+    tail = a.real.data.shape[1:]
+    left = np.broadcast_to(
+        np.stack([a.real.data, a.imag.data], axis=1)[:, :, None], (m, 2, 2) + tail
+    )
+    right = np.broadcast_to(
+        np.stack([b.real.data, b.imag.data], axis=1)[:, None, :], (m, 2, 2) + b.real.data.shape[1:]
+    )
+    grid = cauchy_product(MDArray(left), MDArray(right), order)
+    # grid[i, j] = cauchy(a_i, b_j): [0,0]=re*re, [0,1]=re*im, ...;
+    # the shared one-launch plane combine folds the grid to complex
+    return combine_product_grid(grid.data)
+
+
 def cauchy_product(a, b, order=None):
     """Truncated Cauchy product along the *last* element axis.
 
@@ -185,7 +217,10 @@ def cauchy_product(a, b, order=None):
     indexes series coefficients (shape ``(K+1,)`` for one series,
     ``(n, K+1)`` for a batch of ``n`` series); the result holds
     ``c_k = sum_{i=0..k} a_i b_{k-i}`` for ``k = 0 .. order`` (default:
-    the shorter operand's truncation order).
+    the shorter operand's truncation order).  Complex operands
+    (:class:`MDComplexArray`, or one complex and one real operand)
+    dispatch to the separated-plane complex kernel and return an
+    :class:`MDComplexArray`.
 
     The kernel structure mirrors a one-thread-per-output-coefficient
     GPU launch: **all** pairwise products are formed in one vectorized
@@ -198,6 +233,8 @@ def cauchy_product(a, b, order=None):
     product grid and reduction tree, which is what makes the two paths
     bit-identical.
     """
+    if _is_complex(a) or _is_complex(b):
+        return _cauchy_product_complex(a, b, order)
     if a.ndim < 1 or b.ndim < 1:
         raise ValueError("cauchy_product expects at least one element axis")
     if a.shape[:-1] != b.shape[:-1]:
@@ -238,8 +275,27 @@ def convolution_coefficient(a, b, k):
     the same zero-padded pairwise sum as :func:`cauchy_product`, so the
     result of extracting one coefficient matches the corresponding
     entry of the full product.  Used for Padé defects, where only the
-    first unmatched coefficient of ``q·f`` is needed.
+    first unmatched coefficient of ``q·f`` is needed.  Complex operands
+    dispatch to the separated-plane kernel (four real windowed
+    convolutions combined with one subtraction and one addition).
     """
+    if _is_complex(a) or _is_complex(b):
+        limbs = a.limbs if _is_complex(a) else b.limbs
+        a = _coerce_complex(a, limbs)
+        b = _coerce_complex(b, limbs)
+        m = a.limbs
+        tail_a = a.real.data.shape[1:]
+        tail_b = b.real.data.shape[1:]
+        left = np.broadcast_to(
+            np.stack([a.real.data, a.imag.data], axis=1)[:, :, None],
+            (m, 2, 2) + tail_a,
+        )
+        right = np.broadcast_to(
+            np.stack([b.real.data, b.imag.data], axis=1)[:, None, :],
+            (m, 2, 2) + tail_b,
+        )
+        grid = convolution_coefficient(MDArray(left), MDArray(right), k)
+        return combine_product_grid(grid.data)
     if a.ndim < 1 or b.ndim < 1:
         raise ValueError("convolution_coefficient expects an element axis")
     j = np.arange(b.shape[-1])
@@ -294,6 +350,27 @@ def cauchy_product_reduce(series_stack):
         raise ValueError(
             "cauchy_product_reduce expects a factor axis and a coefficient axis"
         )
+    if _is_complex(series_stack):
+        # complex twin: the same pairwise tree on channel-stacked planes,
+        # each combination one complex batched Cauchy product
+        data = np.stack(
+            [series_stack.real.data, series_stack.imag.data], axis=0
+        )
+        ax = data.ndim - 2  # the factor axis of the channel-stacked storage
+
+        def combine_complex(first, second):
+            a = MDComplexArray(MDArray(first[0]), MDArray(first[1]))
+            b = MDComplexArray(MDArray(second[0]), MDArray(second[1]))
+            c = cauchy_product(a, b)
+            return np.stack([c.real.data, c.imag.data], axis=0)
+
+        def complex_one_pad(shape):
+            pad = np.zeros(shape)
+            pad[0, 0, ..., 0] = 1.0  # the exact complex one series
+            return pad
+
+        out = pairwise_reduce(data, ax, combine_complex, complex_one_pad)
+        return MDComplexArray(MDArray(out[0]), MDArray(out[1]))
     ax = series_stack.data.ndim - 2  # the factor axis of the storage array
 
     def combine(first, second):

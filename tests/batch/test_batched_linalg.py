@@ -39,9 +39,23 @@ class TestStacking:
         with pytest.raises(ValueError):
             vb.stack([MDArray.zeros((2,), 2), MDArray.zeros((2,), 4)])
 
-    def test_complex_rejected(self):
-        with pytest.raises(TypeError):
-            vb.stack([MDComplexArray.zeros((2,), 2)])
+    def test_complex_stacks_both_planes(self, rng):
+        mats = [
+            MDComplexArray(
+                MDArray.from_double(rng.standard_normal((3, 2)), 2),
+                MDArray.from_double(rng.standard_normal((3, 2)), 2),
+            )
+            for _ in range(BATCH)
+        ]
+        stacked = vb.stack(mats)
+        assert isinstance(stacked, MDComplexArray)
+        assert stacked.shape == (BATCH, 3, 2)
+        for original, back in zip(mats, vb.unstack(stacked)):
+            assert original.equals(back)
+
+    def test_mixed_kind_stack_rejected(self):
+        with pytest.raises(ValueError):
+            vb.stack([MDComplexArray.zeros((2,), 2), MDArray.zeros((2,), 2)])
 
 
 class TestBatchedKernels:

@@ -144,13 +144,16 @@ def test_homotopy_quickstart_distinct_endpoint_clustering():
             self.final_point = point
             self.reached = reached
 
+    class _Homotopy:
+        backend = "realified"
+
     paths = [
         _Path([1.0, 0.0]),          # 1 + 0j (realified 1-dim point)
         _Path([1.0, 1e-6]),         # same cluster
         _Path([-1.0, 0.0]),         # second cluster
         _Path([5.0, 5.0], reached=False),  # ignored: never reached
     ]
-    assert quickstart.distinct_endpoints(paths) == 2
+    assert quickstart.distinct_endpoints(_Homotopy(), paths) == 2
 
 
 def test_path_fleet_matches_single_path_tracker():

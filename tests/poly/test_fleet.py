@@ -54,7 +54,7 @@ class TestCyclic2AllRoots:
         expected = {(1j, -1j), (-1j, 1j)}
         observed = set()
         for path in fleet.paths:
-            z = extract_complex([float(v) for v in path.final_point])
+            z = [v.as_complex() for v in extract_complex(path.final_point)]
             rounded = tuple(complex(round(v.real, 6), round(v.imag, 6)) for v in z)
             observed.add(rounded)
             assert homotopy.target_residual(path.final_point) < 1e-10
@@ -166,7 +166,7 @@ class TestQuadraticHomotopy:
         fleet = homotopy.track_fleet(tol=1e-8, order=8, max_steps=48)
         assert fleet.reached_count == 2
         roots = sorted(
-            extract_complex([float(v) for v in path.final_point])[0].imag
+            float(extract_complex(path.final_point)[0].imag)
             for path in fleet.paths
         )
         assert roots == pytest.approx([-1.0, 1.0], abs=1e-8)
