@@ -1,0 +1,76 @@
+"""Telemetry on a tracked fleet: observe-only overhead + the artifact.
+
+Runs the cyclic-2 total-degree fleet twice — recording OFF, then ON —
+and checks the observe-only contract end to end: identical step
+records either way, bounded wall-clock overhead, and a complete
+telemetry artifact out the other side:
+
+* ``telemetry_cyclic2_fleet.jsonl`` in the results directory (uploaded
+  by the CI ``perf-smoke`` job next to the ``BENCH_*.json`` files);
+* a ``telemetry`` metrics summary (counters + stage p50/p90/p99)
+  inside the ``BENCH_obs.json`` entry itself;
+* a populated predicted-vs-measured table — every profiled span
+  aligned with the analytic cost of the kernel launches it traced.
+"""
+
+from __future__ import annotations
+
+import time
+
+import harness
+from repro.obs import predicted_vs_measured, recording, write_jsonl
+from repro.poly import Homotopy, cyclic
+
+TRACK = dict(tol=1e-6, order=8, max_steps=64, precision_ladder=(1, 2, 4))
+
+#: Generous ceiling on recording-ON wall clock relative to OFF; the
+#: measured overhead is a few percent, the cap only catches a recorder
+#: accidentally placed on a hot inner loop.
+OVERHEAD_CAP = 2.0
+
+
+def test_recorded_fleet_produces_telemetry_artifact():
+    homotopy = Homotopy.total_degree(cyclic(2), seed=7)
+
+    start = time.perf_counter()
+    baseline = homotopy.track_fleet(**TRACK)
+    off_seconds = time.perf_counter() - start
+
+    with recording(label="cyclic-2 fleet (perf-smoke)") as recorder:
+        start = time.perf_counter()
+        fleet = homotopy.track_fleet(**TRACK)
+        on_seconds = time.perf_counter() - start
+
+    # -- observe-only: recording changed nothing ----------------------
+    for ref_path, obs_path in zip(baseline.paths, fleet.paths):
+        assert ref_path.steps == obs_path.steps
+        assert ref_path.final_t == obs_path.final_t
+    assert baseline.sub_batches == fleet.sub_batches
+    overhead = on_seconds / off_seconds
+    assert overhead < OVERHEAD_CAP
+
+    # -- the artifact --------------------------------------------------
+    jsonl_path = write_jsonl(
+        recorder, harness.results_dir() / "telemetry_cyclic2_fleet.jsonl"
+    )
+    rows = predicted_vs_measured(recorder)
+    assert rows, "profiled spans must carry predicted and measured ms"
+
+    harness.record(
+        "obs",
+        "cyclic2_fleet_recorded",
+        telemetry=recorder,
+        shape=harness.problem_shape(n=2, degree=2, batch=2, order=TRACK["order"]),
+        off_seconds=off_seconds,
+        on_seconds=on_seconds,
+        overhead_ratio=overhead,
+        overhead_cap=OVERHEAD_CAP,
+        records=len(recorder.records),
+        profiled_spans=len(rows),
+        artifact=jsonl_path.name,
+    )
+    print(
+        f"\ncyclic-2 fleet: OFF {off_seconds:.2f} s, ON {on_seconds:.2f} s "
+        f"({overhead:.2f}x), {len(recorder.records)} records, "
+        f"{len(rows)} profiled span names -> {jsonl_path.name}"
+    )

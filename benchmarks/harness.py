@@ -48,6 +48,7 @@ __all__ = [
     "results_dir",
     "results_path",
     "git_sha",
+    "environment",
     "record",
     "best_seconds",
     "load",
@@ -89,30 +90,66 @@ def git_sha() -> str:
     return sha if out.returncode == 0 and sha else "unknown"
 
 
+def environment() -> dict:
+    """The measurement environment: python, platform, CPU budget.
+
+    Stamped into every suite file by :func:`record` so the artifact
+    history says not only *what* was measured but *where* — a speedup
+    drop on a 2-core CI runner is not a regression against an 8-core
+    baseline.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def load(suite: str) -> dict:
-    """The current contents of a suite file (empty skeleton if absent)."""
+    """The current contents of a suite file (empty skeleton if absent).
+
+    Baselines committed before the environment stamp existed load with
+    ``environment`` backfilled to ``None`` — consumers can rely on the
+    key being present without re-recording history.
+    """
     path = results_path(suite)
+    data = None
     if path.exists():
         try:
-            return json.loads(path.read_text())
+            data = json.loads(path.read_text())
         except json.JSONDecodeError:
             pass
-    return {"suite": suite, "entries": {}}
+    if data is None:
+        data = {"suite": suite, "entries": {}}
+    data.setdefault("environment", None)
+    return data
 
 
-def record(suite: str, entry: str, **fields) -> dict:
+def record(suite: str, entry: str, telemetry=None, **fields) -> dict:
     """Merge one benchmark entry into ``BENCH_<suite>.json``.
 
     ``fields`` should be JSON-serializable measurement data (seconds,
     speedup, floor, flop tallies, launch counts, problem shape...).
-    Returns the entry as written.
+    ``telemetry`` optionally attaches a ``repro.obs`` recording summary
+    (:func:`repro.obs.export.metrics_summary` output, or a live
+    recorder / read-back document, which is summarized here) under the
+    entry's ``telemetry`` key.  Returns the entry as written.
     """
     data = load(suite)
     data["suite"] = suite
     data["git_sha"] = git_sha()
     data["python"] = platform.python_version()
+    data["environment"] = environment()
     data["updated"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     entries = data.setdefault("entries", {})
+    if telemetry is not None:
+        if hasattr(telemetry, "records"):
+            from repro.obs.export import metrics_summary
+
+            telemetry = metrics_summary(telemetry)
+        fields = {**fields, "telemetry": telemetry}
     entries[entry] = fields
     path = results_path(suite)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

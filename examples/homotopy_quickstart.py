@@ -126,6 +126,7 @@ def main(
     solutions = distinct_endpoints(homotopy, fleet.paths)
     print(f"\nReached t = 1: {fleet.reached_count}/{fleet.batch} paths")
     print(f"Distinct solutions found: {solutions}")
+    print(f"Fleet summary: {fleet.summary()}")
     print(f"Lock-step rounds: {fleet.rounds}")
     model = PerformanceModel(fleet.device)
     print(

@@ -99,8 +99,10 @@ def main(tol: float = TOLERANCE, batch: int = THROUGHPUT_BATCH) -> None:
             f"{index:>4d}  {path.step_count:>5d}  {path.escalations:>11d}  "
             f"{ladder:>14s}  {value:>22.15f}  {str(path.reached):>7s}"
         )
+    print(f"\nFleet summary: {fleet.summary()}")
+    print(f"Path 0 summary: {fleet.paths[0].summary()}")
     print(
-        f"\nLock-step rounds: {fleet.rounds} "
+        f"Lock-step rounds: {fleet.rounds} "
         f"(sub-batches regrouped per precision rung per round)"
     )
     print(

@@ -29,6 +29,12 @@ see the subpackages for the full API:
   :func:`~repro.batch.least_squares.batched_least_squares`,
   :func:`~repro.batch.pade.batched_pade` and
   :func:`~repro.batch.fleet.track_paths`
+* :mod:`repro.obs` — structured run telemetry: off-by-default span/event
+  recording across the whole tracking stack, wall-clock profiling hooks
+  aligned with the analytic cost model, JSONL export and run reports;
+  lazily exported here as :class:`~repro.obs.events.Recorder`,
+  :func:`~repro.obs.events.recording` and
+  :func:`~repro.obs.events.get_recorder`
 * :mod:`repro.poly` — polynomial systems and homotopies as first-class
   tracker inputs: monomial supports with shared-monomial vectorized
   evaluation/differentiation, realified total-degree homotopies with
@@ -95,6 +101,9 @@ def __getattr__(name):
         "katsura": ("repro.poly", "katsura"),
         "cyclic": ("repro.poly", "cyclic"),
         "noon": ("repro.poly", "noon"),
+        "Recorder": ("repro.obs", "Recorder"),
+        "recording": ("repro.obs", "recording"),
+        "get_recorder": ("repro.obs", "get_recorder"),
     }
     if name in lazy:
         import importlib

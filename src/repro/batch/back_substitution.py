@@ -29,6 +29,7 @@ from ..core.back_substitution import (
 )
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import batched as vb
 from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
@@ -100,6 +101,7 @@ def batched_invert_upper_triangular(tiles_batch):
     return inverse
 
 
+@profiled("batched_back_substitution", trace_of=lambda result: result.trace)
 def batched_back_substitution(
     matrices, rhs, tile_size, device="V100", trace=None
 ) -> BatchedBackSubstitutionResult:

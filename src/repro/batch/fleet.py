@@ -48,6 +48,9 @@ from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
+from ..obs.events import get_recorder
+from ..obs.log import get_logger
+from ..obs.profile import attach_trace
 from ..series.complexvec import (
     ComplexTruncatedSeries,
     ComplexVectorSeries,
@@ -81,6 +84,8 @@ from .qr import batched_blocked_qr
 from .tracing import add_batched_launch
 
 __all__ = ["PathFleetResult", "track_paths"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -133,6 +138,21 @@ class PathFleetResult:
         if self.fleet_model_ms <= 0.0:
             return float("inf") if self.total_model_ms > 0.0 else 1.0
         return self.total_model_ms / self.fleet_model_ms
+
+    def summary(self) -> str:
+        """One human-readable line describing how the fleet run went."""
+        precisions = []
+        for _, name, _ in self.sub_batches:
+            if name not in precisions:
+                precisions.append(name)
+        ladder = " -> ".join(precisions) if precisions else "-"
+        failed = f", {self.failed_count} failed" if self.failed_count else ""
+        return (
+            f"{self.reached_count}/{self.batch} paths reached t = 1{failed}: "
+            f"{self.rounds} rounds / {len(self.sub_batches)} sub-batches "
+            f"(precision {ladder}, {self.escalations} escalations, "
+            f"{self.batching_speedup:.2f}x from batching on {self.device})"
+        )
 
 
 @dataclass
@@ -325,37 +345,58 @@ def track_paths(
         if not (state.t_current < t_end - 1e-14 and max_steps > 0):
             _finalize(state, fleet.paths[index], t_end)
 
-    while any(state.active for state in states):
-        fleet.rounds += 1
-        groups = {}
-        for state in states:
-            if state.active:
-                groups.setdefault(state.rung, []).append(state)
-        for rung in sorted(groups):
-            _advance_sub_batch(
-                fleet,
-                groups[rung],
-                system,
-                jacobian,
-                n=n,
-                order=order,
-                tol=tol,
-                ladder=ladder,
-                rung=rung,
-                numerator_degree=numerator_degree,
-                denominator_degree=denominator_degree,
-                min_step=min_step,
-                max_steps=max_steps,
-                t_end=t_end,
-                tile_size=tile_size,
-                bs_tile_size=bs_tile_size,
-                correct=correct,
-                pole_safety=pole_safety,
-                complex_data=complex_data,
-                device=device,
-                model=model,
-                path_step_trace=path_step_trace,
-                path_fleet_trace=path_fleet_trace,
+    recorder = get_recorder()
+    with recorder.span(
+        "track_paths",
+        category="run",
+        batch=len(starts),
+        dimension=n,
+        t_end=float(t_end),
+        order=order,
+        tol=tol,
+        device=str(device),
+    ) as run_span:
+        while any(state.active for state in states):
+            fleet.rounds += 1
+            groups = {}
+            for state in states:
+                if state.active:
+                    groups.setdefault(state.rung, []).append(state)
+            for rung in sorted(groups):
+                _advance_sub_batch(
+                    fleet,
+                    groups[rung],
+                    system,
+                    jacobian,
+                    n=n,
+                    order=order,
+                    tol=tol,
+                    ladder=ladder,
+                    rung=rung,
+                    numerator_degree=numerator_degree,
+                    denominator_degree=denominator_degree,
+                    min_step=min_step,
+                    max_steps=max_steps,
+                    t_end=t_end,
+                    tile_size=tile_size,
+                    bs_tile_size=bs_tile_size,
+                    correct=correct,
+                    pole_safety=pole_safety,
+                    complex_data=complex_data,
+                    device=device,
+                    model=model,
+                    path_step_trace=path_step_trace,
+                    path_fleet_trace=path_fleet_trace,
+                )
+        if run_span:
+            run_span.set(
+                rounds=fleet.rounds,
+                sub_batches=len(fleet.sub_batches),
+                reached=fleet.reached_count,
+                failed=fleet.failed_count,
+                escalations=fleet.escalations,
+                fleet_model_ms=fleet.fleet_model_ms,
+                batching_speedup=fleet.batching_speedup,
             )
     return fleet
 
@@ -395,6 +436,15 @@ def _advance_sub_batch(
     fleet.sub_batches.append(
         (fleet.rounds, prec.name, tuple(state.index for state in batch_states))
     )
+    recorder = get_recorder()
+    recorder.event(
+        "sub_batch",
+        category="step",
+        round=fleet.rounds,
+        precision=prec.name,
+        paths=[state.index for state in batch_states],
+    )
+    recorder.count("sub_batches")
 
     # ------------------------------------------------------------------
     # batched series Newton expansion (newton_series, fleet-wide)
@@ -424,7 +474,12 @@ def _advance_sub_batch(
     for p, state in enumerate(batch_states):
         solution.set_heads(p, state.heads, limbs)
 
-    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+    with recorder.span(
+        "fleet_expansion",
+        round=fleet.rounds,
+        precision=prec.name,
+        batch=batch,
+    ) as expansion_span, np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         qr = batched_blocked_qr(
             vb.stack(head_matrices), qr_tile, device=device, trace=round_trace
         )
@@ -469,6 +524,7 @@ def _advance_sub_batch(
             device=device,
             trace=round_trace,
         )
+    attach_trace(expansion_span, round_trace)
     fleet.round_traces.append(round_trace)
     fleet_timed = model.attribute(
         path_fleet_trace(
@@ -519,6 +575,17 @@ def _advance_sub_batch(
             result.total_model_ms += state.step_model_ms
             state.active = False
             _finalize(state, result, t_end)
+            recorder.event(
+                "path_failed",
+                category="path",
+                path=state.index,
+                round=fleet.rounds,
+                precision=prec.name,
+                t=state.t_current,
+                reason=result.failure,
+            )
+            recorder.count("path_failures")
+            _log.warning("path %d failed: %s", state.index, result.failure)
             continue
 
         expansion_vector = solution.path_vector(p)
@@ -544,9 +611,42 @@ def _advance_sub_batch(
         if (clean and converged) or rung == len(ladder) - 1:
             accepted.append((state, approximants, h, truncation, noise))
         else:
+            reason = "precision_noise" if not clean else "truncation_stalled"
+            recorder.event(
+                "step_rejected",
+                category="step",
+                path=state.index,
+                round=fleet.rounds,
+                t=state.t_current,
+                step=h,
+                precision=prec.name,
+                truncation_error=truncation,
+                precision_noise=noise,
+                reason=reason,
+            )
+            recorder.count("steps_rejected")
             state.rung += 1
             state.step_escalations += 1
             next_name = get_precision(ladder[state.rung]).name
+            recorder.event(
+                "escalation",
+                category="step",
+                path=state.index,
+                round=fleet.rounds,
+                t=state.t_current,
+                from_precision=prec.name,
+                to_precision=next_name,
+                reason=reason,
+            )
+            recorder.count("escalations")
+            _log.warning(
+                "path %d precision escalation at t = %.6g: %s -> %s (%s)",
+                state.index,
+                state.t_current,
+                prec.name,
+                next_name,
+                reason,
+            )
             if next_name not in state.precisions_used:
                 state.precisions_used.append(next_name)
 
@@ -591,6 +691,22 @@ def _advance_sub_batch(
         )
         result.escalations += state.step_escalations
         result.total_model_ms += state.step_model_ms
+        if recorder:
+            recorder.event(
+                "step",
+                category="step",
+                path=state.index,
+                round=fleet.rounds,
+                t=state.t_current,
+                step=h,
+                precision=prec.name,
+                truncation_error=truncation,
+                precision_noise=noise,
+                escalations=state.step_escalations,
+                model_ms=state.step_model_ms,
+                pole_radius=min(a.pole_radius() for a in approximants),
+            )
+            recorder.count("steps")
         state.heads = new_heads
         state.t_current = t_next
         state.trial_step = 2.0 * h  # gentle growth for the next trial
@@ -599,6 +715,25 @@ def _advance_sub_batch(
         if not (state.t_current < t_end - 1e-14 and len(result.steps) < max_steps):
             state.active = False
             _finalize(state, result, t_end)
+            recorder.event(
+                "path_retired",
+                category="path",
+                path=state.index,
+                round=fleet.rounds,
+                precision=prec.name,
+                t=result.final_t,
+                reached=result.reached,
+                steps=result.step_count,
+                escalations=result.escalations,
+            )
+            if not result.reached:
+                _log.warning(
+                    "path %d stopped at t = %.6g after %d steps (budget %d)",
+                    state.index,
+                    result.final_t,
+                    result.step_count,
+                    max_steps,
+                )
 
 
 def _batched_newton_correct(

@@ -19,6 +19,7 @@ from ..core import stages
 from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import batched as vb
 from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
@@ -59,6 +60,10 @@ class BatchedLeastSquaresResult:
         return finite_mask(self.x, axis=(0, 2))
 
 
+@profiled(
+    "batched_lstsq",
+    trace_of=lambda result: (result.qr_trace, result.bs_trace),
+)
 def batched_least_squares(
     matrices, rhs, tile_size=None, bs_tile_size=None, device="V100"
 ) -> BatchedLeastSquaresResult:

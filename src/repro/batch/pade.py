@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.least_squares import resolve_tile_sizes
 from ..md.constants import get_precision
+from ..obs.profile import profiled
 from ..series.complexvec import ComplexTruncatedSeries
 from ..series.pade import PadeApproximant
 from ..series.truncated import TruncatedSeries
@@ -45,6 +46,7 @@ def _gather_batch(array, indices):
     return map_planes(array, lambda data: _gather_batched(data, indices).data)
 
 
+@profiled("batched_pade")
 def batched_pade(
     series_batch,
     numerator_degree=None,

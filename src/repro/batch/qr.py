@@ -32,6 +32,7 @@ import numpy as np
 from ..core import stages
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import batched as vb
 from ..vec.complexmd import MDComplexArray, finite_mask
 from ..vec.mdarray import MDArray
@@ -75,6 +76,7 @@ class BatchedQRResult:
         )
 
 
+@profiled("batched_qr", trace_of=lambda result: result.trace)
 def batched_blocked_qr(matrices, tile_size, device="V100", trace=None) -> BatchedQRResult:
     """Factor ``A_i = Q_i R_i`` for a ``(b, rows, cols)`` batch.
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
 from . import stages
@@ -79,6 +80,7 @@ class BackSubstitutionResult:
         return self.tile_size * self.tiles
 
 
+@profiled("tiled_back_substitution", trace_of=lambda result: result.trace)
 def tiled_back_substitution(matrix, rhs, tile_size, device="V100", trace=None):
     """Solve the upper triangular system ``U x = b`` with Algorithm 1.
 

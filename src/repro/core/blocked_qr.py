@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
@@ -49,6 +50,7 @@ class QRResult:
         return self.R.shape
 
 
+@profiled("blocked_qr", trace_of=lambda result: result.trace)
 def blocked_qr(matrix, tile_size, device="V100", trace=None):
     """Factor ``A = Q R`` with the blocked accelerated Householder QR.
 

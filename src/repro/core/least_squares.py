@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray
 from .back_substitution import tiled_back_substitution
@@ -49,6 +50,7 @@ class LeastSquaresResult:
         return linalg.residual_norm(matrix, self.x, rhs)
 
 
+@profiled("lstsq", trace_of=lambda result: (result.qr_trace, result.bs_trace))
 def lstsq(matrix, rhs, tile_size=None, bs_tile_size=None, device="V100"):
     """Solve ``min_x ||b - A x||`` in multiple double precision.
 

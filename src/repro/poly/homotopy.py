@@ -604,8 +604,15 @@ class Homotopy:
         :func:`repro.series.tracker.track_path`; ``start`` defaults to
         the first seeded start solution (realified, or a complex
         ``n``-point which is embedded automatically)."""
+        from ..obs.events import get_recorder
         from ..series.tracker import track_path
 
+        get_recorder().event(
+            "homotopy_track",
+            backend=self._backend,
+            dimension=self._dimension,
+            tracking_dimension=self.tracking_dimension,
+        )
         return track_path(self, self.jacobian, self._resolve_start(start), **kwargs)
 
     def track_fleet(self, starts=None, **kwargs):
@@ -613,11 +620,19 @@ class Homotopy:
         :func:`repro.batch.fleet.track_paths`; ``starts`` defaults to
         every seeded start solution."""
         from ..batch.fleet import track_paths
+        from ..obs.events import get_recorder
 
         if starts is None:
             starts = self.start_solutions()
         else:
             starts = [self._resolve_start(point) for point in starts]
+        get_recorder().event(
+            "homotopy_track_fleet",
+            backend=self._backend,
+            dimension=self._dimension,
+            tracking_dimension=self.tracking_dimension,
+            paths=len(starts),
+        )
         return track_paths(self, self.jacobian, starts, **kwargs)
 
     def _resolve_start(self, start):

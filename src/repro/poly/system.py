@@ -52,9 +52,12 @@ from fractions import Fraction
 
 import numpy as np
 
+from ..gpu.kernel import KernelTrace
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
 from ..md.opcounts import polynomial_counts
+from ..obs.events import get_recorder
+from ..obs.profile import attach_trace, profiled
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray, map_planes
 from ..vec.mdarray import MDArray
@@ -453,6 +456,7 @@ class PolynomialSystem:
         gathered = table[:, self._product_exponents, np.arange(self._variables)]
         return MDArray(gathered).prod(axis=1)
 
+    @profiled("poly_eval")
     def evaluate(self, x, precision=None, *, trace=None, device="V100") -> MDArray:
         """Evaluate every equation at a point, shape ``(equations,)``.
 
@@ -487,6 +491,7 @@ class PolynomialSystem:
         weighted = coefficients * gathered
         return weighted.sum(axis=1)
 
+    @profiled("poly_jacobian")
     def jacobian_matrix(
         self, x, precision=None, *, trace=None, device="V100"
     ) -> MDArray:
@@ -513,6 +518,7 @@ class PolynomialSystem:
         weighted = jac_coefficients * gathered
         return weighted.sum(axis=2)
 
+    @profiled("poly_eval_jacobian")
     def evaluate_with_jacobian(
         self, x, precision=None, *, trace=None, device="V100"
     ) -> tuple:
@@ -592,6 +598,26 @@ class PolynomialSystem:
         return linalg.cauchy_product_reduce(MDArray(gathered))
 
     def evaluate_series(self, x, *, trace=None, device="V100"):
+        """Telemetry shim over :meth:`_evaluate_series_impl`.
+
+        With a recorder active, the evaluation runs under a
+        ``poly_eval_series`` stage span; when the caller shares no
+        trace, a probe :class:`~repro.gpu.kernel.KernelTrace` is
+        recorded into so the span still carries the analytic kernel
+        cost of the pass (the probe never leaves this frame, and the
+        arithmetic is identical either way).
+        """
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._evaluate_series_impl(x, trace=trace, device=device)
+        probe = trace if trace is not None else KernelTrace(device, label="poly series evaluation")
+        already = len(probe.launches) if trace is not None else 0
+        with recorder.span("poly_eval_series") as span:
+            result = self._evaluate_series_impl(x, trace=probe, device=device)
+            attach_trace(span, probe, start=already)
+        return result
+
+    def _evaluate_series_impl(self, x, *, trace=None, device="V100"):
         """Evaluate on a system of truncated power series.
 
         ``x`` is a :class:`~repro.series.vector.VectorSeries` (or a

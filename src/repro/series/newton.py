@@ -53,6 +53,7 @@ from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
 from ..md.opcounts import series_newton_orders
+from ..obs.profile import profiled
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
@@ -228,6 +229,7 @@ def _residual_column(residuals, k: int):
     return MDArray(-data)
 
 
+@profiled("newton_series", trace_of=lambda result: result.trace)
 def newton_series(
     system,
     jacobian=None,
@@ -378,6 +380,7 @@ def newton_series(
     )
 
 
+@profiled("newton_series_quadratic", trace_of=lambda result: result.trace)
 def newton_series_quadratic(
     system,
     jacobian_series,

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..core.least_squares import lstsq
 from ..md.constants import Precision, get_precision
+from ..obs.profile import profiled
 from ..md.number import MultiDouble
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray, map_planes
@@ -241,6 +242,7 @@ def _gather(array, indices):
     return map_planes(array, lambda data: _gather_coefficients(data, indices).data)
 
 
+@profiled("pade", trace_of=lambda result: result.trace)
 def pade(
     series,
     numerator_degree=None,

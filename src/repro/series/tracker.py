@@ -39,6 +39,8 @@ import numpy as np
 from ..core.least_squares import lstsq
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
+from ..obs.events import get_recorder
+from ..obs.log import get_logger
 from .complexvec import (
     ComplexTruncatedSeries,
     coerce_scalar,
@@ -58,6 +60,8 @@ from .pade import pade
 from .truncated import TruncatedSeries
 
 __all__ = ["PathStep", "PathResult", "track_path", "track_paths"]
+
+_log = get_logger(__name__)
 
 
 def __getattr__(name):
@@ -167,6 +171,18 @@ class PathResult:
     @property
     def final_precision(self) -> str:
         return self.steps[-1].precision if self.steps else ""
+
+    def summary(self) -> str:
+        """One human-readable line describing how the tracking went."""
+        if self.failed:
+            return f"FAILED at t = {self.final_t:.6g}: {self.failure}"
+        status = "reached" if self.reached else "stopped at"
+        ladder = " -> ".join(self.precisions_used) if self.precisions_used else "-"
+        return (
+            f"{status} t = {self.final_t:.6g} in {self.step_count} steps "
+            f"({self.escalations} escalations, precision {ladder}, "
+            f"predicted {self.total_model_ms:.3f} ms on {self.device})"
+        )
 
 
 def _newton_correct(system, jacobian, heads, t_value, prec, tile_size, device, iterations=2):
@@ -300,105 +316,173 @@ def track_path(
     t_current = float(t_start)
     trial_step = float(initial_step) if initial_step else None
 
-    while t_current < t_end - 1e-14 and len(result.steps) < max_steps:
-        remaining = t_end - t_current
-        step_escalations = 0
-        step_model_ms = 0.0
+    recorder = get_recorder()
+    with recorder.span(
+        "track_path",
+        category="path",
+        t_start=t_current,
+        t_end=float(t_end),
+        order=order,
+        tol=tol,
+        device=str(device),
+    ) as path_span:
+        while t_current < t_end - 1e-14 and len(result.steps) < max_steps:
+            remaining = t_end - t_current
+            step_escalations = 0
+            step_model_ms = 0.0
 
-        while True:
-            prec = get_precision(ladder[rung])
-            heads = [coerce_scalar(h, prec) for h in heads]
+            with recorder.span("step", category="step", t=t_current) as step_span:
+                while True:
+                    prec = get_precision(ladder[rung])
+                    heads = [coerce_scalar(h, prec) for h in heads]
 
-            def local_system(x, s, _t0=t_current, _prec=prec):
-                shifted = TruncatedSeries.variable(s.order, _prec, head=_t0)
-                return system(x, shifted)
+                    def local_system(x, s, _t0=t_current, _prec=prec):
+                        shifted = TruncatedSeries.variable(s.order, _prec, head=_t0)
+                        return system(x, shifted)
 
-            expansion = newton_series(
-                local_system,
-                lambda x0, _t0=t_current: jacobian(x0, _t0),
-                heads,
-                order,
-                prec,
-                tile_size=tile_size,
-                device=device,
-            )
-            approximants = [
-                pade(s, numerator_degree, denominator_degree, device=device)
-                for s in expansion.series
-            ]
-            timed = model.attribute(
-                path_step_trace(
-                    n,
-                    order,
-                    prec.limbs,
-                    tile_size=tile_size,
-                    numerator_degree=numerator_degree,
-                    denominator_degree=denominator_degree,
-                    device=device,
-                    complex_data=complex_data,
+                    expansion = newton_series(
+                        local_system,
+                        lambda x0, _t0=t_current: jacobian(x0, _t0),
+                        heads,
+                        order,
+                        prec,
+                        tile_size=tile_size,
+                        device=device,
+                    )
+                    approximants = [
+                        pade(s, numerator_degree, denominator_degree, device=device)
+                        for s in expansion.series
+                    ]
+                    timed = model.attribute(
+                        path_step_trace(
+                            n,
+                            order,
+                            prec.limbs,
+                            tile_size=tile_size,
+                            numerator_degree=numerator_degree,
+                            denominator_degree=denominator_degree,
+                            device=device,
+                            complex_data=complex_data,
+                        )
+                    )
+                    step_model_ms += timed.kernel_ms
+
+                    # step control on the Padé truncation estimate; the pole
+                    # cap uses the closest denominator root (pole_radius), not
+                    # the Cauchy bound, so one ill-conditioned component cannot
+                    # freeze the step at min_step — shrunk by the pole_safety
+                    # fraction so the step never lands on the pole itself
+                    h = min(remaining, trial_step) if trial_step else remaining
+                    h = _pole_step_cap(h, approximants, pole_safety)
+                    h = min(remaining, max(h, min_step))
+                    truncation = max(a.error_estimate(h) for a in approximants)
+                    while truncation > _BUDGET_SPLIT * tol and h > min_step:
+                        h = max(h / 2.0, min_step)
+                        truncation = max(a.error_estimate(h) for a in approximants)
+
+                    # precision control on the coefficient-condition estimate,
+                    # computed on the expansion's limb-major coefficient array
+                    # for the whole system at once (one Horner sweep, reused)
+                    values = evaluation_magnitudes(expansion.vector.evaluate(h))
+                    conditions = expansion.vector.coefficient_condition(h, values=values)
+                    noise = prec.eps * float(
+                        np.max(conditions * np.maximum(values, 1.0))
+                    )
+                    converged = truncation <= _BUDGET_SPLIT * tol
+                    clean = noise <= _BUDGET_SPLIT * tol
+                    if (clean and converged) or rung == len(ladder) - 1:
+                        break
+                    reason = "precision_noise" if not clean else "truncation_stalled"
+                    recorder.event(
+                        "step_rejected",
+                        category="step",
+                        t=t_current,
+                        step=h,
+                        precision=prec.name,
+                        truncation_error=truncation,
+                        precision_noise=noise,
+                        reason=reason,
+                    )
+                    recorder.count("steps_rejected")
+                    rung += 1
+                    step_escalations += 1
+                    next_name = get_precision(ladder[rung]).name
+                    recorder.event(
+                        "escalation",
+                        category="step",
+                        t=t_current,
+                        from_precision=prec.name,
+                        to_precision=next_name,
+                        reason=reason,
+                    )
+                    recorder.count("escalations")
+                    _log.warning(
+                        "precision escalation at t = %.6g: %s -> %s (%s)",
+                        t_current,
+                        prec.name,
+                        next_name,
+                        reason,
+                    )
+                    if next_name not in precisions_used:
+                        precisions_used.append(next_name)
+
+                # advance to the predicted point
+                new_heads = [a.evaluate(h) for a in approximants]
+                t_next = t_current + h
+                if correct:
+                    new_heads = _newton_correct(
+                        system, jacobian, new_heads, t_next, prec, tile_size, device
+                    )
+                result.steps.append(
+                    PathStep(
+                        t=t_current,
+                        step=h,
+                        precision=prec.name,
+                        limbs=prec.limbs,
+                        truncation_error=truncation,
+                        precision_noise=noise,
+                        escalations=step_escalations,
+                        model_ms=step_model_ms,
+                        point=tuple(leading_value(value) for value in new_heads),
+                    )
                 )
-            )
-            step_model_ms += timed.kernel_ms
+                result.escalations += step_escalations
+                result.total_model_ms += step_model_ms
+                if step_span:
+                    step_span.set(
+                        t=t_current,
+                        step=h,
+                        precision=prec.name,
+                        truncation_error=truncation,
+                        precision_noise=noise,
+                        escalations=step_escalations,
+                        model_ms=step_model_ms,
+                        pole_radius=min(a.pole_radius() for a in approximants),
+                    )
+                    recorder.count("steps")
+                heads = new_heads
+                t_current = t_next
+                trial_step = 2.0 * h  # gentle growth for the next trial
 
-            # step control on the Padé truncation estimate; the pole
-            # cap uses the closest denominator root (pole_radius), not
-            # the Cauchy bound, so one ill-conditioned component cannot
-            # freeze the step at min_step — shrunk by the pole_safety
-            # fraction so the step never lands on the pole itself
-            h = min(remaining, trial_step) if trial_step else remaining
-            h = _pole_step_cap(h, approximants, pole_safety)
-            h = min(remaining, max(h, min_step))
-            truncation = max(a.error_estimate(h) for a in approximants)
-            while truncation > _BUDGET_SPLIT * tol and h > min_step:
-                h = max(h / 2.0, min_step)
-                truncation = max(a.error_estimate(h) for a in approximants)
-
-            # precision control on the coefficient-condition estimate,
-            # computed on the expansion's limb-major coefficient array
-            # for the whole system at once (one Horner sweep, reused)
-            values = evaluation_magnitudes(expansion.vector.evaluate(h))
-            conditions = expansion.vector.coefficient_condition(h, values=values)
-            noise = prec.eps * float(
-                np.max(conditions * np.maximum(values, 1.0))
+        result.final_point = list(heads)
+        result.final_t = t_current
+        result.reached = t_current >= t_end - 1e-14
+        result.precisions_used = tuple(precisions_used)
+        if path_span:
+            path_span.set(
+                reached=result.reached,
+                steps=result.step_count,
+                escalations=result.escalations,
+                final_t=result.final_t,
+                final_precision=result.final_precision,
+                precisions=list(result.precisions_used),
+                model_ms=result.total_model_ms,
             )
-            converged = truncation <= _BUDGET_SPLIT * tol
-            clean = noise <= _BUDGET_SPLIT * tol
-            if (clean and converged) or rung == len(ladder) - 1:
-                break
-            rung += 1
-            step_escalations += 1
-            next_name = get_precision(ladder[rung]).name
-            if next_name not in precisions_used:
-                precisions_used.append(next_name)
-
-        # advance to the predicted point
-        new_heads = [a.evaluate(h) for a in approximants]
-        t_next = t_current + h
-        if correct:
-            new_heads = _newton_correct(
-                system, jacobian, new_heads, t_next, prec, tile_size, device
+        if not result.reached:
+            _log.warning(
+                "path stopped at t = %.6g after %d steps (budget %d)",
+                result.final_t,
+                result.step_count,
+                max_steps,
             )
-        result.steps.append(
-            PathStep(
-                t=t_current,
-                step=h,
-                precision=prec.name,
-                limbs=prec.limbs,
-                truncation_error=truncation,
-                precision_noise=noise,
-                escalations=step_escalations,
-                model_ms=step_model_ms,
-                point=tuple(leading_value(value) for value in new_heads),
-            )
-        )
-        result.escalations += step_escalations
-        result.total_model_ms += step_model_ms
-        heads = new_heads
-        t_current = t_next
-        trial_step = 2.0 * h  # gentle growth for the next trial
-
-    result.final_point = list(heads)
-    result.final_t = t_current
-    result.reached = t_current >= t_end - 1e-14
-    result.precisions_used = tuple(precisions_used)
     return result

@@ -115,6 +115,8 @@ def test_path_fleet_quickstart(capsys):
     assert "Fleet of 2 paths" in out
     assert "Lock-step rounds" in out
     assert "bit-identical" in out
+    assert "Fleet summary: 2/2 paths reached t = 1" in out
+    assert "Path 0 summary: reached t = 1" in out
     # both branches of the homotopy reach t = 1 at this tolerance
     assert out.count("True") == 2
 
@@ -132,6 +134,7 @@ def test_homotopy_quickstart(capsys):
     assert "total degree 2" in out
     assert "Reached t = 1: 2/2 paths" in out
     assert "Distinct solutions found: 2" in out
+    assert "Fleet summary: 2/2 paths reached t = 1" in out
     assert "1d -> 2d" in out  # at least one path escalates d -> dd
     assert "x from batching" in out
 

@@ -1,0 +1,220 @@
+"""Recorder semantics: nesting, thread-safety, the null fast path."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    recording,
+    set_default_recorder,
+)
+from repro.obs.events import _CURRENT_SPAN
+
+
+class TestRecorderBasics:
+    def test_disabled_by_default(self):
+        recorder = get_recorder()
+        assert isinstance(recorder, NullRecorder)
+        assert not recorder.enabled
+        assert not recorder
+
+    def test_span_records_duration_and_fields(self):
+        recorder = Recorder()
+        with recorder.span("stage_a", limbs=2) as span:
+            span.set(rows=8)
+        (record,) = recorder.records
+        assert record.kind == "span"
+        assert record.name == "stage_a"
+        assert record.category == "stage"
+        assert record.measured_ms is not None and record.measured_ms >= 0.0
+        assert record.fields == {"limbs": 2, "rows": 8}
+
+    def test_span_feeds_histogram_of_its_name(self):
+        recorder = Recorder()
+        with recorder.span("stage_a"):
+            pass
+        with recorder.span("stage_a"):
+            pass
+        assert len(recorder.histograms["stage_a"]) == 2
+
+    def test_event_and_counters(self):
+        recorder = Recorder()
+        recorder.event("escalation", category="step", reason="precision_noise")
+        recorder.count("escalations")
+        recorder.count("escalations", 2)
+        (record,) = recorder.records
+        assert record.kind == "event"
+        assert record.measured_ms is None
+        assert record.fields["reason"] == "precision_noise"
+        assert recorder.counters == {"escalations": 3}
+
+    def test_fields_sanitized_at_record_time(self):
+        import numpy as np
+
+        recorder = Recorder()
+        recorder.event("e", paths=(0, 1), value=np.float64(1.5), flag=np.bool_(True))
+        fields = recorder.records[0].fields
+        assert fields["paths"] == [0, 1]
+        assert type(fields["value"]) is float
+        assert type(fields["flag"]) is bool
+
+    def test_set_after_close_is_allowed(self):
+        recorder = Recorder()
+        with recorder.span("stage_a") as span:
+            pass
+        span.set(predicted_ms=1.25)
+        assert recorder.records[0].fields == {"predicted_ms": 1.25}
+
+    def test_queries(self):
+        recorder = Recorder()
+        with recorder.span("path", category="path"):
+            recorder.event("step", category="step")
+        assert len(recorder.spans()) == 1
+        assert len(recorder.spans("path", "path")) == 1
+        assert recorder.spans("other") == []
+        assert len(recorder.events("step")) == 1
+
+    def test_clear(self):
+        recorder = Recorder()
+        with recorder.span("a"):
+            recorder.count("c")
+        recorder.clear()
+        assert recorder.records == []
+        assert recorder.counters == {}
+        assert recorder.histograms == {}
+
+
+class TestNesting:
+    def test_parent_ids_follow_the_span_stack(self):
+        recorder = Recorder()
+        with recorder.span("run", category="run"):
+            with recorder.span("path", category="path"):
+                recorder.event("step", category="step")
+            with recorder.span("path", category="path"):
+                pass
+        run, path1, step, path2 = recorder.records
+        assert run.parent_id is None
+        assert path1.parent_id == run.record_id
+        assert step.parent_id == path1.record_id
+        assert path2.parent_id == run.record_id
+
+    def test_stack_unwinds_on_exceptions(self):
+        recorder = Recorder()
+        with pytest.raises(RuntimeError):
+            with recorder.span("outer"):
+                raise RuntimeError("boom")
+        assert _CURRENT_SPAN.get() is None
+        # the span still closed with a measured duration
+        assert recorder.records[0].measured_ms is not None
+
+
+class TestScoping:
+    def test_recording_scope_installs_and_restores(self):
+        assert isinstance(get_recorder(), NullRecorder)
+        with recording() as rec:
+            assert get_recorder() is rec
+            assert rec.enabled
+        assert isinstance(get_recorder(), NullRecorder)
+
+    def test_recording_accepts_an_existing_recorder(self):
+        mine = Recorder(label="mine")
+        with recording(mine) as rec:
+            assert rec is mine
+
+    def test_set_default_recorder_returns_previous(self):
+        rec = Recorder()
+        previous = set_default_recorder(rec)
+        try:
+            assert previous is NULL_RECORDER
+            assert get_recorder() is rec
+        finally:
+            set_default_recorder(previous)
+        assert isinstance(get_recorder(), NullRecorder)
+
+    def test_scope_wins_over_default(self):
+        default = Recorder(label="default")
+        scoped = Recorder(label="scoped")
+        previous = set_default_recorder(default)
+        try:
+            with recording(scoped):
+                assert get_recorder() is scoped
+            assert get_recorder() is default
+        finally:
+            set_default_recorder(previous)
+
+
+class TestThreadSafety:
+    def test_threads_nest_independently_into_one_recorder(self):
+        """Each thread builds its own correctly-parented span chain; the
+        shared recorder sees every record exactly once."""
+        recorder = Recorder()
+        previous = set_default_recorder(recorder)
+        errors = []
+
+        def work(tag):
+            try:
+                rec = get_recorder()
+                for i in range(25):
+                    with rec.span(f"outer_{tag}") as outer:
+                        assert outer is not None
+                        with rec.span(f"inner_{tag}"):
+                            rec.count(f"count_{tag}")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=work, args=(tag,)) for tag in ("a", "b", "c")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            set_default_recorder(previous)
+
+        assert errors == []
+        assert len(recorder.records) == 3 * 2 * 25
+        assert recorder.counters == {"count_a": 25, "count_b": 25, "count_c": 25}
+        # record ids are unique and every inner span parents to an outer
+        # span of its own thread
+        ids = [record.record_id for record in recorder.records]
+        assert len(set(ids)) == len(ids)
+        by_id = {record.record_id: record for record in recorder.records}
+        for record in recorder.records:
+            if record.name.startswith("inner_"):
+                parent = by_id[record.parent_id]
+                assert parent.name == "outer_" + record.name.split("_")[1]
+
+
+class TestNullFastPath:
+    def test_null_recorder_is_a_no_op(self):
+        null = NULL_RECORDER
+        with null.span("anything", limbs=8) as span:
+            assert span is None
+        assert null.event("e") is None
+        null.count("c")
+        null.observe("h", 1.0)
+        assert len(null) == 0
+        assert null.spans() == [] and null.events() == []
+
+    def test_disabled_span_overhead_is_negligible(self):
+        """The off-by-default contract: one disabled instrumentation
+        point costs on the order of a microsecond, i.e. it vanishes
+        next to any kernel call it wraps."""
+        recorder = get_recorder()
+        assert not recorder.enabled
+        n = 10_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with recorder.span("stage"):
+                pass
+        per_span = (time.perf_counter() - start) / n
+        assert per_span < 50e-6

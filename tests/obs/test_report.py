@@ -1,0 +1,113 @@
+"""Run-report rendering over synthetic and recorded telemetry."""
+
+from __future__ import annotations
+
+from repro.obs import Recorder, read_jsonl, write_jsonl
+from repro.obs.report import (
+    fleet_rounds,
+    path_timeline,
+    predicted_vs_measured_table,
+    render_run_report,
+    top_stages,
+)
+
+
+def make_fleet_recording() -> Recorder:
+    recorder = Recorder(label="synthetic fleet")
+    with recorder.span("track_paths", category="run", batch=2):
+        recorder.event("sub_batch", category="step", round=1, precision="1d", paths=[0, 1])
+        with recorder.span("fleet_expansion", round=1, precision="1d") as span:
+            span.set(predicted_ms=0.125, launches=12, device="V100")
+        recorder.event(
+            "step",
+            category="step",
+            path=0,
+            t=0.0,
+            step=0.25,
+            precision="1d",
+            truncation_error=1e-9,
+            precision_noise=1e-16,
+            model_ms=0.5,
+        )
+        recorder.event(
+            "step_rejected",
+            category="step",
+            path=1,
+            t=0.0,
+            step=0.25,
+            precision="1d",
+            reason="precision_noise",
+        )
+        recorder.event(
+            "path_retired", category="path", path=0, round=3, precision="1d",
+            t=1.0, reached=True,
+        )
+        recorder.event(
+            "path_failed", category="path", path=1, round=3, precision="2d",
+            t=0.5, reason="singular batched linear solve",
+        )
+    return recorder
+
+
+class TestTimeline:
+    def test_accepted_and_rejected_rows(self):
+        text = path_timeline(make_fleet_recording())
+        assert "accepted" in text
+        assert "rejected" in text
+        assert "precision_noise" in text
+
+    def test_path_filter(self):
+        text = path_timeline(make_fleet_recording(), path=0)
+        assert "accepted" in text
+        # the rejected row belongs to path 1 and is filtered out
+        assert "precision_noise" not in text
+        assert "path 0" in text
+
+
+class TestFleetRounds:
+    def test_sub_batches_retirements_failures(self):
+        text = fleet_rounds(make_fleet_recording())
+        assert "advance" in text
+        assert "retired" in text
+        assert "FAILED" in text
+        assert "0,1" in text
+
+
+class TestStageTables:
+    def test_top_stages_sorted_by_measured(self):
+        recorder = Recorder()
+        with recorder.span("cheap"):
+            pass
+        with recorder.span("expensive"):
+            for _ in range(20000):
+                pass
+        text = top_stages(recorder, k=1)
+        assert "Top 1 stages" in text
+        assert "expensive" in text
+
+    def test_predicted_vs_measured_table(self):
+        text = predicted_vs_measured_table(make_fleet_recording())
+        assert "fleet_expansion" in text
+        assert "ratio" in text
+
+
+class TestRunReport:
+    def test_renders_every_section(self):
+        recorder = make_fleet_recording()
+        recorder.count("steps")
+        text = render_run_report(recorder)
+        assert "Run report" in text
+        assert "synthetic fleet" in text
+        assert "Counters" in text
+        assert "Path timeline" in text
+        assert "Fleet rounds" in text
+        assert "Predicted (cost model) vs measured" in text
+
+    def test_renders_from_a_jsonl_document(self, tmp_path):
+        recorder = make_fleet_recording()
+        document = read_jsonl(write_jsonl(recorder, tmp_path / "run.jsonl"))
+        assert render_run_report(document) == render_run_report(recorder)
+
+    def test_empty_recording_renders(self):
+        text = render_run_report(Recorder())
+        assert "Records: 0" in text
