@@ -5,6 +5,14 @@ paper's dimensions), these benchmarks genuinely execute the vectorized
 limb-major arithmetic, so they measure this library's host-side
 throughput and verify that the relative cost of the precisions follows
 the operation counts.
+
+Measurements go through the shared :mod:`harness` into
+``BENCH_kernels.json`` (suite ``kernels``) — the same committed,
+git-SHA-stamped record the floor benchmarks use — so the per-precision
+throughput of the real kernels is tracked across PRs instead of living
+only in transient pytest-benchmark output.  The ``environment`` block
+of the file names the active :mod:`repro.exec` backend the numbers
+were measured under.
 """
 
 from __future__ import annotations
@@ -12,50 +20,74 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import harness
 from repro.core import blocked_qr, lstsq, tiled_back_substitution
 from repro.vec import linalg
 from repro.vec import random as mdrandom
 
 
+def _record(entry, seconds, **shape):
+    harness.record(
+        "kernels",
+        entry,
+        shape=harness.problem_shape(**shape),
+        seconds=seconds,
+    )
+
+
 @pytest.mark.parametrize("limbs,dim", [(2, 48), (4, 24), (8, 12)])
-def test_real_matmul(benchmark, limbs, dim):
+def test_real_matmul(limbs, dim):
     rng = np.random.default_rng(7)
     a = mdrandom.random_matrix(dim, dim, limbs, rng)
     b = mdrandom.random_matrix(dim, dim, limbs, rng)
-    result = benchmark(lambda: linalg.matmul(a, b))
+    result = linalg.matmul(a, b)
     assert result.shape == (dim, dim)
+    seconds = harness.best_seconds(lambda: linalg.matmul(a, b), repeats=3)
+    _record(f"matmul_{limbs}d_n{dim}", seconds, n=dim, limbs=limbs)
 
 
 @pytest.mark.parametrize("limbs,dim", [(2, 128), (4, 64), (8, 32)])
-def test_real_matvec(benchmark, limbs, dim):
+def test_real_matvec(limbs, dim):
     rng = np.random.default_rng(8)
     a = mdrandom.random_matrix(dim, dim, limbs, rng)
     x = mdrandom.random_vector(dim, limbs, rng)
-    result = benchmark(lambda: linalg.matvec(a, x))
+    result = linalg.matvec(a, x)
     assert result.shape == (dim,)
+    seconds = harness.best_seconds(lambda: linalg.matvec(a, x), repeats=3)
+    _record(f"matvec_{limbs}d_n{dim}", seconds, n=dim, limbs=limbs)
 
 
 @pytest.mark.parametrize("limbs,dim,tile", [(2, 48, 12), (4, 24, 6)])
-def test_real_blocked_qr(benchmark, limbs, dim, tile):
+def test_real_blocked_qr(limbs, dim, tile):
     rng = np.random.default_rng(9)
     a = mdrandom.random_matrix(dim, dim, limbs, rng)
-    result = benchmark.pedantic(lambda: blocked_qr(a, tile), rounds=1, iterations=1)
+    seconds = harness.best_seconds(lambda: blocked_qr(a, tile), repeats=1)
+    result = blocked_qr(a, tile)
     orth = linalg.matmul(linalg.conjugate_transpose(result.Q), result.Q)
     assert np.max(np.abs(orth.to_double() - np.eye(dim))) < dim * 2.0 ** (-48 * limbs)
+    _record(f"blocked_qr_{limbs}d_n{dim}", seconds, n=dim, limbs=limbs, tile=tile)
 
 
 @pytest.mark.parametrize("limbs,dim,tile", [(2, 96, 16), (4, 48, 12)])
-def test_real_back_substitution(benchmark, limbs, dim, tile):
+def test_real_back_substitution(limbs, dim, tile):
     rng = np.random.default_rng(10)
     u = mdrandom.random_well_conditioned_upper_triangular(dim, limbs, rng)
     b = mdrandom.random_vector(dim, limbs, rng)
-    result = benchmark.pedantic(lambda: tiled_back_substitution(u, b, tile), rounds=1, iterations=1)
+    seconds = harness.best_seconds(
+        lambda: tiled_back_substitution(u, b, tile), repeats=1
+    )
+    result = tiled_back_substitution(u, b, tile)
     assert linalg.residual_norm(u, result.x, b) < dim * 2.0 ** (-48 * limbs)
+    _record(
+        f"back_substitution_{limbs}d_n{dim}", seconds, n=dim, limbs=limbs, tile=tile
+    )
 
 
 @pytest.mark.parametrize("limbs,dim,tile", [(2, 40, 10), (4, 24, 6)])
-def test_real_least_squares(benchmark, limbs, dim, tile):
+def test_real_least_squares(limbs, dim, tile):
     rng = np.random.default_rng(11)
     a, b = mdrandom.random_lstsq_problem(dim, dim, limbs, rng)
-    result = benchmark.pedantic(lambda: lstsq(a, b, tile_size=tile), rounds=1, iterations=1)
+    seconds = harness.best_seconds(lambda: lstsq(a, b, tile_size=tile), repeats=1)
+    result = lstsq(a, b, tile_size=tile)
     assert result.residual_norm(a, b) < dim * 2.0 ** (-48 * limbs)
+    _record(f"lstsq_{limbs}d_n{dim}", seconds, n=dim, limbs=limbs, tile=tile)

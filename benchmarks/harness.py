@@ -96,14 +96,25 @@ def environment() -> dict:
     Stamped into every suite file by :func:`record` so the artifact
     history says not only *what* was measured but *where* — a speedup
     drop on a 2-core CI runner is not a regression against an 8-core
-    baseline.
+    baseline.  ``exec_backend`` names the active
+    :mod:`repro.exec` execution backend (``REPRO_EXEC_BACKEND``);
+    baselines recorded before the key existed — or whole
+    ``environment`` blocks recorded as ``None`` — stay readable, so
+    consumers must treat a missing key as "generic, pre-backend".
     """
+    try:
+        from repro.exec import get_backend
+
+        exec_backend = get_backend().name
+    except Exception:  # repro not importable from this interpreter
+        exec_backend = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
+        "exec_backend": exec_backend,
     }
 
 

@@ -101,6 +101,10 @@ def __getattr__(name):
         "katsura": ("repro.poly", "katsura"),
         "cyclic": ("repro.poly", "cyclic"),
         "noon": ("repro.poly", "noon"),
+        "ExecutionBackend": ("repro.exec", "ExecutionBackend"),
+        "get_backend": ("repro.exec", "get_backend"),
+        "set_backend": ("repro.exec", "set_backend"),
+        "use_backend": ("repro.exec", "use_backend"),
         "Recorder": ("repro.obs", "Recorder"),
         "recording": ("repro.obs", "recording"),
         "get_recorder": ("repro.obs", "get_recorder"),

@@ -1,0 +1,52 @@
+"""repro.exec — pluggable execution backends under the limb kernels.
+
+The backend boundary between the multiple double *algorithms*
+(:mod:`repro.md`, :mod:`repro.vec` and everything above them) and the
+array *execution* strategy.  See :mod:`repro.exec.backend` for the
+contract, :mod:`repro.exec.generic` for the reference implementation
+and :mod:`repro.exec.fused` for the fused NumPy kernels.
+
+Quickstart::
+
+    from repro.exec import set_backend, use_backend
+
+    set_backend("fused")            # process-wide
+    with use_backend("generic"):    # scoped
+        ...
+
+    # or per process, before the first operation:
+    #   REPRO_EXEC_BACKEND=fused python ...
+
+Both backends produce bitwise identical results; ``fused`` is the fast
+one.  ``register_backend`` accepts new factories (e.g. a
+``FusedBackend(xp=cupy)``) for array modules that turn the simulated
+kernel launches into real device launches.
+"""
+
+from __future__ import annotations
+
+from .arena import ScratchArena  # noqa: F401
+from .backend import (  # noqa: F401
+    ENV_VAR,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
+from .fused import FusedBackend  # noqa: F401
+from .generic import GenericBackend  # noqa: F401
+
+__all__ = [
+    "ENV_VAR",
+    "ExecutionBackend",
+    "FusedBackend",
+    "GenericBackend",
+    "ScratchArena",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]

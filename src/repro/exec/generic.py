@@ -1,0 +1,64 @@
+"""The reference execution backend: limb-tuple generic arithmetic.
+
+This backend reproduces — call for call — what ``MDArray._apply`` did
+before the backend boundary existed: unpack the limb-major stack into a
+tuple of limb views, run the expansion arithmetic of
+:mod:`repro.md.generic` (every EFT step a separate NumPy micro-op with a
+fresh temporary), then broadcast and restack the resulting limbs.  It is
+the semantics oracle: the fused backend must match it bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md import generic as mdgeneric
+from .backend import ExecutionBackend
+
+__all__ = ["GenericBackend"]
+
+
+def _limb_tuple(data):
+    return tuple(data[k] for k in range(data.shape[0]))
+
+
+class GenericBackend(ExecutionBackend):
+    """Current behavior: per-EFT micro-ops through ``repro.md.generic``."""
+
+    name = "generic"
+
+    def _pack(self, limbs):
+        return np.stack(np.broadcast_arrays(*limbs), axis=0)
+
+    def add(self, x, y, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.add(_limb_tuple(x), _limb_tuple(y), m))
+
+    def sub(self, x, y, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.sub(_limb_tuple(x), _limb_tuple(y), m))
+
+    def mul(self, x, y, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.mul(_limb_tuple(x), _limb_tuple(y), m))
+
+    def div(self, x, y, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.div(_limb_tuple(x), _limb_tuple(y), m))
+
+    def sqr(self, x, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.sqr(_limb_tuple(x), m))
+
+    def fma(self, x, y, z, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(
+            mdgeneric.fma(_limb_tuple(x), _limb_tuple(y), _limb_tuple(z), m)
+        )
+
+    def sqrt(self, x, m=None):
+        m = x.shape[0] if m is None else m
+        return self._pack(mdgeneric.sqrt(_limb_tuple(x), m))
+
+    def renormalize(self, limbs, m):
+        return self._pack(mdgeneric.renormalize(list(limbs), m))

@@ -4,13 +4,22 @@
   dimensions (exactly matching the numeric drivers' traces).
 * :mod:`repro.perf.model` — the kernel/wall time model for the
   simulated devices.
+* :mod:`repro.perf.attribution` — per-kernel occupancy/roofline
+  rollups of launch traces (including the shared-monomial
+  ``power_table``/``power_products``/``term_reduce`` kernels).
 * :mod:`repro.perf.experiments` — one driver per table and figure of
   the paper's evaluation section.
 * :mod:`repro.perf.report` — plain-text rendering of the results.
 * :mod:`repro.perf.paper_data` — the paper's reference numbers.
 """
 
-from . import costmodel, experiments, model, paper_data, report
+from . import attribution, costmodel, experiments, model, paper_data, report
+from .attribution import (
+    MONOMIAL_KERNELS,
+    KernelAttribution,
+    launch_attribution,
+    monomial_kernel_attribution,
+)
 from .costmodel import (
     back_substitution_trace,
     lstsq_trace,
@@ -26,6 +35,7 @@ from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .model import DEFAULT_ILP, PerformanceModel, TimedRun
 
 __all__ = [
+    "attribution",
     "costmodel",
     "experiments",
     "model",
@@ -40,6 +50,10 @@ __all__ = [
     "pade_trace",
     "path_step_trace",
     "polynomial_evaluation_trace",
+    "KernelAttribution",
+    "MONOMIAL_KERNELS",
+    "launch_attribution",
+    "monomial_kernel_attribution",
     "PerformanceModel",
     "TimedRun",
     "DEFAULT_ILP",

@@ -1,0 +1,169 @@
+"""Per-kernel occupancy/roofline attribution of launch traces.
+
+:class:`~repro.perf.model.PerformanceModel` assigns a time to every
+launch of a :class:`~repro.gpu.kernel.KernelTrace`; this module rolls
+those launches up **per kernel name** and annotates each kernel with
+the quantities that explain its time: the occupancy of its launch
+configuration, its arithmetic intensity, the roofline ceiling at that
+intensity, and whether the kernel sits left (memory bound) or right
+(compute bound) of the device's ridge point.
+
+The same attribution that PR 3 gave the QR/back-substitution kernels
+(Tables 9 and 10) is extended here to the shared-monomial polynomial
+kernels of :mod:`repro.poly` — ``power_table``, ``power_products`` and
+the ``term_scale``/``term_reduce`` (and ``jacobian_*``) stages of
+:func:`repro.perf.costmodel.polynomial_evaluation_trace` — so a
+recorded evaluation/Jacobian trace answers *why* a stage costs what it
+costs: the power table is a handful of tiny memory-bound launches, the
+product tree's occupancy grows with ``products``, and the term
+reductions drop toward launch-overhead dominance as the tree narrows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.occupancy import LaunchConfiguration, occupancy
+from ..gpu.roofline import attainable_gflops, is_compute_bound
+from .model import PerformanceModel
+
+__all__ = [
+    "KernelAttribution",
+    "MONOMIAL_KERNELS",
+    "launch_attribution",
+    "monomial_kernel_attribution",
+]
+
+#: The kernel names of one shared-monomial evaluation + Jacobian pass,
+#: in launch order (:func:`~repro.perf.costmodel.polynomial_evaluation_trace`).
+MONOMIAL_KERNELS = (
+    "power_table",
+    "power_products",
+    "term_scale",
+    "term_reduce",
+    "jacobian_scale",
+    "jacobian_reduce",
+)
+
+
+@dataclass(frozen=True)
+class KernelAttribution:
+    """The rolled-up cost picture of one kernel name within a trace."""
+
+    kernel: str
+    launches: int
+    limbs: int
+    blocks: int  # of the widest launch
+    threads_per_block: int
+    occupancy: float  # launch-weighted mean multiprocessor utilisation
+    flops: float
+    bytes: float
+    intensity: float  # flops per byte over all launches
+    roofline_gflops: float  # ceiling at that intensity
+    model_gflops: float  # what the calibrated model says is attainable
+    predicted_ms: float
+    share: float  # fraction of the trace's total kernel time
+    compute_bound: bool
+
+    @property
+    def fraction_of_roof(self) -> float:
+        """Model-attainable rate as a fraction of the roofline ceiling."""
+        if self.roofline_gflops <= 0:
+            return 0.0
+        return self.model_gflops / self.roofline_gflops
+
+
+def launch_attribution(trace, *, model=None, kernels=None):
+    """Attribute a trace's kernel time per kernel name.
+
+    ``model`` defaults to a :class:`PerformanceModel` on the trace's
+    device; ``kernels`` optionally restricts (and orders) the rows —
+    names absent from the trace are skipped.  Returns a list of
+    :class:`KernelAttribution`, by default in order of first launch.
+    """
+    if model is None:
+        model = PerformanceModel(trace.device.name)
+    device = model.device
+
+    groups: dict = {}
+    order: list = []
+    total_ms = 0.0
+    for launch in trace.launches:
+        elapsed = model.kernel_time_ms(launch)
+        total_ms += elapsed
+        if launch.name not in groups:
+            groups[launch.name] = []
+            order.append(launch.name)
+        groups[launch.name].append((launch, elapsed))
+
+    if kernels is not None:
+        order = [name for name in kernels if name in groups]
+
+    rows = []
+    for name in order:
+        launches = groups[name]
+        flops = sum(launch.flops(model.flop_source) for launch, _ in launches)
+        nbytes = sum(launch.bytes_total for launch, _ in launches)
+        predicted_ms = sum(elapsed for _, elapsed in launches)
+        util = sum(
+            occupancy(
+                LaunchConfiguration(launch.blocks, launch.threads_per_block),
+                device,
+            )
+            for launch, _ in launches
+        ) / len(launches)
+        widest = max(launches, key=lambda pair: pair[0].blocks)[0]
+        intensity = flops / nbytes if nbytes > 0 else float("inf")
+        rows.append(
+            KernelAttribution(
+                kernel=name,
+                launches=len(launches),
+                limbs=widest.limbs,
+                blocks=widest.blocks,
+                threads_per_block=widest.threads_per_block,
+                occupancy=util,
+                flops=flops,
+                bytes=nbytes,
+                intensity=intensity,
+                roofline_gflops=attainable_gflops(intensity, device),
+                model_gflops=model.attainable_gflops(widest),
+                predicted_ms=predicted_ms,
+                share=predicted_ms / total_ms if total_ms > 0 else 0.0,
+                compute_bound=is_compute_bound(intensity, device),
+            )
+        )
+    return rows
+
+
+def monomial_kernel_attribution(
+    system,
+    limbs,
+    *,
+    order=0,
+    jacobian=True,
+    device="V100",
+    complex_data=False,
+    model=None,
+):
+    """Occupancy/roofline attribution of one shared-monomial pass.
+
+    Builds the analytic launch trace of ``system.evaluate`` (plus the
+    Jacobian assembly when ``jacobian`` is true) — the exact launches
+    the numeric driver records — and attributes it per kernel.  Rows
+    come back in :data:`MONOMIAL_KERNELS` order; kernels a particular
+    system never launches (e.g. ``power_table`` for a linear system)
+    are simply absent.
+    """
+    from ..gpu.kernel import KernelTrace
+
+    trace = KernelTrace(device, label=f"monomial attribution limbs={limbs}")
+    system._record_trace(
+        trace,
+        limbs,
+        device,
+        evaluate=True,
+        jacobian=jacobian,
+        order=order,
+        complex_data=complex_data,
+    )
+    return launch_attribution(trace, model=model, kernels=MONOMIAL_KERNELS)

@@ -10,8 +10,11 @@ one CUDA launch) advances all ``b`` problems at once.
 
 Bit-identity contract
 ---------------------
-Every batched kernel reuses the *same* generic limb arithmetic
-(:mod:`repro.md.generic`, broadcast over the batch axis) and the *same*
+Every batched kernel reuses the *same* limb arithmetic (the active
+:mod:`repro.exec` execution backend, broadcast over the batch axis —
+the ``generic`` reference delegates to :mod:`repro.md.generic`, the
+``fused`` backend runs the identical float sequence through its
+scratch arena) and the *same*
 zero-padded pairwise reduction trees (:meth:`MDArray.sum
 <repro.vec.mdarray.MDArray.sum>`) as its unbatched counterpart in
 :mod:`repro.vec.linalg`, reducing along the same element axes.  The

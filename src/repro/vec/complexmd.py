@@ -5,6 +5,12 @@ separate arrays (each itself in limb-major layout); complex arithmetic
 then costs roughly four times the real arithmetic, which is the factor
 observed in Table 5.  :class:`MDComplexArray` follows the same
 separated storage.
+
+All real-part/imaginary-part arithmetic routes through the component
+:class:`MDArray` operations and therefore through the active
+:mod:`repro.exec` execution backend — swapping ``generic`` for
+``fused`` (or a CuPy-module backend) accelerates the complex kernels
+with no changes here, and the results stay bitwise identical.
 """
 
 from __future__ import annotations

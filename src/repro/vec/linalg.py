@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..exec.backend import get_backend
 from .complexmd import MDComplexArray, combine_product_grid
 from .mdarray import MDArray, pairwise_reduce
 
@@ -258,11 +259,9 @@ def cauchy_product(a, b, order=None):
     # one vectorized multiplication over the full product grid
     products = MDArray(adata[..., :, None]) * MDArray(bdata[..., None, :])
     # gather onto anti-diagonals: diagonals[..., i, k] = a_i * b_{k-i}
-    rows = np.arange(terms)[:, None]
-    cols = np.arange(terms)[None, :] - rows
-    valid = cols >= 0
-    gathered = products.data[..., rows, np.where(valid, cols, 0)]
-    diagonals = MDArray(np.where(valid, gathered, 0.0))
+    # (backend hook: generic recomputes the index grids per call, fused
+    # caches them per size — the gathered values are identical)
+    diagonals = MDArray(get_backend().gather_antidiagonals(products.data, terms))
     # pairwise reduction over the i axis, one output coefficient per k
     return diagonals.sum(axis=diagonals.ndim - 2)
 

@@ -7,18 +7,25 @@ that layout: the underlying storage is one NumPy array of shape
 ``(m,) + shape`` whose slice ``data[k]`` holds the ``k``-th most
 significant limb of every element.
 
-All element-wise arithmetic is delegated to the generic expansion
-arithmetic of :mod:`repro.md.generic`, called with tuples of NumPy
-array limbs; NumPy broadcasting then vectorizes the operation over the
-whole array, which is this library's stand-in for a CUDA kernel
-executing one multiple double operation per thread.
+All element-wise arithmetic funnels through the active
+:class:`repro.exec.ExecutionBackend` (:func:`repro.exec.get_backend`),
+which operates directly on the limb-major storage.  The ``generic``
+backend delegates to the expansion arithmetic of
+:mod:`repro.md.generic` with tuples of NumPy array limbs — one NumPy
+micro-op per EFT step; the ``fused`` backend executes the exact same
+float operation sequence as fused whole-array kernels over a scratch
+arena, bit-identical by construction.  Either way NumPy broadcasting
+vectorizes each operation over the whole array, which is this
+library's stand-in for a CUDA kernel executing one multiple double
+operation per thread — and the backend boundary is where a CuPy/JAX
+array module plugs in to make those launches real.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..md import generic
+from ..exec.backend import get_backend
 from ..md.constants import get_precision
 from ..md.number import MultiDouble
 
@@ -46,15 +53,12 @@ def pairwise_reduce(data, axis, combine, pad):
     one copy of the tree shape is part of that contract.
     """
     work = data
+    backend = get_backend()
     while work.shape[axis] > 1:
-        n = work.shape[axis]
-        half = (n + 1) // 2
-        first = np.take(work, np.arange(0, half), axis=axis)
-        second = np.take(work, np.arange(half, n), axis=axis)
-        if n % 2 == 1:
-            pad_shape = list(first.shape)
-            pad_shape[axis] = 1
-            second = np.concatenate([second, pad(pad_shape)], axis=axis)
+        # how the halves are materialized for the combine launch is a
+        # backend decision (generic: np.take copies; fused: views) —
+        # the tree shape and the combined values are not
+        first, second = backend.split_reduction_operands(work, axis, pad)
         work = combine(first, second)
     return np.squeeze(work, axis=axis)
 
@@ -173,8 +177,7 @@ class MDArray:
             return self.copy()
         if m_new < m_old:
             # renormalize so the dropped limbs are correctly rounded away
-            out = generic.renormalize(list(self.limb_views()), m_new)
-            return MDArray.from_limbs(out)
+            return MDArray(get_backend().renormalize(self.limb_views(), m_new))
         data = np.zeros((m_new, *self.shape), dtype=np.float64)
         data[:m_old] = self.data
         return MDArray(data)
@@ -269,21 +272,21 @@ class MDArray:
             return MDArray.from_double(np.broadcast_to(np.asarray(other, dtype=np.float64), self.shape).copy(), self.limbs)
         return NotImplemented
 
-    def _apply(self, op, other) -> "MDArray":
+    def _apply(self, op_name, other) -> "MDArray":
         other = self._coerce(other)
         if other is NotImplemented:
             return NotImplemented
-        result = op(self.limb_views(), other.limb_views(), self.limbs)
-        return MDArray.from_limbs(np.broadcast_arrays(*result))
+        op = getattr(get_backend(), op_name)
+        return MDArray(op(self.data, other.data, self.limbs))
 
     def __add__(self, other):
-        return self._apply(generic.add, other)
+        return self._apply("add", other)
 
     def __radd__(self, other):
-        return self._apply(generic.add, other)
+        return self._apply("add", other)
 
     def __sub__(self, other):
-        return self._apply(generic.sub, other)
+        return self._apply("sub", other)
 
     def __rsub__(self, other):
         coerced = self._coerce(other)
@@ -292,13 +295,13 @@ class MDArray:
         return coerced - self
 
     def __mul__(self, other):
-        return self._apply(generic.mul, other)
+        return self._apply("mul", other)
 
     def __rmul__(self, other):
-        return self._apply(generic.mul, other)
+        return self._apply("mul", other)
 
     def __truediv__(self, other):
-        return self._apply(generic.div, other)
+        return self._apply("div", other)
 
     def __rtruediv__(self, other):
         coerced = self._coerce(other)
@@ -320,13 +323,11 @@ class MDArray:
         """Element-wise ``self * other + addend`` (one final rounding)."""
         other = self._coerce(other)
         addend = self._coerce(addend)
-        result = generic.fma(self.limb_views(), other.limb_views(), addend.limb_views(), self.limbs)
-        return MDArray.from_limbs(np.broadcast_arrays(*result))
+        return MDArray(get_backend().fma(self.data, other.data, addend.data, self.limbs))
 
     def sqrt(self) -> "MDArray":
         """Element-wise square root."""
-        result = generic.sqrt(self.limb_views(), self.limbs)
-        return MDArray.from_limbs(np.broadcast_arrays(*result))
+        return MDArray(get_backend().sqrt(self.data, self.limbs))
 
     def abs(self) -> "MDArray":
         """Element-wise absolute value (sign taken from the leading limb)."""
@@ -351,12 +352,11 @@ class MDArray:
             flat = self.reshape(self.size)
             return flat.sum(axis=0)
         ax = axis % self.ndim + 1  # element axis i is storage axis i+1
+        backend = get_backend()
+        m = self.limbs
 
         def combine(first, second):
-            a = tuple(first[k] for k in range(self.limbs))
-            b = tuple(second[k] for k in range(self.limbs))
-            result = generic.add(a, b, self.limbs)
-            return np.stack(np.broadcast_arrays(*result), axis=0)
+            return backend.add(first, second, m)
 
         return MDArray(pairwise_reduce(self.data, ax, combine, np.zeros))
 
@@ -375,12 +375,11 @@ class MDArray:
             flat = self.reshape(self.size)
             return flat.prod(axis=0)
         ax = axis % self.ndim + 1  # element axis i is storage axis i+1
+        backend = get_backend()
+        m = self.limbs
 
         def combine(first, second):
-            a = tuple(first[k] for k in range(self.limbs))
-            b = tuple(second[k] for k in range(self.limbs))
-            result = generic.mul(a, b, self.limbs)
-            return np.stack(np.broadcast_arrays(*result), axis=0)
+            return backend.mul(first, second, m)
 
         def one_pad(shape):
             pad = np.zeros(shape)

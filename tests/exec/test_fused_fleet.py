@@ -1,0 +1,108 @@
+"""End-to-end backend-swap contracts on a tracked complex fleet.
+
+Two acceptance properties of the execution-backend boundary:
+
+* a cyclic-3 dd complex fleet tracked under the ``fused`` backend is
+  **bit-identical** to the ``generic`` run — endpoints, step records,
+  regrouping history, and the launch sequences of every round;
+* the ``@profiled`` span names are part of the observability contract:
+  swapping the backend changes *no* span name, and
+  ``predicted_vs_measured`` on a recorded fused run has every profiled
+  stage populated with both milliseconds columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import use_backend
+from repro.obs import predicted_vs_measured, recording
+from repro.poly import Homotopy, cyclic
+
+FLEET_KWARGS = dict(tol=1e-8, order=8, max_steps=3, precision_ladder=(2,))
+
+#: The profiled span names of one tracked fleet — pinned: a backend
+#: swap (or any other execution change) must not rename them, or the
+#: telemetry history across PRs stops lining up.
+PINNED_SPANS = {
+    "track_paths",
+    "fleet_expansion",
+    "batched_qr",
+    "batched_back_substitution",
+    "batched_lstsq",
+    "batched_pade",
+    "poly_eval_series",
+}
+
+
+def launch_names(trace):
+    return [launch.name for launch in trace.launches]
+
+
+@pytest.fixture(scope="module")
+def homotopy():
+    return Homotopy.total_degree(cyclic(3), seed=7, backend="complex")
+
+
+@pytest.fixture(scope="module")
+def runs(homotopy):
+    with use_backend("generic"):
+        with recording(label="generic fleet") as generic_recorder:
+            generic_fleet = homotopy.track_fleet(**FLEET_KWARGS)
+    with use_backend("fused"):
+        with recording(label="fused fleet") as fused_recorder:
+            fused_fleet = homotopy.track_fleet(**FLEET_KWARGS)
+    return generic_fleet, fused_fleet, generic_recorder, fused_recorder
+
+
+def test_fleet_endpoints_and_steps_identical(runs):
+    generic_fleet, fused_fleet, _, _ = runs
+    assert generic_fleet.batch == fused_fleet.batch
+    for ref_path, fus_path in zip(generic_fleet.paths, fused_fleet.paths):
+        assert ref_path.steps == fus_path.steps
+        assert ref_path.final_t == fus_path.final_t
+        assert ref_path.reached == fus_path.reached
+        assert ref_path.escalations == fus_path.escalations
+        assert ref_path.precisions_used == fus_path.precisions_used
+        assert [complex(v) for v in ref_path.final_point] == [
+            complex(v) for v in fus_path.final_point
+        ]
+
+
+def test_fleet_launch_sequences_identical(runs):
+    generic_fleet, fused_fleet, _, _ = runs
+    assert generic_fleet.sub_batches == fused_fleet.sub_batches
+    assert generic_fleet.fleet_model_ms == fused_fleet.fleet_model_ms
+    assert [launch_names(t) for t in generic_fleet.round_traces] == [
+        launch_names(t) for t in fused_fleet.round_traces
+    ]
+
+
+def test_span_names_stable_across_backend_swap(runs):
+    _, _, generic_recorder, fused_recorder = runs
+    generic_spans = [
+        record.name for record in generic_recorder.records if record.kind == "span"
+    ]
+    fused_spans = [
+        record.name for record in fused_recorder.records if record.kind == "span"
+    ]
+    assert generic_spans == fused_spans
+    assert PINNED_SPANS <= set(generic_spans)
+
+
+def test_predicted_vs_measured_populated_under_fused(runs):
+    _, _, _, fused_recorder = runs
+    rows = predicted_vs_measured(fused_recorder)
+    assert rows, "no profiled spans carried both milliseconds columns"
+    names = {row["span"] for row in rows}
+    assert {
+        "fleet_expansion",
+        "batched_qr",
+        "batched_back_substitution",
+        "batched_lstsq",
+    } <= names
+    for row in rows:
+        assert row["calls"] > 0
+        assert row["measured_ms"] > 0.0
+        assert row["predicted_ms"] > 0.0
+        assert row["launches"] > 0

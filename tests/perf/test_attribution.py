@@ -1,0 +1,87 @@
+"""Per-kernel occupancy/roofline attribution (repro.perf.attribution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import get_device
+from repro.gpu.kernel import KernelTrace
+from repro.perf import (
+    MONOMIAL_KERNELS,
+    PerformanceModel,
+    launch_attribution,
+    monomial_kernel_attribution,
+)
+from repro.perf.costmodel import qr_trace
+from repro.poly import cyclic, katsura
+
+
+def test_launch_attribution_covers_whole_trace():
+    trace = qr_trace(32, 32, 8, 2)
+    rows = launch_attribution(trace)
+    assert rows
+    assert sum(row.launches for row in rows) == len(trace.launches)
+    assert sum(row.share for row in rows) == pytest.approx(1.0)
+    model = PerformanceModel("V100")
+    total_ms = sum(model.kernel_time_ms(launch) for launch in trace.launches)
+    assert sum(row.predicted_ms for row in rows) == pytest.approx(total_ms)
+
+
+def test_launch_attribution_rows_are_consistent():
+    device = get_device("V100")
+    for row in launch_attribution(qr_trace(32, 32, 8, 2)):
+        assert 0.0 < row.occupancy <= 1.0
+        assert row.flops > 0.0
+        assert row.bytes > 0.0
+        assert row.intensity == pytest.approx(row.flops / row.bytes)
+        assert row.compute_bound == (row.intensity >= device.ridge_point)
+        assert 0.0 < row.roofline_gflops <= device.peak_double_gflops
+        assert 0.0 < row.fraction_of_roof
+
+
+def test_launch_attribution_kernel_filter_orders_rows():
+    trace = qr_trace(32, 32, 8, 2)
+    all_names = [row.kernel for row in launch_attribution(trace)]
+    subset = launch_attribution(trace, kernels=tuple(reversed(all_names[:2])))
+    assert [row.kernel for row in subset] == list(reversed(all_names[:2]))
+    # shares stay relative to the whole trace, not the filtered rows
+    assert sum(row.share for row in subset) < 1.0
+
+
+def test_monomial_attribution_names_the_shared_kernels():
+    rows = monomial_kernel_attribution(katsura(8), 2, jacobian=True)
+    names = [row.kernel for row in rows]
+    assert names == list(MONOMIAL_KERNELS)
+    assert sum(row.share for row in rows) == pytest.approx(1.0)
+
+
+def test_monomial_attribution_without_jacobian():
+    rows = monomial_kernel_attribution(katsura(8), 2, jacobian=False)
+    names = {row.kernel for row in rows}
+    assert "term_reduce" in names
+    assert "jacobian_scale" not in names
+    assert "jacobian_reduce" not in names
+
+
+def test_monomial_attribution_matches_recorded_trace():
+    """The analytic trace the attribution builds is the one the numeric
+    evaluator records — kernel for kernel, launch for launch."""
+    system = cyclic(3)
+    from repro.vec import random as mdrandom
+
+    point = mdrandom.random_vector(system.variables, 2)
+    trace = KernelTrace("V100")
+    system.evaluate(point, 2, trace=trace)
+    recorded = launch_attribution(trace, kernels=MONOMIAL_KERNELS)
+    analytic = monomial_kernel_attribution(system, 2, jacobian=False)
+    assert [(r.kernel, r.launches, r.flops, r.bytes) for r in recorded] == [
+        (r.kernel, r.launches, r.flops, r.bytes) for r in analytic
+    ]
+
+
+def test_series_order_scales_the_work():
+    base = monomial_kernel_attribution(katsura(4), 2, order=0)
+    series = monomial_kernel_attribution(katsura(4), 2, order=8)
+    base_flops = {row.kernel: row.flops for row in base}
+    for row in series:
+        assert row.flops > base_flops[row.kernel]
