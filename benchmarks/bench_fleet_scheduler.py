@@ -1,0 +1,182 @@
+"""Continuous vs lockstep fleet scheduling on a straggler fleet.
+
+The continuous scheduler's bargain: identical per-path arithmetic,
+fewer/wider launches, and — because re-packing lets it route a whole
+sub-batch's residual expansion through ``residual_fleet`` — far less
+per-path series work on the host side.  This benchmark pins the
+bargain on the fleet the scheduler was built for: a heterogeneous
+32-path dd fleet with **one od-escalating straggler**.
+
+The fleet tracks the system
+
+* ``x1 = 2 + t + x3``                       (well-scaled, all paths)
+* ``((2-t) x2^2 - (1+t)) (x2 - V - x3) = 0``
+* ``x3 = a sqrt(1 - t/4)``                  (honest series tail)
+
+31 paths start on the benign branch ``x2 = sqrt((1+t)/(2-t))`` and
+crawl forward in dd steps for the whole step budget.  One path starts on
+``x2 = V + x3`` with ``V = 1e43``: its coefficient condition is huge,
+double-double and quad-double noise floors reject every trial step,
+and the path escalates 2d -> 4d -> 8d before covering ``t`` in a
+single od stride and retiring early.  The ``x3`` carrier gives every
+component a genuine square-root tail, so the Pade denominators see the
+true branch point at ``t = 4`` instead of noise poles.
+
+Checked before any timing (identical work, or the timing is vacuous):
+
+* both policies produce **bitwise identical** per-path results —
+  final ``t``, step count, and every limb of every final coordinate;
+* the straggler reaches ``t = 1``, uses exactly ``('2d', '4d', '8d')``,
+  and retires after one od step.
+
+Timing compares full ``track_paths`` runs under each policy on the
+generic execution backend (pinned: the fused backend changes kernel
+cost, not scheduling, and is exercised by its own CI leg), best-of-N
+to shrug off machine noise.  The floor is deliberately below the
+measured ~1.6x so it fails on regression, not on jitter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import harness
+from repro.batch import track_paths
+from repro.exec import use_backend
+from repro.obs import recording
+from repro.poly import PolynomialSystem
+
+#: Minimum continuous-over-lockstep wall-clock ratio (measured ~1.6x).
+FLOOR = 1.3
+
+#: Straggler magnitude: large enough that dd *and* qd noise floors
+#: reject every trial step, forcing the full 2d -> 4d -> 8d ladder.
+V = 1e43
+#: Amplitude of the sqrt tail carried into every component by x3.
+A = 1e-18
+A2 = A * A
+
+BATCH = 32
+TRACK = dict(
+    tol=1e-22,
+    order=8,
+    max_steps=10,
+    precision_ladder=(2, 4, 8),
+    correct=False,
+)
+
+
+def straggler_fleet():
+    """The 32-path fleet: 31 benign dd paths + 1 od straggler."""
+    system = PolynomialSystem(
+        [
+            # x1 - 2 - t - x3 = 0
+            [
+                (1, (1, 0, 0, 0)),
+                (-2, (0, 0, 0, 0)),
+                (-1, (0, 0, 0, 1)),
+                (-1, (0, 0, 1, 0)),
+            ],
+            # ((2-t) x2^2 - (1+t)) * (x2 - V - x3) = 0, expanded
+            [
+                (2, (0, 3, 0, 0)),
+                (-1, (0, 3, 0, 1)),
+                (-2 * V, (0, 2, 0, 0)),
+                (V, (0, 2, 0, 1)),
+                (-2, (0, 2, 1, 0)),
+                (1, (0, 2, 1, 1)),
+                (-1, (0, 1, 0, 0)),
+                (-1, (0, 1, 0, 1)),
+                (V, (0, 0, 0, 0)),
+                (V, (0, 0, 0, 1)),
+                (1, (0, 0, 1, 0)),
+                (1, (0, 0, 1, 1)),
+            ],
+            # x3^2 - a^2 (1 - t/4) = 0
+            [
+                (1, (0, 0, 2, 0)),
+                (-A2, (0, 0, 0, 0)),
+                (A2 / 4, (0, 0, 0, 1)),
+            ],
+        ]
+    )
+    easy = [2.0 + A, math.sqrt(0.5), A]
+    hard = [2.0 + A, V + A, A]
+    starts = [easy] * (BATCH - 1) + [hard]
+    return system, starts
+
+
+def run(policy):
+    system, starts = straggler_fleet()
+    return track_paths(system, starts, policy=policy, **TRACK)
+
+
+def assert_bitwise_identical(lockstep, continuous):
+    """Per-path results must agree limb for limb across policies."""
+    assert lockstep.batch == continuous.batch
+    for ref, obs in zip(lockstep.paths, continuous.paths):
+        assert obs.final_t == ref.final_t
+        assert obs.step_count == ref.step_count
+        assert obs.precisions_used == ref.precisions_used
+        for ref_md, obs_md in zip(ref.final_point, obs.final_point):
+            assert ref_md.limbs == obs_md.limbs
+
+
+def test_continuous_beats_lockstep_on_straggler_fleet():
+    with use_backend("generic"):
+        lockstep = run("lockstep")
+        with recording(label="straggler fleet (perf-smoke)") as recorder:
+            continuous = run("continuous")
+
+        # -- identical arithmetic, different packing -------------------
+        assert_bitwise_identical(lockstep, continuous)
+
+        # -- the straggler story ---------------------------------------
+        straggler = continuous.paths[-1]
+        assert straggler.reached
+        assert straggler.precisions_used == ("2d", "4d", "8d")
+        assert straggler.step_count == 1, "straggler must retire in one od stride"
+        for path in continuous.paths[:-1]:
+            # the benign branch crawls in dd for the whole step budget
+            assert path.precisions_used == ("2d",)
+            assert path.step_count == TRACK["max_steps"]
+
+        # -- timing: best-of-N full runs per policy --------------------
+        lockstep_seconds = harness.best_seconds(lambda: run("lockstep"), repeats=2)
+        continuous_seconds = harness.best_seconds(
+            lambda: run("continuous"), repeats=2
+        )
+    speedup = lockstep_seconds / continuous_seconds
+
+    harness.record(
+        "fleet",
+        "straggler_fleet_b32_dd_od",
+        telemetry=recorder,
+        shape=harness.problem_shape(
+            n=3, degree=3, batch=BATCH, order=TRACK["order"]
+        ),
+        policy_ladder="2d -> 4d -> 8d",
+        lockstep_seconds=lockstep_seconds,
+        continuous_seconds=continuous_seconds,
+        speedup=speedup,
+        floor=FLOOR,
+        lockstep_rounds=lockstep.rounds,
+        continuous_rounds=continuous.rounds,
+        lockstep_sub_batches=len(lockstep.sub_batches),
+        continuous_sub_batches=len(continuous.sub_batches),
+        occupancy=continuous.occupancy,
+        batching_speedup=continuous.batching_speedup,
+        straggler_steps=straggler.step_count,
+        reached=continuous.reached_count,
+    )
+    print(
+        f"\nstraggler fleet b={BATCH}: lockstep {lockstep_seconds:.2f} s, "
+        f"continuous {continuous_seconds:.2f} s ({speedup:.2f}x, floor "
+        f"{FLOOR}x), occupancy {continuous.occupancy:.0%}, "
+        f"{len(continuous.sub_batches)} sub-batches"
+    )
+    print(f"  {continuous.summary()}")
+    assert speedup >= FLOOR, (
+        f"continuous {continuous_seconds:.2f} s vs lockstep "
+        f"{lockstep_seconds:.2f} s: {speedup:.2f}x under the {FLOOR}x floor"
+    )

@@ -1,0 +1,168 @@
+"""Validate committed ``BENCH_*.json`` baselines and police their drift.
+
+Every benchmark suite records its floor-gated measurements through
+``harness.record``, which writes one ``BENCH_<suite>.json`` per suite.
+Those files are committed as the performance baseline of record, and
+CI runs this checker on every push to keep them honest:
+
+**Schema** — each baseline must carry the harness envelope
+(``suite`` matching its filename, ``git_sha``, ``python``,
+``updated``, a non-empty ``entries`` mapping of dict entries).  The
+``environment`` block is newer than the oldest baselines, so it is
+*null-tolerant*: absent is fine, but when present it must be a mapping
+(and ``exec_backend`` inside it may be missing on pre-exec suites).
+
+**Drift** — with ``--diff-range`` the checker asks git which files a
+change touched.  Editing a committed baseline without touching any
+benchmark *code* (a non-baseline file under ``benchmarks/``) is how
+silent goalpost-moving happens, so that combination fails: a baseline
+refresh must ride with the bench change that motivated it.
+
+Usage::
+
+    python benchmarks/check_baselines.py
+    python benchmarks/check_baselines.py --diff-range origin/main...HEAD
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: Top-level keys every baseline must carry (``environment`` is optional).
+REQUIRED_KEYS = ("suite", "git_sha", "python", "updated", "entries")
+
+_BASELINE_RE = re.compile(r"^BENCH_[A-Za-z0-9_]+\.json$")
+
+
+def baseline_paths(bench_dir: Path = BENCH_DIR) -> list[Path]:
+    return sorted(
+        path for path in bench_dir.glob("BENCH_*.json") if _BASELINE_RE.match(path.name)
+    )
+
+
+def validate_baseline(path: Path) -> list[str]:
+    """Return a list of schema problems for one baseline (empty = valid)."""
+    problems: list[str] = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path.name}: top level must be an object"]
+
+    for key in REQUIRED_KEYS:
+        if key not in payload:
+            problems.append(f"{path.name}: missing required key {key!r}")
+    suite = payload.get("suite")
+    expected = path.stem.removeprefix("BENCH_")
+    if isinstance(suite, str) and suite != expected:
+        problems.append(
+            f"{path.name}: suite {suite!r} does not match filename "
+            f"(expected {expected!r})"
+        )
+    for key in ("suite", "git_sha", "python", "updated"):
+        value = payload.get(key)
+        if key in payload and (not isinstance(value, str) or not value):
+            problems.append(f"{path.name}: {key!r} must be a non-empty string")
+
+    entries = payload.get("entries")
+    if "entries" in payload:
+        if not isinstance(entries, dict) or not entries:
+            problems.append(f"{path.name}: 'entries' must be a non-empty object")
+        else:
+            for name, entry in entries.items():
+                if not isinstance(entry, dict):
+                    problems.append(
+                        f"{path.name}: entry {name!r} must be an object"
+                    )
+
+    # environment is null-tolerant: the oldest baselines predate it
+    environment = payload.get("environment")
+    if environment is not None and not isinstance(environment, dict):
+        problems.append(
+            f"{path.name}: 'environment' must be an object when present"
+        )
+    return problems
+
+
+def changed_files(diff_range: str, repo_root: Path) -> list[str]:
+    out = subprocess.run(
+        ["git", "diff", "--name-only", diff_range],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [line.strip() for line in out.stdout.splitlines() if line.strip()]
+
+
+def drift_problems(changed: list[str]) -> list[str]:
+    """Baselines edited without any benchmark-code change in the range."""
+    bench_changes = [name for name in changed if name.startswith("benchmarks/")]
+    touched_baselines = [
+        name for name in bench_changes if _BASELINE_RE.match(Path(name).name)
+    ]
+    code_changes = [name for name in bench_changes if name not in touched_baselines]
+    if touched_baselines and not code_changes:
+        return [
+            f"{name}: baseline changed but no benchmark code changed in the "
+            "same range — refresh baselines together with the bench change "
+            "that motivated them" for name in touched_baselines
+        ]
+    return []
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--diff-range",
+        help="git diff range (e.g. origin/main...HEAD) for the drift check; "
+        "omitted = schema validation only",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=BENCH_DIR,
+        help="directory holding the BENCH_*.json baselines",
+    )
+    args = parser.parse_args(argv)
+
+    paths = baseline_paths(args.bench_dir)
+    if not paths:
+        print(f"no BENCH_*.json baselines under {args.bench_dir}", file=sys.stderr)
+        return 1
+
+    problems: list[str] = []
+    for path in paths:
+        problems.extend(validate_baseline(path))
+
+    if args.diff_range:
+        try:
+            changed = changed_files(args.diff_range, args.bench_dir.parent)
+        except subprocess.CalledProcessError as exc:
+            print(
+                f"git diff {args.diff_range!r} failed: {exc.stderr.strip()}",
+                file=sys.stderr,
+            )
+            return 1
+        problems.extend(drift_problems(changed))
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}", file=sys.stderr)
+        return 1
+    print(f"OK {len(paths)} baselines validated" + (
+        f" (drift-checked against {args.diff_range})" if args.diff_range else ""
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

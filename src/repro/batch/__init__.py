@@ -26,9 +26,15 @@ launch scales linearly — exactly how polynomial-homotopy workloads
 * :mod:`repro.batch.pade` — :func:`~repro.batch.pade.batched_pade`,
   all Hankel systems of a fleet solved in one batched launch sequence;
 * :mod:`repro.batch.fleet` — :func:`~repro.batch.fleet.track_paths`,
-  the path *fleet*: lock-step batched Newton/Padé steps with per-path
-  adaptive d → dd → qd → od escalation handled by regrouping paths
-  into per-precision sub-batches between steps.
+  the path *fleet*: batched Newton/Padé steps with per-path adaptive
+  d → dd → qd → od escalation handled by regrouping paths into
+  per-precision sub-batches between steps;
+* :mod:`repro.batch.scheduler` —
+  :class:`~repro.batch.scheduler.FleetScheduler`, the packing policy
+  behind the regrouping: ``continuous`` (default — re-pack survivors
+  after every sub-batch, retire finished paths from the launches
+  immediately) or ``lockstep`` (the historical round barrier); both
+  yield bitwise-identical per-path results.
 
 The batch-aware analytic accounting lives in
 :func:`repro.perf.costmodel.batched_qr_trace` /
@@ -52,6 +58,7 @@ from .least_squares import (
 )
 from .pade import batched_pade
 from .qr import BatchedQRResult, batched_blocked_qr
+from .scheduler import POLICIES, FleetScheduler
 
 __all__ = [
     "BatchedQRResult",
@@ -63,6 +70,8 @@ __all__ = [
     "batched_least_squares",
     "batched_solve",
     "batched_pade",
+    "FleetScheduler",
+    "POLICIES",
     "PathFleetResult",
     "track_paths",
 ]

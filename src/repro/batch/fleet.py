@@ -1,4 +1,4 @@
-"""Path fleets: many homotopy paths advanced in lock-step batched steps.
+"""Path fleets: many homotopy paths advanced in scheduled batched steps.
 
 This is how the paper's workload is consumed in practice: a polynomial
 homotopy has thousands of solution paths, every one of which needs the
@@ -7,14 +7,26 @@ Hankel solves for the Padé approximants).  :func:`track_paths` runs the
 adaptive-precision tracker of :func:`repro.series.tracker.track_path`
 over a whole *fleet* of start points:
 
-* between steps the active paths are **regrouped into per-precision
-  sub-batches** (paths currently at d, dd, qd, od each form one batch);
-* each sub-batch advances through one lock-step batched step — one
+* between steps a :class:`~repro.batch.scheduler.FleetScheduler`
+  **re-packs the active paths into per-precision sub-batches** (paths
+  currently at d, dd, qd, od each form one batch); under the default
+  ``continuous`` policy the re-pack happens after *every* sub-batch —
+  a path that finishes retires from the launch immediately and an
+  escalated path joins its new rung mates without waiting for a round
+  barrier — while ``policy="lockstep"`` reproduces the historical
+  round-barrier behavior exactly;
+* each sub-batch advances through one batched step — one
   :func:`~repro.batch.qr.batched_blocked_qr` of all Jacobian heads, one
   batched triangular solve per series order, and **one**
   :func:`~repro.batch.pade.batched_pade` construction covering all
   ``batch × dimension`` solution components — so the kernel launch
   count per round is flat in the fleet width;
+* under ``continuous`` packing, systems that expose ``residual_fleet``
+  (:class:`~repro.poly.system.PolynomialSystem`,
+  :class:`~repro.poly.homotopy.Homotopy`) compute each order's
+  residual columns for the whole sub-batch with **one fleet-wide
+  batched series evaluation** over a shared power table, instead of a
+  Python loop of per-path series calls;
 * step control, precision escalation (d → dd → qd → od) and Newton
   correction follow the single-path tracker *per path*, decision for
   decision.
@@ -59,6 +71,7 @@ from ..series.complexvec import (
     leading_value,
 )
 from ..series.newton import (
+    _batched_residual_columns,
     _coerce_jacobian,
     _coerce_residual,
     _coerce_start,
@@ -81,6 +94,7 @@ from .back_substitution import batched_back_substitution
 from .least_squares import batched_least_squares
 from .pade import batched_pade
 from .qr import batched_blocked_qr
+from .scheduler import POLICIES, FleetScheduler
 from .tracing import add_batched_launch
 
 __all__ = ["PathFleetResult", "track_paths"]
@@ -95,8 +109,9 @@ class PathFleetResult:
 
     #: per-path results, in start-point order
     paths: list = field(default_factory=list)
-    #: lock-step rounds executed (each round advances every active
-    #: precision sub-batch once)
+    #: scheduler rounds executed — under ``lockstep`` each round
+    #: advances every active precision sub-batch once behind a barrier;
+    #: under ``continuous`` every sub-batch is its own round
     rounds: int = 0
     #: one ``(round, precision name, path indices)`` record per
     #: sub-batch advanced — the regrouping history
@@ -108,6 +123,9 @@ class PathFleetResult:
     #: execution (one lock-step launch sequence per sub-batch round)
     fleet_model_ms: float = 0.0
     device: str = "V100"
+    #: the packing policy the scheduler ran (see
+    #: :data:`repro.batch.scheduler.POLICIES`)
+    policy: str = "continuous"
 
     @property
     def batch(self) -> int:
@@ -134,10 +152,30 @@ class PathFleetResult:
     @property
     def batching_speedup(self) -> float:
         """Predicted kernel-time ratio of one-path-at-a-time execution
-        over lock-step batched execution."""
+        over scheduled batched execution.
+
+        Scheduler-aware: ``fleet_model_ms`` prices one batched launch
+        sequence per sub-batch *actually advanced*, at the width the
+        packing policy chose for it — so a policy that keeps launches
+        fuller (fewer, wider sub-batches for the same per-path steps)
+        shows a larger ratio.
+        """
         if self.fleet_model_ms <= 0.0:
             return float("inf") if self.total_model_ms > 0.0 else 1.0
         return self.total_model_ms / self.fleet_model_ms
+
+    @property
+    def occupancy(self) -> float:
+        """Mean fraction of the fleet width each sub-batch filled.
+
+        1.0 means every launch carried the whole fleet; retirement,
+        failures and precision splits pull it below.  A fleet that
+        never advanced (already at ``t_end``) reports 1.0.
+        """
+        if not self.sub_batches or not self.paths:
+            return 1.0
+        packed = sum(len(indices) for _, _, indices in self.sub_batches)
+        return packed / (len(self.sub_batches) * self.batch)
 
     def summary(self) -> str:
         """One human-readable line describing how the fleet run went."""
@@ -150,6 +188,7 @@ class PathFleetResult:
         return (
             f"{self.reached_count}/{self.batch} paths reached t = 1{failed}: "
             f"{self.rounds} rounds / {len(self.sub_batches)} sub-batches "
+            f"at {self.occupancy:.0%} occupancy under {self.policy} packing "
             f"(precision {ladder}, {self.escalations} escalations, "
             f"{self.batching_speedup:.2f}x from batching on {self.device})"
         )
@@ -211,6 +250,20 @@ class _SolutionStore:
             )
         return TruncatedSeries.from_mdarray(MDArray(self.re[:, p, i, : k + 1]))
 
+    def partial_planes(self, k):
+        """Every path's expansion through order ``k`` as one batched
+        raw coefficient array, element shape ``(batch, n, k + 1)`` —
+        the operand of the fleet-wide ``residual_fleet`` evaluation.
+        Views, not copies: column ``k`` is still zero when order ``k``
+        is being solved, exactly like the per-path ``partial`` slices.
+        """
+        if self.complex:
+            return MDComplexArray(
+                MDArray(self.re[:, :, :, : k + 1]),
+                MDArray(self.im[:, :, :, : k + 1]),
+            )
+        return MDArray(self.re[:, :, :, : k + 1])
+
     def flat_series(self, batch, n, order):
         """All ``batch * n`` component series as one coefficient stack."""
         limbs = self.re.shape[0]
@@ -256,9 +309,10 @@ def track_paths(
     bs_tile_size=None,
     correct: bool = True,
     pole_safety=None,
+    policy: str = "continuous",
     device: str = "V100",
 ) -> PathFleetResult:
-    """Track a fleet of solution paths of ``F(x, t) = 0`` in lock-step.
+    """Track a fleet of solution paths of ``F(x, t) = 0`` in batches.
 
     Parameters are those of :func:`repro.series.tracker.track_path`
     (which see), except ``starts``: a sequence of start points, one per
@@ -275,6 +329,14 @@ def track_paths(
     required.  Complex start points track natively in ``n`` complex
     variables on the separated-plane batched kernels.
 
+    ``policy`` selects how the :class:`~repro.batch.scheduler
+    .FleetScheduler` packs active paths into sub-batches:
+    ``"continuous"`` (default) re-packs after every sub-batch so
+    retired paths leave the launches immediately, ``"lockstep"``
+    reproduces the historical round-barrier schedule exactly.  The
+    policy only changes how work is cut into launches — per-path
+    results are bitwise identical under both.
+
     Returns a :class:`PathFleetResult`; its ``paths`` entries are
     bit-identical to tracking each start point alone with
     ``track_path`` (same steps, same escalations, same points), and a
@@ -282,6 +344,10 @@ def track_paths(
     affecting its batch mates.
     """
     system, jacobian, starts = resolve_system_arguments(system, jacobian, starts)
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown packing policy {policy!r}; expected one of {POLICIES}"
+        )
     if not precision_ladder:
         raise ValueError("the precision ladder must not be empty")
     if order < 2:
@@ -330,7 +396,7 @@ def track_paths(
             for heads in head_lists
         ]
 
-    fleet = PathFleetResult(device=device)
+    fleet = PathFleetResult(device=device, policy=policy)
     fleet.paths = [PathResult(device=device) for _ in starts]
     states = []
     for index, heads in enumerate(head_lists):
@@ -354,40 +420,54 @@ def track_paths(
         t_end=float(t_end),
         order=order,
         tol=tol,
+        policy=policy,
         device=str(device),
     ) as run_span:
-        while any(state.active for state in states):
-            fleet.rounds += 1
-            groups = {}
-            for state in states:
-                if state.active:
-                    groups.setdefault(state.rung, []).append(state)
-            for rung in sorted(groups):
-                _advance_sub_batch(
-                    fleet,
-                    groups[rung],
-                    system,
-                    jacobian,
-                    n=n,
-                    order=order,
-                    tol=tol,
-                    ladder=ladder,
-                    rung=rung,
-                    numerator_degree=numerator_degree,
-                    denominator_degree=denominator_degree,
-                    min_step=min_step,
-                    max_steps=max_steps,
-                    t_end=t_end,
-                    tile_size=tile_size,
-                    bs_tile_size=bs_tile_size,
-                    correct=correct,
-                    pole_safety=pole_safety,
-                    complex_data=complex_data,
-                    device=device,
-                    model=model,
-                    path_step_trace=path_step_trace,
-                    path_fleet_trace=path_fleet_trace,
-                )
+        scheduler = FleetScheduler(states, policy=policy)
+        while True:
+            picked = scheduler.next_sub_batch()
+            if picked is None:
+                break
+            batch_states, new_round = picked
+            if new_round:
+                fleet.rounds += 1
+            rung = batch_states[0].rung
+            recorder.event(
+                "repack",
+                category="step",
+                round=fleet.rounds,
+                policy=policy,
+                precision=get_precision(ladder[rung]).name,
+                paths=[state.index for state in batch_states],
+                active=sum(1 for state in states if state.active),
+            )
+            _advance_sub_batch(
+                fleet,
+                batch_states,
+                system,
+                jacobian,
+                n=n,
+                order=order,
+                tol=tol,
+                ladder=ladder,
+                rung=rung,
+                numerator_degree=numerator_degree,
+                denominator_degree=denominator_degree,
+                min_step=min_step,
+                max_steps=max_steps,
+                t_end=t_end,
+                tile_size=tile_size,
+                bs_tile_size=bs_tile_size,
+                correct=correct,
+                pole_safety=pole_safety,
+                complex_data=complex_data,
+                batched_residuals=policy == "continuous",
+                device=device,
+                model=model,
+                path_step_trace=path_step_trace,
+                path_fleet_trace=path_fleet_trace,
+            )
+            recorder.gauge("fleet_occupancy", fleet.occupancy)
         if run_span:
             run_span.set(
                 rounds=fleet.rounds,
@@ -395,6 +475,7 @@ def track_paths(
                 reached=fleet.reached_count,
                 failed=fleet.failed_count,
                 escalations=fleet.escalations,
+                occupancy=fleet.occupancy,
                 fleet_model_ms=fleet.fleet_model_ms,
                 batching_speedup=fleet.batching_speedup,
             )
@@ -422,12 +503,19 @@ def _advance_sub_batch(
     correct,
     pole_safety,
     complex_data,
+    batched_residuals,
     device,
     model,
     path_step_trace,
     path_fleet_trace,
 ):
-    """One lock-step batched step attempt for one precision sub-batch."""
+    """One batched step attempt for one precision sub-batch.
+
+    With ``batched_residuals`` (the ``continuous`` policy) and a system
+    exposing ``residual_fleet``, each order's residual columns come
+    from one fleet-wide batched series evaluation; otherwise from the
+    historical per-path loop.  Both are bit-identical per path.
+    """
     prec = get_precision(ladder[rung])
     limbs = prec.limbs
     batch = len(batch_states)
@@ -469,6 +557,7 @@ def _advance_sub_batch(
         return local_system
 
     local_systems = [make_local_system(state.t_current) for state in batch_states]
+    use_fleet_residuals = batched_residuals and hasattr(system, "residual_fleet")
 
     solution = _SolutionStore(limbs, batch, n, order, complex_data)
     for p, state in enumerate(batch_states):
@@ -486,15 +575,24 @@ def _advance_sub_batch(
         q_conjugate = vb.batched_conjugate_transpose(qr.Q)
         uppers = qr.R[:, :n, :n]
         for k in range(1, order + 1):
-            rhs_rows = []
-            for p, state in enumerate(batch_states):
-                partial = [solution.partial(p, i, k) for i in range(n)]
-                t = series_cls.variable(k, prec)
-                residuals = _coerce_residual(
-                    local_systems[p](partial, t), n, k, prec, series_cls
+            if use_fleet_residuals:
+                residual_planes = system.residual_fleet(
+                    solution.partial_planes(k),
+                    [state.t_current for state in batch_states],
+                    trace=round_trace,
+                    device=device,
                 )
-                rhs_rows.append(_residual_column(residuals, k))
-            rhs = vb.stack(rhs_rows)
+                rhs = _batched_residual_columns(residual_planes, k)
+            else:
+                rhs_rows = []
+                for p, state in enumerate(batch_states):
+                    partial = [solution.partial(p, i, k) for i in range(n)]
+                    t = series_cls.variable(k, prec)
+                    residuals = _coerce_residual(
+                        local_systems[p](partial, t), n, k, prec, series_cls
+                    )
+                    rhs_rows.append(_residual_column(residuals, k))
+                rhs = vb.stack(rhs_rows)
             qhb = vb.batched_matvec(q_conjugate, rhs)
             add_batched_launch(
                 round_trace,

@@ -607,6 +607,7 @@ def polynomial_counts(
     jacobian_slots: int,
     order: int = 0,
     complex_data: bool = False,
+    batch: int = 1,
 ) -> PolynomialOperationCounts:
     """Operation counts of the shared-monomial polynomial kernels.
 
@@ -619,10 +620,43 @@ def polynomial_counts(
     (separated-plane) one — 4x the real multiplications plus the
     plane-combination additions/subtractions, 2x the reduction
     additions — matching :func:`complex_series_counts` and the complex
-    tallies of :mod:`repro.core.stages`.
+    tallies of :mod:`repro.core.stages`.  With ``batch > 1`` the counts
+    describe one **fleet-wide batched** pass
+    (:meth:`~repro.poly.system.PolynomialSystem.evaluate_series` over a
+    leading batch axis): every operation total scales by the batch
+    while the launch counts stay flat — the same transform
+    :meth:`SeriesOperationCounts.batched` applies everywhere else.
     """
     if min(equations, variables, products, term_slots) < 1:
         raise ValueError("the polynomial shape numbers must be positive")
+    if batch < 1:
+        raise ValueError("the batch size must be at least 1")
+    if batch != 1:
+        base = polynomial_counts(
+            equations,
+            variables,
+            monomials=monomials,
+            products=products,
+            max_degree=max_degree,
+            term_slots=term_slots,
+            jacobian_slots=jacobian_slots,
+            order=order,
+            complex_data=complex_data,
+        )
+        scale = float(batch)
+        return PolynomialOperationCounts(
+            equations=equations,
+            variables=variables,
+            monomials=monomials,
+            products=products,
+            max_degree=max_degree,
+            term_slots=term_slots,
+            jacobian_slots=jacobian_slots,
+            order=order,
+            shared=base.shared.batched(scale),
+            evaluation_terms=base.evaluation_terms.batched(scale),
+            jacobian_terms=base.jacobian_terms.batched(scale),
+        )
     K = order
     terms = K + 1
     product_ops = (

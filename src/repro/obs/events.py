@@ -14,7 +14,10 @@ The observability layer the whole tracking stack reports through.  A
   reason, a rejected step, a sub-batch regrouping, a path failure);
 * **counters** and **duration histograms** — aggregates for the
   :func:`repro.obs.export.metrics_summary` p50/p90/p99 pipeline.
-  Every closed span feeds the histogram of its name automatically.
+  Every closed span feeds the histogram of its name automatically;
+* **gauges** — last-value measurements (the fleet scheduler's
+  occupancy, a queue depth): :meth:`Recorder.gauge` overwrites the
+  named value, so the export carries the state at the end of the run.
 
 Recording is **off by default**: :func:`get_recorder` returns a shared
 :class:`NullRecorder` whose every method is a no-op (entering a null
@@ -181,6 +184,7 @@ class Recorder:
         self.records: list = []
         self.counters: dict = {}
         self.histograms: dict = {}
+        self.gauges: dict = {}
         self._lock = threading.Lock()
         self._next_id = 0
 
@@ -247,11 +251,18 @@ class Recorder:
         with self._lock:
             self.histograms.setdefault(name, []).append(value)
 
+    def gauge(self, name, value) -> None:
+        """Set a named last-value gauge (each call overwrites)."""
+        value = float(value)
+        with self._lock:
+            self.gauges[name] = value
+
     def clear(self) -> None:
         with self._lock:
             self.records.clear()
             self.counters.clear()
             self.histograms.clear()
+            self.gauges.clear()
             self._next_id = 0
 
     # -- queries -----------------------------------------------------------
@@ -312,6 +323,7 @@ class NullRecorder:
     records: tuple = ()
     counters: dict = {}
     histograms: dict = {}
+    gauges: dict = {}
 
     def __bool__(self) -> bool:
         return False
@@ -329,6 +341,9 @@ class NullRecorder:
         return None
 
     def observe(self, name, value) -> None:
+        return None
+
+    def gauge(self, name, value) -> None:
         return None
 
     def clear(self) -> None:

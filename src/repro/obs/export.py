@@ -6,8 +6,10 @@ One recording becomes one JSONL document:
   count);
 * one line per :class:`~repro.obs.events.Record`, in record-creation
   order;
-* a final **metrics** line holding the counters and the raw duration
-  histograms.
+* a final **metrics** line holding the counters, the raw duration
+  histograms and the last-value gauges (recordings written before
+  gauges existed read back with an empty gauge table — the reader is
+  null-tolerant on the key).
 
 :func:`read_jsonl` reconstructs the document; because field payloads
 are sanitized to JSON-ready types at record time
@@ -51,6 +53,7 @@ class RecordingDocument:
     records: list = field(default_factory=list)
     counters: dict = field(default_factory=dict)
     histograms: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
 
     def spans(self, name=None, category=None) -> list:
         return [
@@ -89,6 +92,7 @@ def write_jsonl(recorder, path) -> Path:
         "kind": "metrics",
         "counters": dict(recorder.counters),
         "histograms": {name: list(values) for name, values in recorder.histograms.items()},
+        "gauges": dict(getattr(recorder, "gauges", {}) or {}),
     }
     lines = [json.dumps(header)]
     lines.extend(json.dumps(record.to_dict()) for record in recorder.records)
@@ -128,6 +132,8 @@ def read_jsonl(path) -> RecordingDocument:
         elif kind == "metrics":
             document.counters = data.get("counters", {})
             document.histograms = data.get("histograms", {})
+            # recordings written before gauges existed lack the key
+            document.gauges = data.get("gauges") or {}
         elif kind in ("span", "event"):
             document.records.append(Record.from_dict(data))
     if not saw_header:
@@ -171,9 +177,9 @@ def metrics_summary(source) -> dict:
 
     ``source`` is a :class:`~repro.obs.events.Recorder` or a
     :class:`RecordingDocument`.  Returns ``{"schema", "records",
-    "spans", "events", "counters", "histograms"}`` where every
-    histogram is reduced through :func:`histogram_summary` — JSON-ready
-    for ``BENCH_*.json`` embedding and CI artifacts.
+    "spans", "events", "counters", "histograms", "gauges"}`` where
+    every histogram is reduced through :func:`histogram_summary` —
+    JSON-ready for ``BENCH_*.json`` embedding and CI artifacts.
     """
     records = list(source.records)
     return {
@@ -186,4 +192,5 @@ def metrics_summary(source) -> dict:
             name: histogram_summary(values)
             for name, values in source.histograms.items()
         },
+        "gauges": dict(getattr(source, "gauges", {}) or {}),
     }

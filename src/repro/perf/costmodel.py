@@ -450,6 +450,7 @@ def polynomial_evaluation_trace(
     evaluate=True,
     device="V100",
     complex_data=False,
+    batch=1,
     trace=None,
 ):
     """Analytic trace of one shared-monomial polynomial evaluation.
@@ -469,7 +470,12 @@ def polynomial_evaluation_trace(
     products already in the trace — the shared-monomial contract of
     :func:`repro.md.opcounts.polynomial_counts`.  At ``order > 0``
     every multiplication is a truncated Cauchy product over
-    ``order + 1`` coefficients.
+    ``order + 1`` coefficients.  With ``batch > 1`` the trace describes
+    one **fleet-wide batched** pass: the launch sequence stays
+    identical (flat in the batch) while every launch's grid, tally and
+    traffic scale by the batch — matching the numeric batched path of
+    :meth:`~repro.poly.system.PolynomialSystem.evaluate_series` launch
+    for launch.
     """
     terms = order + 1
     n_threads = POLY_THREADS_PER_BLOCK
@@ -481,6 +487,22 @@ def polynomial_evaluation_trace(
                 f"products={products} order={order}"
             ),
         )
+    if batch != 1:
+        probe = polynomial_evaluation_trace(
+            equations,
+            variables,
+            products,
+            max_degree,
+            term_slots,
+            limbs,
+            order=order,
+            jacobian_slots=jacobian_slots,
+            evaluate=evaluate,
+            device=device,
+            complex_data=complex_data,
+        )
+        trace.extend(probe.batched(int(batch)))
+        return trace
     for _ in range(max(max_degree - 1, 0)):
         count = variables
         trace.add(

@@ -538,6 +538,117 @@ class Homotopy:
         out = np.concatenate([h_re.data, h_im.data], axis=1)
         return VectorSeries(MDArray(out)).components()
 
+    def residual_fleet(self, coefficients, t_heads, *, trace=None, device="V100"):
+        """Fleet-wide batched residual evaluation for the continuous
+        scheduler (:mod:`repro.batch.scheduler`).
+
+        ``coefficients`` holds every path's unknown series as raw limb
+        planes of element shape ``(b, tracking_dimension, K+1)`` — an
+        :class:`~repro.vec.complexmd.MDComplexArray` on the complex
+        backend, an :class:`~repro.vec.mdarray.MDArray` on the
+        realified one; ``t_heads`` gives each path's expansion point of
+        the homotopy parameter (the local shift the per-path residual
+        adapters of :func:`repro.batch.fleet.track_paths` apply).
+        Returns the residual planes, element shape ``(b,
+        tracking_dimension, K+1)``, with slice ``p`` bit-identical to
+        ``self(x_p, t_p + s)`` on path ``p``'s own series — the start
+        and target systems evaluate through **one** shared batched
+        power table each, and the gamma / ``1 - t`` combination replays
+        the single-path operand order on batched planes.
+        """
+        if self._backend == "complex":
+            return self._residual_fleet_complex(
+                coefficients, t_heads, trace=trace, device=device
+            )
+        return self._residual_fleet_realified(
+            coefficients, t_heads, trace=trace, device=device
+        )
+
+    def _residual_fleet_complex(
+        self, coefficients, t_heads, *, trace=None, device="V100"
+    ):
+        if not isinstance(coefficients, MDComplexArray):
+            coefficients = MDComplexArray(
+                coefficients,
+                MDArray.zeros(coefficients.shape, coefficients.limbs),
+            )
+        n = self._dimension
+        batch, dimension, terms = coefficients.shape
+        if dimension != n:
+            raise ValueError(
+                f"expected batched planes over {n} complex variables, "
+                f"got {dimension}"
+            )
+        prec = get_precision(coefficients.limbs)
+        gamma = ComplexMultiDouble(
+            MultiDouble(self.gamma.real, prec), MultiDouble(self.gamma.imag, prec)
+        )
+        g = self._start.evaluate_series(coefficients, trace=trace, device=device)
+        f = self._target.evaluate_series(coefficients, trace=trace, device=device)
+        left = g * gamma
+        s_series, t_series = _parameter_factor_planes(
+            t_heads, batch, terms - 1, prec
+        )
+        # stack [left_re, left_im, f_re, f_im] against [s, s, t, t]:
+        # one real batched Cauchy launch covers all four planes, exactly
+        # as in the single-path real-parameter hot path of _complex_call
+        planes = np.concatenate(
+            [left.real.data, left.imag.data, f.real.data, f.imag.data], axis=2
+        )
+        s_data = np.broadcast_to(
+            s_series.data[:, :, None, :], (prec.limbs, batch, 2 * n, terms)
+        )
+        t_data = np.broadcast_to(
+            t_series.data[:, :, None, :], (prec.limbs, batch, 2 * n, terms)
+        )
+        factors = np.concatenate([s_data, t_data], axis=2)
+        product = linalg.cauchy_product(MDArray(planes), MDArray(factors))
+        h = MDArray(product.data[:, :, : 2 * n]) + MDArray(
+            product.data[:, :, 2 * n :]
+        )
+        return MDComplexArray(
+            MDArray(h.data[:, :, :n]), MDArray(h.data[:, :, n:])
+        )
+
+    def _residual_fleet_realified(
+        self, coefficients, t_heads, *, trace=None, device="V100"
+    ):
+        n = self._dimension
+        batch, dimension, terms = coefficients.shape
+        if dimension != 2 * n:
+            raise ValueError(
+                f"expected batched planes over {2 * n} realified variables, "
+                f"got {dimension}"
+            )
+        prec = get_precision(coefficients.limbs)
+        a = MultiDouble(self.gamma.real, prec)
+        b = MultiDouble(self.gamma.imag, prec)
+        g = self._start.evaluate_series(coefficients, trace=trace, device=device)
+        f = self._target.evaluate_series(coefficients, trace=trace, device=device)
+        g_re = MDArray(g.data[:, :, :n])
+        g_im = MDArray(g.data[:, :, n:])
+        f_re = MDArray(f.data[:, :, :n])
+        f_im = MDArray(f.data[:, :, n:])
+        # gamma acts as a rotation mixing real and imaginary parts
+        left_re = g_re * a - g_im * b
+        left_im = g_re * b + g_im * a
+        s_series, t_series = _parameter_factor_planes(
+            t_heads, batch, terms - 1, prec
+        )
+        s_data = MDArray(
+            np.broadcast_to(s_series.data[:, :, None, :], g_re.data.shape)
+        )
+        t_data = MDArray(
+            np.broadcast_to(t_series.data[:, :, None, :], g_re.data.shape)
+        )
+        h_re = linalg.cauchy_product(left_re, s_data) + linalg.cauchy_product(
+            f_re, t_data
+        )
+        h_im = linalg.cauchy_product(left_im, s_data) + linalg.cauchy_product(
+            f_im, t_data
+        )
+        return MDArray(np.concatenate([h_re.data, h_im.data], axis=2))
+
     def _reference_call(self, values, t):
         from .reference import reference_evaluate_series
 
@@ -698,6 +809,28 @@ class Homotopy:
             f"paths={self.path_count}, gamma={self.gamma:.6f}, "
             f"backend={self._backend!r})"
         )
+
+
+def _parameter_factor_planes(t_heads, batch: int, order: int, prec):
+    """Per-path ``t`` and ``1 - t`` parameter series as batched limb
+    planes of element shape ``(b, K+1)``.
+
+    Path ``p`` contributes the linear series ``[t_p, 1, 0, ...]`` —
+    the coefficients of ``TruncatedSeries.variable(order, prec,
+    head=t_p)`` the per-path residual adapters build — and ``1 - t``
+    is computed with the same vectorized subtraction the scalar series
+    arithmetic performs limb for limb.
+    """
+    t_data = np.zeros((prec.limbs, batch, order + 1))
+    for p, head in enumerate(t_heads):
+        t_data[:, p, 0] = MultiDouble(float(head), prec).limbs
+    if order >= 1:
+        t_data[0, :, 1] = 1.0
+    one_data = np.zeros_like(t_data)
+    one_data[0, :, 0] = 1.0
+    t_series = MDArray(t_data)
+    s_series = MDArray(one_data) - t_series
+    return s_series, t_series
 
 
 def _coerce_terms(system, variables):

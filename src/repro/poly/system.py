@@ -354,10 +354,12 @@ class PolynomialSystem:
             "products": self.distinct_products,
         }
 
-    def counts(self, order: int = 0, complex_data: bool = False):
+    def counts(self, order: int = 0, complex_data: bool = False, batch: int = 1):
         """Operation counts of one evaluation/differentiation at a
         truncation order (see :func:`repro.md.opcounts.polynomial_counts`);
-        a complex-coefficient system always counts complex."""
+        a complex-coefficient system always counts complex.  With
+        ``batch > 1`` the counts describe one fleet-wide batched pass:
+        operations scale by the batch, launches stay flat."""
         return polynomial_counts(
             self.equations,
             self.variables,
@@ -368,6 +370,7 @@ class PolynomialSystem:
             jacobian_slots=self._jacobian_slots,
             order=order,
             complex_data=bool(complex_data or self._complex_coefficients),
+            batch=batch,
         )
 
     # ------------------------------------------------------------------
@@ -597,6 +600,55 @@ class PolynomialSystem:
         gathered = table[:, self._product_exponents, np.arange(self._variables), :]
         return linalg.cauchy_product_reduce(MDArray(gathered))
 
+    def _series_products_batched(self, series_coefficients, limbs: int):
+        """Power products over a leading batch axis, element shape
+        ``(b, variables, K+1)`` in, ``(b, products, K+1)`` out.
+
+        The identical table build / gather / pairwise reduction as
+        :meth:`_series_products` with every kernel batched over the
+        leading axis: one shared power table serves the whole
+        sub-batch.  Slice ``p`` of the result is bit-identical to the
+        unbatched products of path ``p`` — the limb kernels are
+        elementwise over leading axes and the reduction trees have the
+        same fixed shape, so batch slices never mix.
+        """
+        if isinstance(series_coefficients, MDComplexArray):
+            _, batch, variables, terms = series_coefficients.real.data.shape
+            table_re = np.zeros(
+                (limbs, batch, self._max_degree + 1, variables, terms)
+            )
+            table_im = np.zeros_like(table_re)
+            table_re[0, :, 0, :, 0] = 1.0  # the exact complex one series
+            if self._max_degree >= 1:
+                table_re[:, :, 1] = series_coefficients.real.data
+                table_im[:, :, 1] = series_coefficients.imag.data
+                power = series_coefficients
+                for degree in range(2, self._max_degree + 1):
+                    power = linalg.cauchy_product(power, series_coefficients)
+                    table_re[:, :, degree] = power.real.data
+                    table_im[:, :, degree] = power.imag.data
+            select = (self._product_exponents, np.arange(self._variables))
+            gathered = MDComplexArray(
+                MDArray(table_re[:, :, select[0], select[1], :]),
+                MDArray(table_im[:, :, select[0], select[1], :]),
+            )
+            return linalg.cauchy_product_reduce(gathered)
+        series_data = series_coefficients.data
+        m, batch, variables, terms = series_data.shape
+        table = np.zeros((limbs, batch, self._max_degree + 1, variables, terms))
+        table[0, :, 0, :, 0] = 1.0  # the exact one series
+        if self._max_degree >= 1:
+            table[:, :, 1] = series_data
+            power = MDArray(series_data)
+            x = MDArray(series_data)
+            for degree in range(2, self._max_degree + 1):
+                power = linalg.cauchy_product(power, x)
+                table[:, :, degree] = power.data
+        gathered = table[
+            :, :, self._product_exponents, np.arange(self._variables), :
+        ]
+        return linalg.cauchy_product_reduce(MDArray(gathered))
+
     def evaluate_series(self, x, *, trace=None, device="V100"):
         """Telemetry shim over :meth:`_evaluate_series_impl`.
 
@@ -633,10 +685,19 @@ class PolynomialSystem:
         separated-plane kernels and returns a ``ComplexVectorSeries``;
         a complex-coefficient system promotes real arguments the same
         way — no symbolic realification anywhere.
+
+        An :class:`MDArray` / :class:`MDComplexArray` of element shape
+        ``(b, variables, K+1)`` — raw limb planes with a **leading
+        batch axis** — dispatches to the fleet-wide batched evaluator
+        and returns raw planes of element shape ``(b, equations,
+        K+1)``; slice ``p`` is bit-identical to evaluating path ``p``
+        alone.
         """
         from ..series.complexvec import ComplexTruncatedSeries, ComplexVectorSeries
         from ..series.vector import VectorSeries
 
+        if isinstance(x, (MDArray, MDComplexArray)) and x.ndim == 3:
+            return self._evaluate_series_batched(x, trace=trace, device=device)
         if isinstance(x, (VectorSeries, ComplexVectorSeries)):
             vector = x
         else:
@@ -679,6 +740,214 @@ class PolynomialSystem:
         if complex_data:
             return ComplexVectorSeries(values)
         return VectorSeries(values)
+
+    def _evaluate_series_batched(self, coefficients, *, trace=None, device="V100"):
+        """Fleet-wide batched series evaluation on raw limb planes.
+
+        ``coefficients`` is an :class:`MDArray` / :class:`MDComplexArray`
+        of element shape ``(b, variables, K+1)``; the result holds the
+        ``b`` evaluations as element shape ``(b, equations, K+1)``.
+        One shared power table serves the whole batch, so the launch
+        count is flat in ``b`` (every kernel just grows its grid) —
+        and slice ``p`` is bit-identical to the loop-per-path
+        evaluation, the cross-check the test suite pins.
+        """
+        if self._complex_coefficients and not isinstance(
+            coefficients, MDComplexArray
+        ):
+            coefficients = MDComplexArray(
+                coefficients,
+                MDArray.zeros(coefficients.shape, coefficients.limbs),
+            )
+        batch, variables, terms = coefficients.shape
+        if variables != self._variables:
+            raise ValueError(
+                f"expected batched planes over {self._variables} variables, "
+                f"got {variables}"
+            )
+        limbs = coefficients.limbs
+        complex_data = isinstance(coefficients, MDComplexArray)
+        products = self._series_products_batched(coefficients, limbs)
+        values = self._reduce_series_terms_batched(products, limbs)
+        if trace is not None:
+            self._record_trace(
+                trace,
+                limbs,
+                device,
+                evaluate=True,
+                order=terms - 1,
+                complex_data=complex_data,
+                batch=batch,
+            )
+        return values
+
+    def _reduce_series_terms_batched(self, products, limbs: int):
+        """Coefficient weighting + term reduction over ``(b, products,
+        K+1)`` planes — the batched twin of the term pass inside
+        :meth:`_evaluate_series_impl`."""
+        complex_data = isinstance(products, MDComplexArray)
+        coefficients, _ = self._coefficient_arrays(limbs, complex_data)
+        gathered = map_planes(products, lambda data: data[:, :, self._term_index])
+        if complex_data:
+            weighted = (
+                MDComplexArray(
+                    MDArray(coefficients.real.data[:, None, :, :, None]),
+                    MDArray(coefficients.imag.data[:, None, :, :, None]),
+                )
+                * gathered
+            )
+        else:
+            weighted = MDArray(coefficients.data[:, None, :, :, None]) * gathered
+        return weighted.sum(axis=2)
+
+    def jacobian_series(self, x, *, trace=None, device="V100"):
+        """Telemetry shim over :meth:`_jacobian_series_impl` — the
+        series-argument Jacobian, unbatched or fleet-wide batched (see
+        :meth:`evaluate_series` for the span/probe mechanics)."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return self._jacobian_series_impl(x, trace=trace, device=device)
+        probe = trace if trace is not None else KernelTrace(
+            device, label="poly series jacobian"
+        )
+        already = len(probe.launches) if trace is not None else 0
+        with recorder.span("poly_jacobian_series") as span:
+            result = self._jacobian_series_impl(x, trace=probe, device=device)
+            attach_trace(span, probe, start=already)
+        return result
+
+    def _jacobian_series_impl(self, x, *, trace=None, device="V100"):
+        """The Jacobian ``dF_i/dx_j`` on truncated-series arguments.
+
+        Accepts the same arguments as :meth:`evaluate_series` and
+        returns **raw limb planes**: element shape ``(equations,
+        variables, K+1)`` for one series vector, ``(b, equations,
+        variables, K+1)`` for batched ``(b, variables, K+1)`` input —
+        both reuse the shared power-product pass of the evaluation
+        kernels.
+        """
+        from ..series.complexvec import ComplexTruncatedSeries, ComplexVectorSeries
+        from ..series.vector import VectorSeries
+
+        if isinstance(x, (MDArray, MDComplexArray)) and x.ndim == 3:
+            coefficients = x
+            if self._complex_coefficients and not isinstance(
+                coefficients, MDComplexArray
+            ):
+                coefficients = MDComplexArray(
+                    coefficients,
+                    MDArray.zeros(coefficients.shape, coefficients.limbs),
+                )
+            batch, variables, terms = coefficients.shape
+            if variables != self._variables:
+                raise ValueError(
+                    f"expected batched planes over {self._variables} "
+                    f"variables, got {variables}"
+                )
+            limbs = coefficients.limbs
+            complex_data = isinstance(coefficients, MDComplexArray)
+            products = self._series_products_batched(coefficients, limbs)
+            matrix = self._reduce_series_jacobian_batched(products, limbs)
+            if trace is not None:
+                self._record_trace(
+                    trace,
+                    limbs,
+                    device,
+                    evaluate=False,
+                    jacobian=True,
+                    order=terms - 1,
+                    complex_data=complex_data,
+                    batch=batch,
+                )
+            return matrix
+        if isinstance(x, (VectorSeries, ComplexVectorSeries)):
+            vector = x
+        else:
+            components = list(x)
+            if any(isinstance(c, ComplexTruncatedSeries) for c in components):
+                vector = ComplexVectorSeries.from_components(components)
+            else:
+                vector = VectorSeries.from_components(components)
+        if self._complex_coefficients and isinstance(vector, VectorSeries):
+            vector = ComplexVectorSeries.from_components(vector.components())
+        if vector.dimension != self._variables:
+            raise ValueError(
+                f"expected {self._variables} component series, got {vector.dimension}"
+            )
+        limbs = vector.limbs
+        complex_data = isinstance(vector, ComplexVectorSeries)
+        products = self._series_products(vector.coefficients, limbs)
+        matrix = self._reduce_series_jacobian(products, limbs)
+        if trace is not None:
+            self._record_trace(
+                trace,
+                limbs,
+                device,
+                evaluate=False,
+                jacobian=True,
+                order=vector.order,
+                complex_data=complex_data,
+            )
+        return matrix
+
+    def _reduce_series_jacobian(self, products, limbs: int):
+        """Jacobian weighting + term reduction over ``(products, K+1)``
+        planes, element shape ``(equations, variables, K+1)`` out."""
+        complex_data = isinstance(products, MDComplexArray)
+        _, jac_coefficients = self._coefficient_arrays(limbs, complex_data)
+        gathered = self._take(products, self._jacobian_index)
+        if complex_data:
+            weighted = (
+                MDComplexArray(
+                    MDArray(jac_coefficients.real.data[..., None]),
+                    MDArray(jac_coefficients.imag.data[..., None]),
+                )
+                * gathered
+            )
+        else:
+            weighted = MDArray(jac_coefficients.data[..., None]) * gathered
+        return weighted.sum(axis=2)
+
+    def _reduce_series_jacobian_batched(self, products, limbs: int):
+        """Batched twin of :meth:`_reduce_series_jacobian`, element
+        shape ``(b, equations, variables, K+1)`` out."""
+        complex_data = isinstance(products, MDComplexArray)
+        _, jac_coefficients = self._coefficient_arrays(limbs, complex_data)
+        gathered = map_planes(
+            products, lambda data: data[:, :, self._jacobian_index]
+        )
+        if complex_data:
+            weighted = (
+                MDComplexArray(
+                    MDArray(jac_coefficients.real.data[:, None, :, :, :, None]),
+                    MDArray(jac_coefficients.imag.data[:, None, :, :, :, None]),
+                )
+                * gathered
+            )
+        else:
+            weighted = (
+                MDArray(jac_coefficients.data[:, None, :, :, :, None]) * gathered
+            )
+        return weighted.sum(axis=3)
+
+    def residual_fleet(self, coefficients, t_heads, *, trace=None, device="V100"):
+        """Fleet-wide batched residual evaluation for the continuous
+        scheduler (:mod:`repro.batch.scheduler`).
+
+        ``coefficients`` holds every path's unknown series as raw limb
+        planes of element shape ``(b, n, K+1)``; ``t_heads`` gives the
+        per-path expansion points of the continuation parameter,
+        consumed only when the system carries the parameter as one
+        extra trailing variable (``variables == n + 1`` — the
+        parametric form :meth:`__call__` supports); a square system
+        ignores them.  Returns the evaluation planes, element shape
+        ``(b, equations, K+1)``, with slice ``p`` bit-identical to
+        ``self(x_p, t_p)`` on path ``p``'s own series.
+        """
+        batch, unknowns, terms = coefficients.shape
+        if unknowns + 1 == self._variables:
+            coefficients = _append_parameter_planes(coefficients, t_heads, terms)
+        return self.evaluate_series(coefficients, trace=trace, device=device)
 
     def __call__(self, x, t=None):
         """Residual adapter ``system(x, t)`` for the series solvers.
@@ -730,6 +999,7 @@ class PolynomialSystem:
         jacobian=False,
         order=0,
         complex_data=False,
+        batch=1,
     ) -> None:
         from ..perf.costmodel import polynomial_evaluation_trace
 
@@ -745,6 +1015,7 @@ class PolynomialSystem:
             evaluate=evaluate,
             device=device,
             complex_data=bool(complex_data or self._complex_coefficients),
+            batch=batch,
             trace=trace,
         )
 
@@ -754,6 +1025,35 @@ class PolynomialSystem:
             f"variables={self.variables}, monomials={self.monomials}, "
             f"products={self.distinct_products})"
         )
+
+
+def _append_parameter_planes(coefficients, t_heads, terms: int):
+    """Append the per-path parameter series ``t_p + s`` as one extra
+    trailing variable of a batched plane stack.
+
+    Each path contributes the linear series ``[t_p, 1, 0, ...]`` —
+    exactly the coefficients of ``TruncatedSeries.variable(order, prec,
+    head=t_p)`` the per-path residual adapters build, so the batched
+    residual stays bit-identical to the loop-per-path one.
+    """
+    limbs = coefficients.limbs
+    prec = get_precision(limbs)
+    batch = coefficients.shape[0]
+    t_planes = np.zeros((prec.limbs, batch, 1, terms))
+    for p, head in enumerate(t_heads):
+        t_planes[:, p, 0, 0] = MultiDouble(float(head), prec).limbs
+    if terms > 1:
+        t_planes[0, :, 0, 1] = 1.0
+    if isinstance(coefficients, MDComplexArray):
+        return MDComplexArray(
+            MDArray(np.concatenate([coefficients.real.data, t_planes], axis=2)),
+            MDArray(
+                np.concatenate(
+                    [coefficients.imag.data, np.zeros_like(t_planes)], axis=2
+                )
+            ),
+        )
+    return MDArray(np.concatenate([coefficients.data, t_planes], axis=2))
 
 
 def _scale_coefficient(coefficient, factor: int):

@@ -229,6 +229,25 @@ def _residual_column(residuals, k: int):
     return MDArray(-data)
 
 
+def _batched_residual_columns(values, k: int):
+    """The negated order-``k`` coefficients of a fleet-wide batched
+    residual evaluation as one ``(b, n)`` array.
+
+    ``values`` holds raw residual planes of element shape
+    ``(b, n, K+1)`` (the return of
+    :meth:`~repro.poly.system.PolynomialSystem.residual_fleet`); the
+    result is bitwise equal to stacking :func:`_residual_column` over
+    the per-path residual series — negation is exact and the gather
+    moves bits untouched.
+    """
+    if isinstance(values, MDComplexArray):
+        return MDComplexArray(
+            MDArray(-values.real.data[..., k]),
+            MDArray(-values.imag.data[..., k]),
+        )
+    return MDArray(-values.data[..., k])
+
+
 @profiled("newton_series", trace_of=lambda result: result.trace)
 def newton_series(
     system,

@@ -1,0 +1,144 @@
+"""The baseline checker itself: schema validation and drift policing.
+
+``benchmarks/check_baselines.py`` gates CI on the committed
+``BENCH_*.json`` performance baselines.  These tests pin its contract
+without invoking git or touching the real baselines: the validator on
+synthetic payloads (envelope keys, suite/filename agreement,
+null-tolerant ``environment``), the drift rule on synthetic change
+lists, and a full run over the repo's committed baselines — which must
+always validate, or CI is red before any code change.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+spec = importlib.util.spec_from_file_location(
+    "check_baselines", BENCH_DIR / "check_baselines.py"
+)
+check_baselines = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_baselines)
+
+
+def envelope(**overrides):
+    """A minimal valid baseline payload, overridable per test."""
+    payload = {
+        "suite": "demo",
+        "git_sha": "a" * 40,
+        "python": "3.11.7",
+        "updated": "2026-08-07T00:00:00Z",
+        "entries": {"case": {"seconds": 1.0, "floor": 1.3}},
+    }
+    payload.update(overrides)
+    return payload
+
+
+def write_baseline(tmp_path, name="BENCH_demo.json", payload=None):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload if payload is not None else envelope()))
+    return path
+
+
+class TestSchema:
+    def test_valid_baseline_passes(self, tmp_path):
+        path = write_baseline(tmp_path)
+        assert check_baselines.validate_baseline(path) == []
+
+    def test_environment_is_null_tolerant(self, tmp_path):
+        """Old baselines predate the environment block: absent is fine,
+        and a present block may omit exec_backend."""
+        no_env = write_baseline(tmp_path)
+        assert check_baselines.validate_baseline(no_env) == []
+        with_env = write_baseline(
+            tmp_path,
+            name="BENCH_demo2.json",
+            payload=envelope(suite="demo2", environment={"python": "3.11.7"}),
+        )
+        assert check_baselines.validate_baseline(with_env) == []
+
+    def test_environment_must_be_mapping_when_present(self, tmp_path):
+        path = write_baseline(tmp_path, payload=envelope(environment="generic"))
+        problems = check_baselines.validate_baseline(path)
+        assert any("environment" in p for p in problems)
+
+    @pytest.mark.parametrize("key", ["suite", "git_sha", "python", "updated", "entries"])
+    def test_missing_required_key_fails(self, tmp_path, key):
+        payload = envelope()
+        del payload[key]
+        path = write_baseline(tmp_path, payload=payload)
+        problems = check_baselines.validate_baseline(path)
+        assert any(repr(key) in p for p in problems)
+
+    def test_suite_must_match_filename(self, tmp_path):
+        path = write_baseline(
+            tmp_path, name="BENCH_other.json", payload=envelope(suite="demo")
+        )
+        problems = check_baselines.validate_baseline(path)
+        assert any("does not match filename" in p for p in problems)
+
+    def test_empty_entries_fail(self, tmp_path):
+        path = write_baseline(tmp_path, payload=envelope(entries={}))
+        problems = check_baselines.validate_baseline(path)
+        assert any("entries" in p for p in problems)
+
+    def test_non_dict_entry_fails(self, tmp_path):
+        path = write_baseline(tmp_path, payload=envelope(entries={"case": 3.5}))
+        problems = check_baselines.validate_baseline(path)
+        assert any("'case'" in p for p in problems)
+
+    def test_unreadable_json_fails(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        problems = check_baselines.validate_baseline(path)
+        assert problems and "unreadable" in problems[0]
+
+
+class TestDriftRule:
+    def test_baseline_with_code_change_is_allowed(self):
+        changed = [
+            "benchmarks/BENCH_fleet.json",
+            "benchmarks/bench_fleet_scheduler.py",
+        ]
+        assert check_baselines.drift_problems(changed) == []
+
+    def test_baseline_alone_is_drift(self):
+        problems = check_baselines.drift_problems(["benchmarks/BENCH_fleet.json"])
+        assert len(problems) == 1
+        assert "BENCH_fleet.json" in problems[0]
+
+    def test_baseline_with_unrelated_change_is_still_drift(self):
+        """A source-tree edit does not license a baseline refresh; the
+        matching change must live under benchmarks/."""
+        changed = ["benchmarks/BENCH_fleet.json", "src/repro/batch/fleet.py"]
+        assert len(check_baselines.drift_problems(changed)) == 1
+
+    def test_no_baseline_changes_no_drift(self):
+        changed = ["src/repro/batch/fleet.py", "benchmarks/harness.py"]
+        assert check_baselines.drift_problems(changed) == []
+
+
+class TestCommittedBaselines:
+    def test_repo_baselines_all_validate(self):
+        paths = check_baselines.baseline_paths(BENCH_DIR)
+        assert paths, "repo must ship committed BENCH_*.json baselines"
+        for path in paths:
+            assert check_baselines.validate_baseline(path) == []
+
+    def test_fleet_baseline_exists_with_floor(self):
+        """The continuous-scheduler suite ships its first baseline."""
+        payload = json.loads((BENCH_DIR / "BENCH_fleet.json").read_text())
+        entry = payload["entries"]["straggler_fleet_b32_dd_od"]
+        assert entry["speedup"] >= entry["floor"] == 1.3
+        assert entry["occupancy"] > 0.5
+        assert entry["straggler_steps"] == 1
+
+    def test_main_schema_only_passes_on_repo(self, capsys):
+        assert check_baselines.main([]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -33,6 +33,7 @@ def make_recording() -> Recorder:
     recorder.count("escalations")
     recorder.observe("stage", 1.5)
     recorder.observe("stage", 0.5)
+    recorder.gauge("fleet_occupancy", 0.75)
     return recorder
 
 
@@ -45,6 +46,7 @@ class TestJsonlRoundTrip:
         assert document.records == recorder.records
         assert document.counters == recorder.counters
         assert document.histograms == recorder.histograms
+        assert document.gauges == recorder.gauges == {"fleet_occupancy": 0.75}
 
     def test_double_round_trip_is_stable(self, tmp_path):
         recorder = make_recording()
@@ -79,6 +81,41 @@ class TestJsonlRoundTrip:
             handle.write(json.dumps({"kind": "gauge", "name": "future"}) + "\n")
         document = read_jsonl(path)
         assert document.records == recorder.records
+
+
+class TestGauges:
+    def test_gauge_overwrites_last_value(self):
+        recorder = Recorder()
+        recorder.gauge("occupancy", 0.5)
+        recorder.gauge("occupancy", 0.9)
+        recorder.gauge("queue_depth", 3)
+        assert recorder.gauges == {"occupancy": 0.9, "queue_depth": 3.0}
+        recorder.clear()
+        assert recorder.gauges == {}
+
+    def test_null_recorder_gauge_is_a_no_op(self):
+        from repro.obs import NULL_RECORDER
+
+        NULL_RECORDER.gauge("occupancy", 0.5)
+        assert NULL_RECORDER.gauges == {}
+
+    def test_pre_gauge_recordings_read_back_null_tolerantly(self, tmp_path):
+        # a metrics line written before gauges existed has no key at all
+        path = tmp_path / "old.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": 1, "label": "old", "records": 0})
+            + "\n"
+            + json.dumps({"kind": "metrics", "counters": {"steps": 2}, "histograms": {}})
+            + "\n"
+        )
+        document = read_jsonl(path)
+        assert document.counters == {"steps": 2}
+        assert document.gauges == {}
+        assert metrics_summary(document)["gauges"] == {}
+
+    def test_metrics_summary_carries_gauges(self):
+        summary = metrics_summary(make_recording())
+        assert summary["gauges"] == {"fleet_occupancy": 0.75}
 
 
 class TestPercentiles:

@@ -1,0 +1,238 @@
+"""Fleet-wide batched series evaluation: one power table, ``b`` paths.
+
+The continuous scheduler's supporting contract: evaluating a whole
+fleet's series arguments through one shared power table is
+**bit-identical, slice for slice**, to evaluating every path alone —
+and costs exactly the launch sequence of a single evaluation (flat in
+``b``; only the grids grow).  Covered here:
+
+* ``evaluate_series`` on raw ``(b, variables, K+1)`` limb planes, real
+  and complex, vs the loop-per-path ``VectorSeries`` evaluation;
+* ``jacobian_series`` the same way on ``(b, equations, variables,
+  K+1)`` output planes;
+* ``residual_fleet`` of parametric systems and of both ``Homotopy``
+  backends vs the per-path residual adapters the tracker uses;
+* launch accounting: the numeric batched trace is launch-identical to
+  ``polynomial_evaluation_trace(batch=b)``, launch counts stay flat in
+  ``b``, and ``counts(batch=b)`` scales operations without adding
+  launches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.kernel import KernelTrace
+from repro.md.constants import get_precision
+from repro.perf.costmodel import polynomial_evaluation_trace
+from repro.poly import Homotopy, PolynomialSystem, cyclic, katsura
+from repro.series.complexvec import ComplexVectorSeries
+from repro.series.truncated import TruncatedSeries
+from repro.series.vector import VectorSeries
+from repro.vec.complexmd import MDComplexArray
+from repro.vec.mdarray import MDArray
+
+BATCH = 5
+ORDER = 4
+LIMBS = 2
+
+
+def real_planes(batch, variables, order, limbs, seed=0):
+    """Deterministic batched coefficient planes (heads only, so every
+    slice is a normalized multiple-double series)."""
+    rng = np.random.default_rng(seed)
+    data = np.zeros((limbs, batch, variables, order + 1))
+    data[0] = rng.standard_normal((batch, variables, order + 1))
+    return MDArray(data)
+
+
+def complex_planes(batch, variables, order, limbs, seed=0):
+    return MDComplexArray(
+        real_planes(batch, variables, order, limbs, seed=seed),
+        real_planes(batch, variables, order, limbs, seed=seed + 1),
+    )
+
+
+def path_vector(planes, p):
+    """Path ``p`` of a batched plane stack as an unbatched series vector."""
+    if isinstance(planes, MDComplexArray):
+        return ComplexVectorSeries(
+            MDComplexArray(
+                MDArray(planes.real.data[:, p].copy()),
+                MDArray(planes.imag.data[:, p].copy()),
+            )
+        )
+    return VectorSeries(MDArray(planes.data[:, p].copy()))
+
+
+def assert_planes_equal(batched, p, reference):
+    """Slice ``p`` of a batched result equals the unbatched planes, bitwise."""
+    if isinstance(batched, MDComplexArray):
+        assert np.array_equal(batched.real.data[:, p], reference.real.data)
+        assert np.array_equal(batched.imag.data[:, p], reference.imag.data)
+    else:
+        assert np.array_equal(batched.data[:, p], reference.data)
+
+
+class TestBatchedEvaluationBitIdentity:
+    @pytest.mark.parametrize(
+        "system", [katsura(3), cyclic(4)], ids=["katsura3", "cyclic4"]
+    )
+    def test_real_slices_match_loop_per_path(self, system):
+        planes = real_planes(BATCH, system.variables, ORDER, LIMBS)
+        batched = system.evaluate_series(planes)
+        assert batched.shape == (BATCH, system.equations, ORDER + 1)
+        for p in range(BATCH):
+            reference = system.evaluate_series(path_vector(planes, p))
+            assert_planes_equal(batched, p, reference.coefficients)
+
+    @pytest.mark.parametrize(
+        "system", [katsura(3), cyclic(4)], ids=["katsura3", "cyclic4"]
+    )
+    def test_complex_slices_match_loop_per_path(self, system):
+        planes = complex_planes(BATCH, system.variables, ORDER, LIMBS)
+        batched = system.evaluate_series(planes)
+        assert isinstance(batched, MDComplexArray)
+        for p in range(BATCH):
+            reference = system.evaluate_series(path_vector(planes, p))
+            assert_planes_equal(batched, p, reference.coefficients)
+
+    def test_complex_coefficient_system_promotes_real_planes(self):
+        """A complex-coefficient system evaluates real batched planes
+        natively complex, exactly like its unbatched promotion."""
+        system = PolynomialSystem(
+            [
+                [(1 + 2j, (2, 0)), (-1, (0, 0))],
+                [(1, (1, 1)), (0.5j, (0, 0))],
+            ]
+        )
+        planes = real_planes(BATCH, system.variables, ORDER, LIMBS)
+        batched = system.evaluate_series(planes)
+        assert isinstance(batched, MDComplexArray)
+        for p in range(BATCH):
+            reference = system.evaluate_series(path_vector(planes, p))
+            assert_planes_equal(batched, p, reference.coefficients)
+
+    def test_wrong_variable_count_rejected(self):
+        system = katsura(3)
+        planes = real_planes(BATCH, system.variables - 1, ORDER, LIMBS)
+        with pytest.raises(ValueError):
+            system.evaluate_series(planes)
+
+
+class TestBatchedJacobianBitIdentity:
+    @pytest.mark.parametrize(
+        "make",
+        [lambda: real_planes(BATCH, 4, ORDER, LIMBS),
+         lambda: complex_planes(BATCH, 4, ORDER, LIMBS)],
+        ids=["real", "complex"],
+    )
+    def test_slices_match_loop_per_path(self, make):
+        system = katsura(3)
+        assert system.variables == 4
+        planes = make()
+        batched = system.jacobian_series(planes)
+        assert batched.shape == (
+            BATCH,
+            system.equations,
+            system.variables,
+            ORDER + 1,
+        )
+        for p in range(BATCH):
+            reference = system.jacobian_series(path_vector(planes, p))
+            assert_planes_equal(batched, p, reference)
+
+
+class TestResidualFleet:
+    def test_parametric_system_appends_the_parameter(self):
+        """A system with one more variable than unknowns receives the
+        per-path parameter series ``t_p + s`` as its last variable —
+        the same local shift the tracker's residual adapter applies."""
+        system = PolynomialSystem(
+            [
+                [(1, (2, 0, 0)), (-1, (0, 0, 1)), (-1, (0, 0, 0))],
+                [(1, (1, 1, 1)), (-2, (0, 1, 0))],
+            ]
+        )
+        prec = get_precision(LIMBS)
+        planes = real_planes(BATCH, 2, ORDER, LIMBS)
+        t_heads = [0.0, 0.125, 0.5, 0.75, 1.0]
+        batched = system.residual_fleet(planes, t_heads)
+        for p, t0 in enumerate(t_heads):
+            components = path_vector(planes, p).components()
+            t_series = TruncatedSeries.variable(ORDER, prec, head=t0)
+            reference = system.evaluate_series([*components, t_series])
+            assert_planes_equal(batched, p, reference.coefficients)
+
+    @pytest.mark.parametrize("backend", ["realified", "complex"])
+    def test_homotopy_slices_match_the_residual_adapter(self, backend):
+        homotopy = Homotopy.total_degree(cyclic(3), seed=7, backend=backend)
+        prec = get_precision(LIMBS)
+        dimension = homotopy.tracking_dimension
+        if backend == "complex":
+            planes = complex_planes(BATCH, dimension, ORDER, LIMBS)
+        else:
+            planes = real_planes(BATCH, dimension, ORDER, LIMBS)
+        t_heads = [0.0, 0.25, 0.5, 0.875, 1.0]
+        batched = homotopy.residual_fleet(planes, t_heads)
+        assert batched.shape == (BATCH, dimension, ORDER + 1)
+        for p, t0 in enumerate(t_heads):
+            components = path_vector(planes, p).components()
+            t_series = TruncatedSeries.variable(ORDER, prec, head=t0)
+            residuals = homotopy(components, t_series)
+            if backend == "complex":
+                reference = ComplexVectorSeries.from_components(residuals)
+            else:
+                reference = VectorSeries.from_components(residuals)
+            assert_planes_equal(batched, p, reference.coefficients)
+
+
+class TestBatchedLaunchAccounting:
+    def test_numeric_trace_matches_analytic_batched_trace(self):
+        system = katsura(3)
+        planes = real_planes(BATCH, system.variables, ORDER, LIMBS)
+        numeric = KernelTrace("V100")
+        system.evaluate_series(planes, trace=numeric)
+        analytic = polynomial_evaluation_trace(
+            system.equations,
+            system.variables,
+            system.distinct_products,
+            system.max_degree,
+            system._term_slots,
+            LIMBS,
+            order=ORDER,
+            batch=BATCH,
+        )
+        assert [l.name for l in numeric.launches] == [
+            l.name for l in analytic.launches
+        ]
+        for observed, expected in zip(numeric.launches, analytic.launches):
+            assert observed.blocks == expected.blocks
+            assert observed.tally.multiplications == expected.tally.multiplications
+            assert observed.tally.additions == expected.tally.additions
+
+    def test_launch_count_flat_in_batch(self):
+        system = katsura(3)
+        single = KernelTrace("V100")
+        system.evaluate_series(
+            path_vector(real_planes(BATCH, system.variables, ORDER, LIMBS), 0),
+            trace=single,
+        )
+        batched = KernelTrace("V100")
+        system.evaluate_series(
+            real_planes(BATCH, system.variables, ORDER, LIMBS), trace=batched
+        )
+        assert [l.name for l in batched.launches] == [
+            l.name for l in single.launches
+        ]
+
+    def test_counts_scale_operations_not_launches(self):
+        system = katsura(3)
+        base = system.counts(order=ORDER)
+        wide = system.counts(order=ORDER, batch=BATCH)
+        assert wide.combined.mul == pytest.approx(BATCH * base.combined.mul)
+        assert wide.combined.add == pytest.approx(BATCH * base.combined.add)
+        assert wide.combined.launches == base.combined.launches
+        with pytest.raises(ValueError):
+            system.counts(batch=0)
