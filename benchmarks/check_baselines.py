@@ -11,6 +11,10 @@ CI runs this checker on every push to keep them honest:
 ``environment`` block is newer than the oldest baselines, so it is
 *null-tolerant*: absent is fine, but when present it must be a mapping
 (and ``exec_backend`` inside it may be missing on pre-exec suites).
+Per-entry ``git_sha``/``recorded_at`` stamps (the trend store orders
+run history by them) are validated the same way: entries recorded
+before the stamps existed may omit them, but a present stamp must be a
+non-empty string.
 
 **Drift** — with ``--diff-range`` the checker asks git which files a
 change touched.  Editing a committed baseline without touching any
@@ -82,6 +86,17 @@ def validate_baseline(path: Path) -> list[str]:
                     problems.append(
                         f"{path.name}: entry {name!r} must be an object"
                     )
+                    continue
+                # per-entry stamps are null-tolerant like 'environment':
+                # pre-stamp entries may omit them, present must be valid
+                for stamp in ("git_sha", "recorded_at"):
+                    if stamp in entry and (
+                        not isinstance(entry[stamp], str) or not entry[stamp]
+                    ):
+                        problems.append(
+                            f"{path.name}: entry {name!r} stamp {stamp!r} "
+                            "must be a non-empty string when present"
+                        )
 
     # environment is null-tolerant: the oldest baselines predate it
     environment = payload.get("environment")

@@ -21,6 +21,8 @@ Schema of one ``BENCH_<suite>.json``::
         "<entry id>": {"seconds": ..., "speedup": ..., "floor": ...,
                        "md_flops": ..., "launches": ...,
                        "shape": {"n": ..., "degree": ..., "batch": ..., "order": ...},
+                       "git_sha": "<sha this entry was measured at>",
+                       "recorded_at": "<ISO-8601 stamp of this entry>",
                        ...}
       }
     }
@@ -28,6 +30,13 @@ Schema of one ``BENCH_<suite>.json``::
 Every entry carries a ``shape`` sub-dict (:func:`problem_shape`) with
 the problem dimensions — n, degree, batch width b, series order K —
 so the records stay self-describing as benchmarks evolve across PRs.
+Each entry is also stamped with its *own* ``git_sha``/``recorded_at``:
+the suite-level stamps only say when the file was last touched, so in
+a file mixing entries measured at different commits they misattribute
+every entry but the newest.  The trend store
+(:mod:`repro.obs.store`) orders run history by the per-entry stamps
+and falls back to the suite-level pair on baselines recorded before
+they existed — consumers must stay null-tolerant the same way.
 
 Entries are keyed by a stable id and overwritten in place, so the file
 always holds the latest measurement of every benchmark that ran.
@@ -146,7 +155,10 @@ def record(suite: str, entry: str, telemetry=None, **fields) -> dict:
     ``telemetry`` optionally attaches a ``repro.obs`` recording summary
     (:func:`repro.obs.export.metrics_summary` output, or a live
     recorder / read-back document, which is summarized here) under the
-    entry's ``telemetry`` key.  Returns the entry as written.
+    entry's ``telemetry`` key.  The entry is stamped with its own
+    ``git_sha``/``recorded_at`` (see the module docstring — the
+    suite-level stamps cover only the newest entry).  Returns the entry
+    as written.
     """
     data = load(suite)
     data["suite"] = suite
@@ -161,10 +173,14 @@ def record(suite: str, entry: str, telemetry=None, **fields) -> dict:
 
             telemetry = metrics_summary(telemetry)
         fields = {**fields, "telemetry": telemetry}
-    entries[entry] = fields
+    entries[entry] = {
+        **fields,
+        "git_sha": data["git_sha"],
+        "recorded_at": data["updated"],
+    }
     path = results_path(suite)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    return fields
+    return entries[entry]
 
 
 def problem_shape(*, n=None, degree=None, batch=None, order=None, **extra) -> dict:

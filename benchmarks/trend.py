@@ -1,0 +1,129 @@
+"""Perf-trajectory sentinel: ingest baselines, judge trends, report.
+
+The committed ``BENCH_*.json`` baselines are snapshots; this CLI keeps
+the *trajectory*.  It ingests every baseline in a bench directory into
+an append-only :class:`repro.obs.store.TrendStore` ledger (one line
+per ``(suite, entry, shape, exec_backend, git_sha, recorded_at)`` run
+record — re-running over unchanged baselines appends nothing), judges
+every metric series against its rolling-median history
+(:mod:`repro.obs.regress`), prints the trend report and exits nonzero
+on a ``regress`` verdict when asked — the CI ``perf-trend`` job runs
+exactly this and fails the push on a confirmed slowdown.
+
+Usage::
+
+    python benchmarks/trend.py                       # ingest + report
+    python benchmarks/trend.py --fail-on-regress     # the CI gate
+    python benchmarks/trend.py --store /tmp/ledger.jsonl \\
+        --report /tmp/trend.txt --regress-ratio 1.5
+
+The store defaults to ``trend_store.jsonl`` in the harness results
+directory (so ``BENCH_OUTPUT_DIR`` redirects it together with the
+baselines); thresholds default to :class:`repro.obs.regress.Thresholds`
+and every knob is a flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+# Runnable both as `python benchmarks/trend.py` (sys.path[0] is the
+# bench dir, src may be absent) and under pytest (repro importable,
+# harness not): backfill whichever half is missing.
+sys.path.insert(0, str(_BENCH_DIR))
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(_BENCH_DIR.parent / "src"))
+
+import harness
+
+from repro.obs.regress import (
+    VERDICT_REGRESS,
+    Thresholds,
+    evaluate_trends,
+    render_trend_report,
+    worst_verdict,
+)
+from repro.obs.store import TrendStore
+
+
+def build_store(store_path, bench_dir: Path) -> TrendStore:
+    """The bound store with every ``BENCH_*.json`` of ``bench_dir``
+    ingested (append-only — unchanged baselines add nothing)."""
+    store = TrendStore(path=store_path)
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        store.ingest_file(path)
+    return store
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="trend-store ledger (default: trend_store.jsonl in the "
+        "harness results directory)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=_BENCH_DIR,
+        help="directory holding the BENCH_*.json baselines to ingest",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="also write the rendered report to this file",
+    )
+    parser.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit 1 when any metric series is judged 'regress'",
+    )
+    defaults = Thresholds()
+    parser.add_argument("--warn-ratio", type=float, default=defaults.warn_ratio)
+    parser.add_argument("--regress-ratio", type=float, default=defaults.regress_ratio)
+    parser.add_argument("--min-history", type=int, default=defaults.min_history)
+    parser.add_argument("--window", type=int, default=defaults.window)
+    parser.add_argument("--noise-guard", type=float, default=defaults.noise_guard)
+    args = parser.parse_args(argv)
+
+    store_path = args.store
+    if store_path is None:
+        store_path = harness.results_dir() / "trend_store.jsonl"
+    thresholds = Thresholds(
+        warn_ratio=args.warn_ratio,
+        regress_ratio=args.regress_ratio,
+        min_history=args.min_history,
+        window=args.window,
+        noise_guard=args.noise_guard,
+    )
+
+    store = build_store(store_path, args.bench_dir)
+    verdicts = evaluate_trends(store, thresholds)
+    report = render_trend_report(verdicts, thresholds)
+    print(report)
+    print(f"store: {store_path} ({len(store)} run records)")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report + "\n")
+        print(f"report written to {args.report}")
+
+    if args.fail_on_regress and worst_verdict(verdicts) == VERDICT_REGRESS:
+        regressed = [v for v in verdicts if v.verdict == VERDICT_REGRESS]
+        print(
+            f"FAIL: {len(regressed)} metric series regressed", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,7 @@ fleet of one is bit-identical to complex ``track_path``.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -61,6 +62,7 @@ from ..gpu.memory import md_bytes
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
 from ..obs.events import get_recorder
+from ..obs.live import attach_monitor
 from ..obs.log import get_logger
 from ..obs.profile import attach_trace
 from ..series.complexvec import (
@@ -311,6 +313,7 @@ def track_paths(
     pole_safety=None,
     policy: str = "continuous",
     device: str = "V100",
+    monitor=None,
 ) -> PathFleetResult:
     """Track a fleet of solution paths of ``F(x, t) = 0`` in batches.
 
@@ -336,6 +339,14 @@ def track_paths(
     reproduces the historical round-barrier schedule exactly.  The
     policy only changes how work is cut into launches — per-path
     results are bitwise identical under both.
+
+    ``monitor`` optionally attaches a
+    :class:`~repro.obs.live.LiveMonitor` that watches the fleet's
+    telemetry in flight — per-path progress, analytic ETA, stall
+    detection, incremental JSONL flushes.  Observe-only: the fleet
+    tracks bitwise identically with or without one.  When no recording
+    scope is active the monitor's private recorder is enabled for the
+    duration of the call.
 
     Returns a :class:`PathFleetResult`; its ``paths`` entries are
     bit-identical to tracking each start point alone with
@@ -411,8 +422,11 @@ def track_paths(
         if not (state.t_current < t_end - 1e-14 and max_steps > 0):
             _finalize(state, fleet.paths[index], t_end)
 
-    recorder = get_recorder()
-    with recorder.span(
+    # Monitor enters first, exits last: the closing ``track_paths``
+    # span is still delivered to the attached monitor.
+    monitor_stack = ExitStack()
+    recorder = attach_monitor(monitor_stack, monitor)
+    with monitor_stack, recorder.span(
         "track_paths",
         category="run",
         batch=len(starts),

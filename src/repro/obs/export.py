@@ -141,15 +141,22 @@ def read_jsonl(path) -> RecordingDocument:
     return document
 
 
-def percentile(values, q) -> float:
+def percentile(values, q):
     """Nearest-rank percentile: the smallest observation covering at
     least ``q`` percent of the sample (so ``p50`` of ``[1, 2, 3, 4]``
     is ``2``, ``p99`` the maximum).  Deterministic and hand-computable
-    — the definition the test suite checks digit for digit."""
-    if not values:
-        raise ValueError("percentile of an empty sample")
+    — the definition the test suite checks digit for digit.
+
+    An empty sample returns ``None`` (there is no observation to
+    report): live incremental summaries aggregate histograms *while* a
+    run is in flight, and a monitor flush must never crash on a
+    histogram that has not received its first observation yet.  A ``q``
+    outside ``(0, 100]`` is still a programming error and raises.
+    """
     if not 0.0 < q <= 100.0:
         raise ValueError(f"the percentile must lie in (0, 100], got {q}")
+    if not values:
+        return None
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]
@@ -157,18 +164,35 @@ def percentile(values, q) -> float:
 
 def histogram_summary(values) -> dict:
     """Count, total, mean, min/max and nearest-rank p50/p90/p99 of one
-    histogram's raw observations."""
+    histogram's raw observations.
+
+    Empty input is well-defined, not an error: ``count`` 0, ``total_ms``
+    0.0 and ``None`` for every statistic that needs at least one
+    observation — the shape live monitor flushes rely on.  A single
+    observation reports itself as every statistic.
+    """
     values = list(values)
     total = float(sum(values))
+    if not values:
+        return {
+            "count": 0,
+            "total_ms": 0.0,
+            "mean_ms": None,
+            "min_ms": None,
+            "max_ms": None,
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+        }
     return {
         "count": len(values),
         "total_ms": total,
-        "mean_ms": total / len(values) if values else 0.0,
-        "min_ms": min(values) if values else 0.0,
-        "max_ms": max(values) if values else 0.0,
-        "p50_ms": percentile(values, 50) if values else 0.0,
-        "p90_ms": percentile(values, 90) if values else 0.0,
-        "p99_ms": percentile(values, 99) if values else 0.0,
+        "mean_ms": total / len(values),
+        "min_ms": min(values),
+        "max_ms": max(values),
+        "p50_ms": percentile(values, 50),
+        "p90_ms": percentile(values, 90),
+        "p99_ms": percentile(values, 99),
     }
 
 

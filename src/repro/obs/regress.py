@@ -1,0 +1,364 @@
+"""Statistical regression detection over the cross-run trend store.
+
+Every metric series of a :class:`~repro.obs.store.TrendStore` gets a
+per-metric **verdict**:
+
+``ok``
+    The newest measurement sits within the thresholds of the rolling
+    baseline.
+``warn`` / ``regress``
+    The newest measurement degraded by at least
+    :attr:`Thresholds.warn_ratio` / :attr:`Thresholds.regress_ratio`
+    relative to the **rolling median** of the previous
+    :attr:`Thresholds.window` runs — median, not mean, so one earlier
+    outlier cannot drag the baseline.
+``insufficient_history``
+    Fewer than :attr:`Thresholds.min_history` runs exist; no verdict is
+    possible and none is fabricated (a fresh store full of first
+    measurements reports *no* regressions, it reports no history).
+
+A **noise guard** keeps jittery series from paging anyone: the relative
+spread of the baseline window (``(max - min) / median`` — the repeat
+spread of the run history) inflates both thresholds by
+:attr:`Thresholds.noise_guard` times itself, so a metric must degrade
+by more than its own historical wobble before it can warn.
+
+Metric *direction* is inferred from the name: ``seconds``/``*_ms``
+(and ratio-over-baseline shapes like ``overhead_ratio``) are
+lower-is-better, ``speedup``/``occupancy`` are higher-is-better, and
+anything else — flop tallies, launch counts, shape data — is
+informational and never judged.  Degradation is always reported as a
+ratio ``>= 1`` means worse, whichever the direction.
+
+:func:`render_trend_report` renders the verdicts as tables on the
+shared :func:`repro.perf.report.format_table` formatters — sparkline
+history, signed deltas, verdict column, worst-first — and renders
+*identically* from a live store or one read back from its JSONL file
+(it is a pure function of the points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..perf.report import format_table
+from .store import TrendStore
+
+__all__ = [
+    "VERDICT_OK",
+    "VERDICT_WARN",
+    "VERDICT_REGRESS",
+    "VERDICT_INSUFFICIENT",
+    "Thresholds",
+    "TrendVerdict",
+    "metric_direction",
+    "judge_series",
+    "evaluate_trends",
+    "worst_verdict",
+    "sparkline",
+    "render_trend_report",
+]
+
+VERDICT_OK = "ok"
+VERDICT_WARN = "warn"
+VERDICT_REGRESS = "regress"
+VERDICT_INSUFFICIENT = "insufficient_history"
+
+#: Severity order for sorting and :func:`worst_verdict` (history gaps
+#: are below ``ok`` — they gate nothing).
+_SEVERITY = {
+    VERDICT_REGRESS: 3,
+    VERDICT_WARN: 2,
+    VERDICT_OK: 1,
+    VERDICT_INSUFFICIENT: 0,
+}
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Configurable detection thresholds (see the module docstring)."""
+
+    #: relative degradation that warns (1.10 = 10% worse than baseline)
+    warn_ratio: float = 1.10
+    #: relative degradation that fails CI
+    regress_ratio: float = 1.25
+    #: runs needed (newest included) before any verdict is issued
+    min_history: int = 3
+    #: rolling-baseline window: the newest point is judged against the
+    #: median of up to this many runs before it
+    window: int = 8
+    #: noise guard multiplier: thresholds are inflated by this times the
+    #: baseline window's relative spread
+    noise_guard: float = 2.0
+
+    def __post_init__(self):
+        if not self.warn_ratio > 1.0:
+            raise ValueError(f"warn_ratio must exceed 1, got {self.warn_ratio}")
+        if not self.regress_ratio >= self.warn_ratio:
+            raise ValueError(
+                f"regress_ratio ({self.regress_ratio}) must be >= warn_ratio "
+                f"({self.warn_ratio})"
+            )
+        if self.min_history < 2:
+            raise ValueError("min_history must be at least 2 (baseline + newest)")
+        if self.window < 1:
+            raise ValueError("the rolling window needs at least one run")
+        if self.noise_guard < 0.0:
+            raise ValueError("noise_guard must be non-negative")
+
+
+@dataclass
+class TrendVerdict:
+    """The verdict of one metric of one series."""
+
+    suite: str
+    entry: str
+    exec_backend: str | None
+    shape: dict
+    metric: str
+    verdict: str
+    #: higher-is-worse degradation ratio (``None`` without history)
+    ratio: float | None = None
+    #: rolling-median baseline the newest value was judged against
+    baseline: float | None = None
+    latest: float | None = None
+    #: relative spread of the baseline window (the noise guard input)
+    spread: float | None = None
+    #: runs in the series (newest included)
+    history: int = 0
+    #: the series values, oldest first (sparkline input)
+    values: list = field(default_factory=list)
+
+    @property
+    def delta_pct(self) -> float | None:
+        """Signed percent change, positive = worse."""
+        return None if self.ratio is None else (self.ratio - 1.0) * 100.0
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower_better"``, ``"higher_better"`` or ``None`` (not judged).
+
+    Operates on the statistic part of flattened telemetry names
+    (``telemetry:batched_pade:p50_ms`` judges like ``p50_ms``); counter
+    series (``telemetry:counters:*``) are informational — step counts
+    are workload, not performance.
+    """
+    if name.startswith("telemetry:counters:"):
+        return None
+    leaf = name.rsplit(":", 1)[-1]
+    if leaf in ("count", "floor", "launches", "md_flops"):
+        return None
+    if "seconds" in leaf or leaf.endswith("_ms") or leaf.endswith("_ratio"):
+        return "lower_better"
+    if "speedup" in leaf or leaf == "occupancy":
+        return "higher_better"
+    return None
+
+
+def _median(values) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[middle])
+    return (float(ordered[middle - 1]) + float(ordered[middle])) / 2.0
+
+
+def judge_series(values, thresholds: Thresholds, direction: str) -> dict:
+    """Judge one ordered metric series (oldest first, newest last).
+
+    Returns the verdict fields (``verdict``, ``ratio``, ``baseline``,
+    ``latest``, ``spread``, ``history``) as a dict —
+    :func:`evaluate_trends` merges them into :class:`TrendVerdict`
+    rows.  Non-positive values anywhere in the judged window make the
+    ratio meaningless, so they report ``insufficient_history`` rather
+    than a fabricated verdict.
+    """
+    values = [float(value) for value in values]
+    latest = values[-1] if values else None
+    if len(values) < thresholds.min_history:
+        return {
+            "verdict": VERDICT_INSUFFICIENT,
+            "ratio": None,
+            "baseline": None,
+            "latest": latest,
+            "spread": None,
+            "history": len(values),
+        }
+    window = values[:-1][-thresholds.window :]
+    baseline = _median(window)
+    if baseline <= 0.0 or latest <= 0.0:
+        return {
+            "verdict": VERDICT_INSUFFICIENT,
+            "ratio": None,
+            "baseline": baseline,
+            "latest": latest,
+            "spread": None,
+            "history": len(values),
+        }
+    ratio = latest / baseline if direction == "lower_better" else baseline / latest
+    spread = (max(window) - min(window)) / baseline
+    noise_floor = 1.0 + thresholds.noise_guard * spread
+    if ratio >= max(thresholds.regress_ratio, noise_floor):
+        verdict = VERDICT_REGRESS
+    elif ratio >= max(thresholds.warn_ratio, noise_floor):
+        verdict = VERDICT_WARN
+    else:
+        verdict = VERDICT_OK
+    return {
+        "verdict": verdict,
+        "ratio": ratio,
+        "baseline": baseline,
+        "latest": latest,
+        "spread": spread,
+        "history": len(values),
+    }
+
+
+def evaluate_trends(store, thresholds: Thresholds | None = None) -> list:
+    """One :class:`TrendVerdict` per judged metric of every series of a
+    store, sorted worst verdict first (then by suite/entry/metric)."""
+    thresholds = thresholds or Thresholds()
+    verdicts = []
+    for key in store.keys():
+        points = store.series(key)
+        reference = points[-1]
+        for metric in store.metric_names(key):
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            values = store.metric_series(key, metric)
+            judged = judge_series(values, thresholds, direction)
+            verdicts.append(
+                TrendVerdict(
+                    suite=reference.suite,
+                    entry=reference.entry,
+                    exec_backend=reference.exec_backend,
+                    shape=reference.shape,
+                    metric=metric,
+                    values=values,
+                    **judged,
+                )
+            )
+    verdicts.sort(
+        key=lambda v: (-_SEVERITY[v.verdict], v.suite, v.entry, v.metric)
+    )
+    return verdicts
+
+
+def worst_verdict(verdicts) -> str:
+    """The most severe verdict present (``ok`` for an empty list —
+    nothing judged is nothing regressed; ``insufficient_history`` only
+    when that is all there is)."""
+    if not verdicts:
+        return VERDICT_OK
+    worst = max(verdicts, key=lambda v: _SEVERITY[_verdict_of(v)])
+    return _verdict_of(worst)
+
+
+def _verdict_of(item) -> str:
+    return item.verdict if isinstance(item, TrendVerdict) else str(item)
+
+
+#: Eight-level block characters for the history sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 16) -> str:
+    """The last ``width`` values as a block-character sparkline (flat
+    series render mid-height — there is no trend to show)."""
+    values = [float(value) for value in values][-width:]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high - low <= 0.0:
+        return _SPARK_BLOCKS[3] * len(values)
+    scale = (len(_SPARK_BLOCKS) - 1) / (high - low)
+    return "".join(
+        _SPARK_BLOCKS[int(round((value - low) * scale))] for value in values
+    )
+
+
+@dataclass
+class _Table:
+    """The minimal shape :func:`repro.perf.report.format_table` renders."""
+
+    description: str
+    rows: list = field(default_factory=list)
+    notes: str = ""
+    experiment: str = "trend"
+
+
+def _shape_label(shape: dict) -> str:
+    return ",".join(f"{key}={shape[key]}" for key in sorted(shape)) if shape else "-"
+
+
+def render_trend_report(source, thresholds: Thresholds | None = None) -> str:
+    """The perf-trajectory report of a store (or of pre-computed
+    verdicts): verdict counts, then one row per judged metric —
+    history sparkline, baseline vs latest, signed delta, spread,
+    verdict — worst first.
+
+    ``source`` is a :class:`~repro.obs.store.TrendStore`, a path to a
+    store file, or an already-evaluated verdict list.  Rendering is a
+    pure function of the store's points, so a live store and its
+    read-back file render identically.
+    """
+    thresholds = thresholds or Thresholds()
+    if isinstance(source, (str, bytes)) or hasattr(source, "read_text"):
+        source = TrendStore.load(source)
+    if isinstance(source, TrendStore):
+        verdicts = evaluate_trends(source, thresholds)
+    else:
+        verdicts = list(source)
+
+    counts = {name: 0 for name in _SEVERITY}
+    for verdict in verdicts:
+        counts[verdict.verdict] += 1
+    lines = [
+        "== Perf-trend report ==",
+        f"{len(verdicts)} judged metric series: "
+        f"{counts[VERDICT_REGRESS]} regress, {counts[VERDICT_WARN]} warn, "
+        f"{counts[VERDICT_OK]} ok, {counts[VERDICT_INSUFFICIENT]} with "
+        "insufficient history",
+        f"(thresholds: warn >= {thresholds.warn_ratio:.2f}x, regress >= "
+        f"{thresholds.regress_ratio:.2f}x vs the rolling median of "
+        f"{thresholds.window} runs; noise guard {thresholds.noise_guard:g}x "
+        f"spread; verdicts need {thresholds.min_history}+ runs)",
+    ]
+    if not verdicts:
+        lines.append("(the store holds no judged metric series)")
+        return "\n".join(lines)
+
+    rows = [
+        {
+            "suite": verdict.suite,
+            "entry": verdict.entry,
+            "backend": verdict.exec_backend or "-",
+            "metric": verdict.metric,
+            "runs": verdict.history,
+            "trend": sparkline(verdict.values) or "-",
+            "baseline": verdict.baseline,
+            "latest": verdict.latest,
+            "delta_pct": verdict.delta_pct,
+            "spread": verdict.spread,
+            "shape": _shape_label(verdict.shape),
+            "verdict": verdict.verdict.upper()
+            if verdict.verdict == VERDICT_REGRESS
+            else verdict.verdict,
+        }
+        for verdict in verdicts
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            _Table(
+                description="Per-metric verdicts (worst first)",
+                rows=rows,
+                notes="delta_pct is signed degradation vs the rolling-median "
+                "baseline (positive = worse, direction-aware); spread is the "
+                "baseline window's relative repeat spread (the noise guard "
+                "input); insufficient_history rows gate nothing",
+            )
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""The cross-run trend store: an append-only ledger of benchmark runs.
+
+Every ``BENCH_<suite>.json`` file the harness writes is one *snapshot*
+— the latest measurement of each entry.  This module keeps the
+*trajectory*: a :class:`TrendStore` ingests suite payloads run after
+run and accumulates one :class:`TrendPoint` per ``(suite, entry,
+shape, exec_backend, git_sha, recorded_at)`` — that six-tuple is the
+point's identity (ingesting the same unchanged baseline twice is a
+no-op), while the first four fields form the **series key**: all
+points sharing them are one time-series, ordered by ``recorded_at``
+(then ``git_sha``, for stamps recorded in the same second).
+
+On disk a store is schema-versioned JSONL, one header line followed by
+one ``point`` line per run record, in ingestion order.  A store bound
+to a path (``TrendStore(path=...)``) is genuinely append-only: every
+new point appends one line; history is never rewritten.  The CI
+``perf-trend`` job rebuilds a store from the committed baselines on
+each run (``benchmarks/trend.py``), and a persisted store accumulates
+history across runs wherever one is kept.
+
+What one point carries:
+
+* ``metrics`` — every numeric measurement of the entry (seconds,
+  speedup ratios, flop tallies, launch counts), plus the flattened
+  per-kernel statistics of an embedded ``telemetry`` summary as
+  ``telemetry:<histogram>:<stat>`` — so "this kernel got slower" is a
+  first-class series, not something buried in a nested blob;
+* ``shape`` — the entry's self-describing problem-shape sub-dict
+  (:func:`problem_shape <benchmarks.harness.problem_shape>`);
+* ``telemetry`` — the raw embedded summary, kept verbatim so the
+  round-trip through the JSONL file is lossless.
+
+Per-entry ``git_sha``/``recorded_at`` stamps (written by
+``benchmarks/harness.py`` since this module exists) order entries
+correctly even when a suite file mixes measurements from different
+commits; entries from older baselines that only carry suite-level
+stamps fall back to those — null-tolerant, like the harness'
+``environment`` backfill.
+
+Regression verdicts over a store live in :mod:`repro.obs.regress`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "TrendPoint",
+    "TrendStore",
+    "entry_point",
+    "flatten_telemetry",
+]
+
+#: Version stamped into every store file; bump on any
+#: backwards-incompatible change to the point layout.
+STORE_SCHEMA_VERSION = 1
+
+#: Entry keys that are identity/stamp data, not measurements.
+_STAMP_KEYS = ("git_sha", "recorded_at")
+
+
+def flatten_telemetry(telemetry) -> dict:
+    """Flatten an embedded telemetry summary into trend metrics.
+
+    Counters become ``telemetry:counters:<name>`` and every per-kernel
+    histogram statistic becomes ``telemetry:<histogram>:<stat>``
+    (``None`` statistics of empty histograms are dropped — there is no
+    observation to track).  Non-summary input (``None``, or a shape
+    without ``histograms``/``counters`` mappings) flattens to nothing.
+    """
+    metrics: dict = {}
+    if not isinstance(telemetry, dict):
+        return metrics
+    counters = telemetry.get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"telemetry:counters:{name}"] = value
+    histograms = telemetry.get("histograms")
+    if isinstance(histograms, dict):
+        for name, stats in histograms.items():
+            if not isinstance(stats, dict):
+                continue
+            for stat, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    metrics[f"telemetry:{name}:{stat}"] = value
+    return metrics
+
+
+@dataclass
+class TrendPoint:
+    """One benchmark entry as measured in one run."""
+
+    suite: str
+    entry: str
+    #: the entry's problem-shape sub-dict (may be empty on old entries)
+    shape: dict = field(default_factory=dict)
+    #: active :mod:`repro.exec` backend, ``None`` on pre-exec baselines
+    exec_backend: str | None = None
+    git_sha: str = "unknown"
+    #: ISO-8601 stamp of the measurement (orders the series)
+    recorded_at: str = ""
+    #: numeric measurements, flattened telemetry statistics included
+    metrics: dict = field(default_factory=dict)
+    #: the raw embedded telemetry summary (kept verbatim), or ``None``
+    telemetry: dict | None = None
+
+    @property
+    def identity(self) -> tuple:
+        """The primary key: one run record per identity in a store."""
+        return (*self.series_key, self.git_sha, self.recorded_at)
+
+    @property
+    def series_key(self) -> tuple:
+        """The time-series key shared by all runs of this entry."""
+        return (
+            self.suite,
+            self.entry,
+            tuple(sorted((str(k), str(v)) for k, v in self.shape.items())),
+            self.exec_backend,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "point",
+            "suite": self.suite,
+            "entry": self.entry,
+            "shape": self.shape,
+            "exec_backend": self.exec_backend,
+            "git_sha": self.git_sha,
+            "recorded_at": self.recorded_at,
+            "metrics": self.metrics,
+            "telemetry": self.telemetry,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrendPoint":
+        return cls(
+            suite=data["suite"],
+            entry=data["entry"],
+            shape=data.get("shape", {}),
+            exec_backend=data.get("exec_backend"),
+            git_sha=data.get("git_sha", "unknown"),
+            recorded_at=data.get("recorded_at", ""),
+            metrics=data.get("metrics", {}),
+            telemetry=data.get("telemetry"),
+        )
+
+
+def entry_point(suite_payload: dict, entry_name: str) -> TrendPoint:
+    """Build the :class:`TrendPoint` of one entry of a suite payload.
+
+    Numeric entry fields (``bool`` excluded — flags are not
+    measurements) become metrics; per-entry ``git_sha``/``recorded_at``
+    stamps are used when present and fall back to the suite-level
+    ``git_sha``/``updated`` envelope on older baselines.
+    """
+    entry = suite_payload["entries"][entry_name]
+    metrics = {
+        key: value
+        for key, value in entry.items()
+        if key not in _STAMP_KEYS
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool)
+    }
+    telemetry = entry.get("telemetry")
+    if isinstance(telemetry, dict):
+        metrics.update(flatten_telemetry(telemetry))
+    environment = suite_payload.get("environment") or {}
+    shape = entry.get("shape")
+    return TrendPoint(
+        suite=suite_payload.get("suite", ""),
+        entry=entry_name,
+        shape=dict(shape) if isinstance(shape, dict) else {},
+        exec_backend=environment.get("exec_backend"),
+        git_sha=entry.get("git_sha") or suite_payload.get("git_sha") or "unknown",
+        recorded_at=entry.get("recorded_at") or suite_payload.get("updated") or "",
+        metrics=metrics,
+        telemetry=telemetry if isinstance(telemetry, dict) else None,
+    )
+
+
+class TrendStore:
+    """Accumulates :class:`TrendPoint` run records and answers series
+    queries.
+
+    ``path`` optionally binds the store to an append-only JSONL ledger:
+    existing points are loaded at construction, and every
+    :meth:`add`/:meth:`ingest_suite` appends its new points to the file
+    immediately.  An unbound store lives in memory; :meth:`save` writes
+    it out whole, :meth:`load` reads one back.
+    """
+
+    def __init__(self, points=None, *, path=None):
+        self.schema = STORE_SCHEMA_VERSION
+        self.points: list = []
+        self._identities: set = set()
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            for point in _read_points(self.path):
+                self._remember(point)
+        for point in points or ():
+            self.add(point)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def _remember(self, point) -> bool:
+        identity = point.identity
+        if identity in self._identities:
+            return False
+        self._identities.add(identity)
+        self.points.append(point)
+        return True
+
+    # -- growing the ledger ------------------------------------------------
+    def add(self, point) -> bool:
+        """Append one run record.  Returns ``False`` (and changes
+        nothing) when a point with the same identity six-tuple is
+        already in the ledger — re-ingesting an unchanged baseline must
+        not fabricate history."""
+        if not self._remember(point):
+            return False
+        if self.path is not None:
+            _append_lines(self.path, [point.to_dict()])
+        return True
+
+    def ingest_suite(self, suite_payload: dict) -> list:
+        """Ingest every entry of one ``BENCH_<suite>.json`` payload.
+
+        Returns the :class:`TrendPoint` of each entry, in entry order —
+        including points that were already present (their ledger
+        insertion is skipped, the returned view is still complete).
+        """
+        points = [
+            entry_point(suite_payload, name)
+            for name in suite_payload.get("entries", {})
+        ]
+        for point in points:
+            self.add(point)
+        return points
+
+    def ingest_file(self, path) -> list:
+        """Ingest one ``BENCH_<suite>.json`` file (see
+        :meth:`ingest_suite`)."""
+        return self.ingest_suite(json.loads(Path(path).read_text()))
+
+    # -- queries -----------------------------------------------------------
+    def keys(self) -> list:
+        """All series keys, sorted — one per ``(suite, entry, shape,
+        exec_backend)`` combination present in the ledger."""
+        return sorted(
+            {point.series_key for point in self.points},
+            key=lambda key: (key[0], key[1], key[2], key[3] or ""),
+        )
+
+    def series(self, key) -> list:
+        """The full time-series of one key, ordered by
+        ``(recorded_at, git_sha)``."""
+        return sorted(
+            (point for point in self.points if point.series_key == key),
+            key=lambda point: (point.recorded_at, point.git_sha),
+        )
+
+    def latest(self, key, n: int | None = None) -> list:
+        """The last ``n`` points of one series (all of it for ``None``)."""
+        points = self.series(key)
+        return points if n is None else points[-n:]
+
+    def metric_names(self, key) -> list:
+        """Every metric name observed anywhere along one series."""
+        names: set = set()
+        for point in self.series(key):
+            names.update(point.metrics)
+        return sorted(names)
+
+    def metric_series(self, key, metric: str) -> list:
+        """The ordered values of one metric along one series (points
+        missing the metric are skipped)."""
+        return [
+            point.metrics[metric]
+            for point in self.series(key)
+            if metric in point.metrics
+        ]
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path=None) -> Path:
+        """Write the whole ledger as schema-versioned JSONL (header +
+        one line per point, in ingestion order).  ``path`` defaults to
+        the bound path."""
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ValueError("an unbound store needs an explicit save path")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(_header(len(self.points)))]
+        lines.extend(json.dumps(point.to_dict()) for point in self.points)
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "TrendStore":
+        """Read a store file back (unbound — further points stay in
+        memory unless :meth:`save` is called)."""
+        store = cls()
+        for point in _read_points(Path(path)):
+            store._remember(point)
+        return store
+
+    def __repr__(self):  # pragma: no cover - cosmetic
+        return (
+            f"TrendStore({len(self.points)} points, "
+            f"{len(self.keys())} series"
+            f"{f', path={self.path}' if self.path else ''})"
+        )
+
+
+def _header(count: int) -> dict:
+    return {"kind": "header", "schema": STORE_SCHEMA_VERSION, "points": count}
+
+
+def _append_lines(path: Path, payloads) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fresh = not path.exists() or path.stat().st_size == 0
+    with path.open("a") as stream:
+        if fresh:
+            stream.write(json.dumps(_header(0)) + "\n")
+        for payload in payloads:
+            stream.write(json.dumps(payload) + "\n")
+
+
+def _read_points(path: Path):
+    """Yield the points of a store file (header checked, unknown line
+    kinds skipped for forward compatibility within a schema version)."""
+    saw_header = False
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        kind = data.get("kind")
+        if not saw_header:
+            if kind != "header":
+                raise ValueError(f"{path} is not a trend store (no header line)")
+            saw_header = True
+            schema = int(data.get("schema", STORE_SCHEMA_VERSION))
+            if schema > STORE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"trend store {path} has schema {schema}, newer than this "
+                    f"reader ({STORE_SCHEMA_VERSION})"
+                )
+            continue
+        if kind == "point":
+            yield TrendPoint.from_dict(data)

@@ -32,6 +32,7 @@ the same kind of kernel-time accounting as the paper's tables.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,7 +40,7 @@ import numpy as np
 from ..core.least_squares import lstsq
 from ..md.constants import get_precision
 from ..md.number import ComplexMultiDouble, MultiDouble
-from ..obs.events import get_recorder
+from ..obs.live import attach_monitor
 from ..obs.log import get_logger
 from .complexvec import (
     ComplexTruncatedSeries,
@@ -231,6 +232,7 @@ def track_path(
     correct: bool = True,
     pole_safety=None,
     device: str = "V100",
+    monitor=None,
 ) -> PathResult:
     """Track a solution path of ``F(x, t) = 0`` from ``t_start`` to ``t_end``.
 
@@ -277,6 +279,13 @@ def track_path(
         literature's beta = 0.5.  Must lie in ``(0, 1]``.
     device:
         Simulated device for the cost model accounting.
+    monitor:
+        Optional :class:`~repro.obs.live.LiveMonitor` that watches the
+        run's telemetry while it is in flight (progress, ETA, stall
+        detection, incremental JSONL flushes).  Observe-only: tracked
+        results are bitwise identical with or without one.  When no
+        recording scope is active the monitor's private recorder is
+        enabled for the duration of the call.
 
     Complex start points (``complex`` components or
     :class:`~repro.md.number.ComplexMultiDouble` values) track the path
@@ -316,8 +325,12 @@ def track_path(
     t_current = float(t_start)
     trial_step = float(initial_step) if initial_step else None
 
-    recorder = get_recorder()
-    with recorder.span(
+    # The monitor (when given) watches the active recorder for the
+    # duration of the call — enters first, exits last, so the closing
+    # ``track_path`` span is still delivered to it.
+    monitor_stack = ExitStack()
+    recorder = attach_monitor(monitor_stack, monitor)
+    with monitor_stack, recorder.span(
         "track_path",
         category="path",
         t_start=t_current,

@@ -99,6 +99,35 @@ class TestSchema:
         problems = check_baselines.validate_baseline(path)
         assert problems and "unreadable" in problems[0]
 
+    def test_entry_stamps_are_null_tolerant(self, tmp_path):
+        """Entries recorded before per-entry stamps existed omit them;
+        stamped entries validate too."""
+        unstamped = write_baseline(tmp_path)
+        assert check_baselines.validate_baseline(unstamped) == []
+        stamped = write_baseline(
+            tmp_path,
+            name="BENCH_demo2.json",
+            payload=envelope(
+                suite="demo2",
+                entries={
+                    "case": {
+                        "seconds": 1.0,
+                        "git_sha": "b" * 40,
+                        "recorded_at": "2026-08-07T00:00:00Z",
+                    }
+                },
+            ),
+        )
+        assert check_baselines.validate_baseline(stamped) == []
+
+    @pytest.mark.parametrize("stamp", ["git_sha", "recorded_at"])
+    @pytest.mark.parametrize("bad", ["", None, 7])
+    def test_present_entry_stamp_must_be_nonempty_string(self, tmp_path, stamp, bad):
+        payload = envelope(entries={"case": {"seconds": 1.0, stamp: bad}})
+        path = write_baseline(tmp_path, payload=payload)
+        problems = check_baselines.validate_baseline(path)
+        assert any(repr(stamp) in p and "'case'" in p for p in problems)
+
 
 class TestDriftRule:
     def test_baseline_with_code_change_is_allowed(self):

@@ -1,0 +1,80 @@
+"""Per-entry provenance stamps written by ``benchmarks/harness.py``.
+
+The suite-level ``git_sha``/``updated`` pair only dates the *file*;
+in a suite whose entries were measured at different commits it
+misattributes every entry but the newest.  ``harness.record`` therefore
+stamps each entry with its own ``git_sha``/``recorded_at`` — the pair
+the trend store (:mod:`repro.obs.store`) orders run history by.  These
+tests pin that contract against a ``BENCH_OUTPUT_DIR`` sandbox, never
+the committed baselines.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "bench_harness", REPO_ROOT / "benchmarks" / "harness.py"
+)
+harness = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(harness)
+
+
+def record_sandboxed(tmp_path, monkeypatch, **kwargs):
+    monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+    return harness.record("demo", "case", **kwargs)
+
+
+def test_entry_carries_its_own_stamps(tmp_path, monkeypatch):
+    entry = record_sandboxed(tmp_path, monkeypatch, seconds=1.5, floor=1.2)
+    data = json.loads((tmp_path / "BENCH_demo.json").read_text())
+    written = data["entries"]["case"]
+    assert written == entry
+    # the per-entry stamps mirror the suite envelope at record time
+    assert written["git_sha"] == data["git_sha"]
+    assert written["recorded_at"] == data["updated"]
+    assert written["git_sha"]
+    assert written["recorded_at"]
+    # the measurement fields survive alongside the stamps
+    assert written["seconds"] == 1.5
+    assert written["floor"] == 1.2
+
+
+def test_stamps_do_not_leak_into_other_entries(tmp_path, monkeypatch):
+    """Re-recording one entry leaves its siblings' stamps untouched."""
+    monkeypatch.setenv("BENCH_OUTPUT_DIR", str(tmp_path))
+    harness.record("demo", "first", seconds=1.0)
+    path = tmp_path / "BENCH_demo.json"
+    data = json.loads(path.read_text())
+    # age the sibling as if measured at an older commit
+    data["entries"]["first"]["git_sha"] = "f" * 40
+    data["entries"]["first"]["recorded_at"] = "2020-01-01T00:00:00Z"
+    path.write_text(json.dumps(data))
+
+    harness.record("demo", "second", seconds=2.0)
+    data = json.loads(path.read_text())
+    assert data["entries"]["first"]["git_sha"] == "f" * 40
+    assert data["entries"]["first"]["recorded_at"] == "2020-01-01T00:00:00Z"
+    assert data["entries"]["second"]["recorded_at"] == data["updated"]
+
+
+def test_fields_cannot_spoof_stamps(tmp_path, monkeypatch):
+    """Caller-supplied git_sha/recorded_at fields are overwritten by
+    the harness' own stamps — provenance is not self-reported."""
+    entry = record_sandboxed(
+        tmp_path, monkeypatch, seconds=1.0, git_sha="spoofed", recorded_at="never"
+    )
+    assert entry["git_sha"] != "spoofed"
+    assert entry["recorded_at"] != "never"
+
+
+def test_telemetry_attachment_still_stamped(tmp_path, monkeypatch):
+    summary = {"counters": {"steps": 3}, "histograms": {}}
+    entry = record_sandboxed(tmp_path, monkeypatch, seconds=1.0, telemetry=summary)
+    assert entry["telemetry"] == summary
+    assert entry["git_sha"]
+    assert entry["recorded_at"]

@@ -140,13 +140,52 @@ class TestPercentiles:
         assert percentile(values, 90) == 9
         assert percentile(values, 99) == 10
 
-    def test_invalid_inputs(self):
-        with pytest.raises(ValueError):
-            percentile([], 50)
+    def test_invalid_q_raises(self):
         with pytest.raises(ValueError):
             percentile([1.0], 0)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        # a bad q is a programming error even on an empty sample
+        with pytest.raises(ValueError):
+            percentile([], 0)
+
+    def test_empty_sample_returns_none(self):
+        # live incremental summaries hit not-yet-populated histograms;
+        # an empty sample is "no observation", not an error
+        assert percentile([], 50) is None
+        assert percentile([], 99) is None
+
+    def test_single_value_is_every_percentile(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 90) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_histogram_summary_empty(self):
+        assert histogram_summary([]) == {
+            "count": 0,
+            "total_ms": 0.0,
+            "mean_ms": None,
+            "min_ms": None,
+            "max_ms": None,
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+        }
+
+    def test_histogram_summary_single_value(self):
+        stats = histogram_summary([3.0])
+        assert stats["count"] == 1
+        assert stats["total_ms"] == 3.0
+        # one observation reports itself as every statistic
+        assert (
+            stats["mean_ms"]
+            == stats["min_ms"]
+            == stats["max_ms"]
+            == stats["p50_ms"]
+            == stats["p90_ms"]
+            == stats["p99_ms"]
+            == 3.0
+        )
 
     def test_histogram_summary_hand_computed(self):
         stats = histogram_summary([2.0, 1.0, 4.0, 3.0])

@@ -108,6 +108,18 @@ class TestRunReport:
         document = read_jsonl(write_jsonl(recorder, tmp_path / "run.jsonl"))
         assert render_run_report(document) == render_run_report(recorder)
 
+    def test_every_section_renders_from_a_document(self, tmp_path):
+        """Each section renderer — not just the composed report — is a
+        pure function of the records, so a read-back document renders
+        identically to the live recorder it came from."""
+        recorder = make_fleet_recording()
+        document = read_jsonl(write_jsonl(recorder, tmp_path / "run.jsonl"))
+        assert path_timeline(document) == path_timeline(recorder)
+        assert fleet_rounds(document) == fleet_rounds(recorder)
+        assert predicted_vs_measured_table(document) == predicted_vs_measured_table(
+            recorder
+        )
+
     def test_empty_recording_renders(self):
         text = render_run_report(Recorder())
         assert "Records: 0" in text

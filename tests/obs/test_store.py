@@ -1,0 +1,250 @@
+"""The cross-run trend store: ingestion, identity, queries, round-trip.
+
+Pins the :mod:`repro.obs.store` contract: every committed
+``BENCH_*.json`` suite ingests losslessly (and the ledger round-trips
+through its JSONL file exactly), re-ingesting an unchanged baseline
+fabricates no history, a path-bound store is genuinely append-only,
+and the per-entry stamp fallback keeps pre-stamp baselines ordered.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    STORE_SCHEMA_VERSION,
+    TrendPoint,
+    TrendStore,
+    entry_point,
+    flatten_telemetry,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+SUITE = {
+    "suite": "demo",
+    "git_sha": "a" * 40,
+    "python": "3.11.7",
+    "updated": "2026-08-07T00:00:00Z",
+    "environment": {"exec_backend": "generic"},
+    "entries": {
+        "case": {
+            "seconds": 1.5,
+            "speedup": 4.0,
+            "floor": 1.3,
+            "reached": True,
+            "label": "textual",
+            "shape": {"n": 8, "batch": 32},
+            "telemetry": {
+                "counters": {"steps": 12},
+                "histograms": {
+                    "pade": {"count": 3, "p50_ms": 2.0, "mean_ms": None}
+                },
+            },
+        }
+    },
+}
+
+
+class TestEntryPoint:
+    def test_numeric_fields_become_metrics(self):
+        point = entry_point(SUITE, "case")
+        assert point.metrics["seconds"] == 1.5
+        assert point.metrics["speedup"] == 4.0
+        assert point.metrics["floor"] == 1.3
+        # bools are flags, strings are labels — neither is a measurement
+        assert "reached" not in point.metrics
+        assert "label" not in point.metrics
+
+    def test_telemetry_flattens_into_metrics(self):
+        point = entry_point(SUITE, "case")
+        assert point.metrics["telemetry:counters:steps"] == 12
+        assert point.metrics["telemetry:pade:count"] == 3
+        assert point.metrics["telemetry:pade:p50_ms"] == 2.0
+        # None statistics (empty histograms) have no observation to track
+        assert "telemetry:pade:mean_ms" not in point.metrics
+        # the raw summary is kept verbatim for the lossless round-trip
+        assert point.telemetry == SUITE["entries"]["case"]["telemetry"]
+
+    def test_suite_level_stamp_fallback(self):
+        """Pre-stamp entries inherit the suite envelope's stamps."""
+        point = entry_point(SUITE, "case")
+        assert point.git_sha == "a" * 40
+        assert point.recorded_at == "2026-08-07T00:00:00Z"
+
+    def test_per_entry_stamps_win(self):
+        payload = json.loads(json.dumps(SUITE))
+        payload["entries"]["case"]["git_sha"] = "b" * 40
+        payload["entries"]["case"]["recorded_at"] = "2026-08-08T00:00:00Z"
+        point = entry_point(payload, "case")
+        assert point.git_sha == "b" * 40
+        assert point.recorded_at == "2026-08-08T00:00:00Z"
+        # stamps are provenance, not measurements
+        assert "git_sha" not in point.metrics
+
+    def test_exec_backend_from_environment(self):
+        assert entry_point(SUITE, "case").exec_backend == "generic"
+        legacy = {**SUITE, "environment": None}
+        assert entry_point(legacy, "case").exec_backend is None
+
+    def test_flatten_tolerates_non_summaries(self):
+        assert flatten_telemetry(None) == {}
+        assert flatten_telemetry({"other": 1}) == {}
+        assert flatten_telemetry({"histograms": "bad", "counters": None}) == {}
+
+
+class TestIdentityAndQueries:
+    def test_reingest_is_a_noop(self):
+        store = TrendStore()
+        assert store.ingest_suite(SUITE)
+        assert len(store) == 1
+        # same identity six-tuple: no history is fabricated
+        store.ingest_suite(SUITE)
+        assert len(store) == 1
+        assert store.add(entry_point(SUITE, "case")) is False
+
+    def test_new_run_extends_the_series(self):
+        store = TrendStore()
+        store.ingest_suite(SUITE)
+        rerun = json.loads(json.dumps(SUITE))
+        rerun["git_sha"] = "c" * 40
+        rerun["updated"] = "2026-08-09T00:00:00Z"
+        store.ingest_suite(rerun)
+        assert len(store) == 2
+        assert len(store.keys()) == 1  # same series, two runs
+
+    def test_series_ordered_by_recorded_at(self):
+        store = TrendStore()
+        for stamp, sha, seconds in [
+            ("2026-08-09T00:00:00Z", "c" * 40, 3.0),
+            ("2026-08-07T00:00:00Z", "a" * 40, 1.0),
+            ("2026-08-08T00:00:00Z", "b" * 40, 2.0),
+        ]:
+            payload = json.loads(json.dumps(SUITE))
+            payload["git_sha"] = sha
+            payload["updated"] = stamp
+            payload["entries"]["case"]["seconds"] = seconds
+            store.ingest_suite(payload)
+        (key,) = store.keys()
+        assert store.metric_series(key, "seconds") == [1.0, 2.0, 3.0]
+        assert len(store.latest(key, 2)) == 2
+        assert store.latest(key, 2)[-1].metrics["seconds"] == 3.0
+
+    def test_shape_distinguishes_series(self):
+        store = TrendStore()
+        store.ingest_suite(SUITE)
+        reshaped = json.loads(json.dumps(SUITE))
+        reshaped["entries"]["case"]["shape"] = {"n": 16, "batch": 32}
+        store.ingest_suite(reshaped)
+        assert len(store.keys()) == 2
+
+    def test_metric_names_union_over_series(self):
+        store = TrendStore()
+        store.ingest_suite(SUITE)
+        names = store.metric_names(store.keys()[0])
+        assert "seconds" in names and "telemetry:counters:steps" in names
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = TrendStore()
+        store.ingest_suite(SUITE)
+        path = store.save(tmp_path / "ledger.jsonl")
+        loaded = TrendStore.load(path)
+        assert [p.to_dict() for p in loaded.points] == [
+            p.to_dict() for p in store.points
+        ]
+
+    def test_bound_store_is_append_only(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        store = TrendStore(path=path)
+        store.ingest_suite(SUITE)
+        first = path.read_text()
+        # appending a second run only adds lines, never rewrites
+        rerun = json.loads(json.dumps(SUITE))
+        rerun["updated"] = "2026-08-09T00:00:00Z"
+        store.ingest_suite(rerun)
+        second = path.read_text()
+        assert second.startswith(first)
+        assert len(second.splitlines()) == len(first.splitlines()) + 1
+        # a fresh binding resumes the ledger and still dedupes
+        resumed = TrendStore(path=path)
+        assert len(resumed) == 2
+        resumed.ingest_suite(rerun)
+        assert len(resumed) == 2
+        assert path.read_text() == second
+
+    def test_header_is_checked(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "point"}\n')
+        with pytest.raises(ValueError, match="no header"):
+            TrendStore.load(path)
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": "header", "schema": STORE_SCHEMA_VERSION + 1}) + "\n"
+        )
+        with pytest.raises(ValueError, match="newer"):
+            TrendStore.load(path)
+
+    def test_unknown_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "forward.jsonl"
+        lines = [
+            json.dumps({"kind": "header", "schema": STORE_SCHEMA_VERSION}),
+            json.dumps({"kind": "annotation", "text": "future extension"}),
+            json.dumps(entry_point(SUITE, "case").to_dict()),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert len(TrendStore.load(path)) == 1
+
+    def test_unbound_save_needs_a_path(self):
+        with pytest.raises(ValueError, match="save path"):
+            TrendStore().save()
+
+
+class TestCommittedBaselines:
+    def test_all_committed_suites_ingest_losslessly(self, tmp_path):
+        """Every committed BENCH_*.json ingests completely, and the
+        ledger round-trips through its file exactly — the acceptance
+        contract of the trend store."""
+        baselines = sorted(BENCH_DIR.glob("BENCH_*.json"))
+        assert len(baselines) >= 8
+        store = TrendStore()
+        for path in baselines:
+            payload = json.loads(path.read_text())
+            points = store.ingest_file(path)
+            # one point per entry, nothing dropped
+            assert [p.entry for p in points] == list(payload["entries"])
+            for point in points:
+                entry = payload["entries"][point.entry]
+                assert point.suite == payload["suite"]
+                # every numeric measurement survives as a metric
+                for key, value in entry.items():
+                    if (
+                        key in ("git_sha", "recorded_at")
+                        or isinstance(value, bool)
+                        or not isinstance(value, (int, float))
+                    ):
+                        continue
+                    assert point.metrics[key] == value
+                # embedded telemetry is kept verbatim
+                if isinstance(entry.get("telemetry"), dict):
+                    assert point.telemetry == entry["telemetry"]
+
+        saved = store.save(tmp_path / "ledger.jsonl")
+        loaded = TrendStore.load(saved)
+        assert [p.to_dict() for p in loaded.points] == [
+            p.to_dict() for p in store.points
+        ]
+
+    def test_fleet_baseline_telemetry_becomes_series(self):
+        store = TrendStore()
+        store.ingest_file(BENCH_DIR / "BENCH_fleet.json")
+        (key,) = [k for k in store.keys() if k[0] == "fleet"]
+        names = store.metric_names(key)
+        assert any(name.startswith("telemetry:") for name in names)
