@@ -54,7 +54,7 @@ def exact_denominator(coeffs, m: int) -> list:
     rhs = [-coeffs[m + i] for i in range(1, m + 1)]
     # Gaussian elimination with partial (exact) pivoting
     for col in range(m):
-        pivot = max(range(col, m), key=lambda r: abs(matrix[r][col]))
+        pivot = max(range(col, m), key=lambda r, c=col: abs(matrix[r][c]))
         matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
         rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
         for row in range(col + 1, m):

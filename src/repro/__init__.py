@@ -63,6 +63,43 @@ __all__ = [
     "ComplexMultiDouble",
     "Precision",
     "get_precision",
+    # lazily exported (the __getattr__ table below; kept in sync — the
+    # export-consistency rule of repro.analysis cross-checks the two)
+    "MDArray",
+    "MDComplexArray",
+    "DeviceSpec",
+    "get_device",
+    "blocked_qr",
+    "tiled_back_substitution",
+    "lstsq",
+    "solve_upper_triangular",
+    "TruncatedSeries",
+    "VectorSeries",
+    "ScalarSeries",
+    "ComplexTruncatedSeries",
+    "ComplexVectorSeries",
+    "pade",
+    "newton_series",
+    "solve_matrix_series",
+    "track_path",
+    "track_paths",
+    "PathFleetResult",
+    "batched_blocked_qr",
+    "batched_back_substitution",
+    "batched_least_squares",
+    "batched_pade",
+    "PolynomialSystem",
+    "Homotopy",
+    "katsura",
+    "cyclic",
+    "noon",
+    "ExecutionBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "Recorder",
+    "recording",
+    "get_recorder",
 ]
 
 

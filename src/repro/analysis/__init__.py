@@ -1,0 +1,93 @@
+"""repro.analysis — the AST-based invariant linter.
+
+The cross-cutting contracts this reproduction stands on — bit-identical
+execution backends, observe-only telemetry, lossless endpoints,
+launch-identical cost accounting — are enforced here as machine-checked
+properties of the *source*, gating every change before any test runs.
+
+Six rule families (one module each, ids usable in
+``# repro: allow[...]`` suppressions and ``explain``):
+
+========================  ==================================================
+``backend-purity``        NumPy only at sanctioned xp boundary sites in
+                          ``repro.md``/``vec``/``series``/``batch``
+``precision-loss``        no ``float()`` casts on limb values outside the
+                          ``to_float``-family boundaries
+``observe-only``          ``repro.obs`` never mutates observed state;
+                          numeric code uses NullRecorder-guarded seams
+``determinism``           no wall clock / global RNG / set-order
+                          dependence in numeric result paths
+``export-consistency``    PEP 562 lazy tables agree with ``__all__`` and
+                          resolve to real attributes
+``accounting-parity``     every profiled driver has a ``perf.costmodel``
+                          twin, and vice versa
+========================  ==================================================
+
+Quickstart::
+
+    python -m repro.analysis check                 # gate (exit 1 on findings)
+    python -m repro.analysis check --format json   # machine-readable report
+    python -m repro.analysis explain backend-purity
+    python -m repro.analysis baseline              # regrandfather findings
+
+or from Python::
+
+    from repro.analysis import check_tree
+    findings = check_tree("src")
+"""
+
+from __future__ import annotations
+
+from .core import (  # noqa: F401
+    BASELINE_SCHEMA_VERSION,
+    Checker,
+    Finding,
+    ParsedModule,
+    apply_baseline,
+    check_modules,
+    check_source,
+    check_tree,
+    get_checker,
+    load_baseline,
+    parse_module,
+    parse_source,
+    register,
+    registered_checkers,
+    render_json_report,
+    render_text_report,
+    write_baseline,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Finding",
+    "ParsedModule",
+    "Checker",
+    "register",
+    "registered_checkers",
+    "get_checker",
+    "parse_module",
+    "parse_source",
+    "check_modules",
+    "check_tree",
+    "check_source",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_text_report",
+    "render_json_report",
+    "main",
+]
+
+_CLI_EXPORTS = {"main": ("repro.analysis.cli", "main")}
+
+
+def __getattr__(name):
+    if name in _CLI_EXPORTS:
+        import importlib
+
+        module_name, attr = _CLI_EXPORTS[name]
+        value = getattr(importlib.import_module(module_name), attr)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,123 @@
+"""``python -m repro.analysis`` — the invariant-linter command line.
+
+Subcommands:
+
+* ``check`` — run every rule over the tree; print the report (text by
+  default, ``--format json`` for the CI artifact) and exit nonzero on
+  any finding not grandfathered by the baseline.
+* ``baseline`` — rewrite the baseline file from the current findings
+  (grandfather everything currently flagged).
+* ``explain <rule>`` — print the contract and full rationale of one
+  rule family.
+
+The defaults (``--root src``, ``--baseline analysis_baseline.json``)
+match an invocation from the repository root, which is how CI runs it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    apply_baseline,
+    check_tree,
+    load_baseline,
+    registered_checkers,
+    render_json_report,
+    render_text_report,
+    write_baseline,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser(
+        "check", help="run every rule; exit 1 on non-baselined findings"
+    )
+    baseline = commands.add_parser(
+        "baseline", help="grandfather the current findings into the baseline"
+    )
+    for sub in (check, baseline):
+        sub.add_argument(
+            "--root",
+            default="src",
+            help="directory tree to scan (default: src)",
+        )
+        sub.add_argument(
+            "--baseline",
+            default="analysis_baseline.json",
+            help="baseline file of grandfathered findings",
+        )
+        sub.add_argument(
+            "--rule",
+            action="append",
+            dest="rules",
+            metavar="RULE",
+            help="restrict to one rule family (repeatable)",
+        )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+
+    explain = commands.add_parser("explain", help="describe one rule family")
+    explain.add_argument("rule", help="rule id, e.g. backend-purity")
+    return parser
+
+
+def _run_check(args, stdout) -> int:
+    findings = check_tree(args.root, rules=args.rules)
+    baseline = load_baseline(args.baseline)
+    new, grandfathered = apply_baseline(findings, baseline)
+    if args.format == "json":
+        stdout.write(render_json_report(new, grandfathered) + "\n")
+    else:
+        description = f"repro.analysis check over {args.root}"
+        stdout.write(render_text_report(new, grandfathered, description) + "\n")
+    return 1 if new else 0
+
+
+def _run_baseline(args, stdout) -> int:
+    findings = check_tree(args.root, rules=args.rules)
+    counts = write_baseline(args.baseline, findings)
+    stdout.write(
+        f"baselined {len(findings)} finding(s) "
+        f"({len(counts)} distinct fingerprint(s)) -> {args.baseline}\n"
+    )
+    return 0
+
+
+def _run_explain(args, stdout) -> int:
+    checkers = {checker.rule: checker for checker in registered_checkers()}
+    checker = checkers.get(args.rule)
+    if checker is None:
+        known = ", ".join(sorted(checkers))
+        stdout.write(f"unknown rule {args.rule!r}; known rules: {known}\n")
+        return 2
+    stdout.write(f"{checker.rule}: {checker.contract}\n\n")
+    stdout.write(checker.explanation.strip() + "\n")
+    return 0
+
+
+def main(argv=None, stdout=None) -> int:
+    stdout = stdout if stdout is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return _run_check(args, stdout)
+    if args.command == "baseline":
+        return _run_baseline(args, stdout)
+    return _run_explain(args, stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

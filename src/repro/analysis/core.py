@@ -1,0 +1,425 @@
+"""Checker framework of the invariant linter.
+
+The linter is a small AST-visitor harness: every rule family registers
+a :class:`Checker` subclass, the runner parses each source file once
+into a :class:`ParsedModule` (cached per ``(path, mtime, size)``, so a
+run over the tree parses every file exactly once no matter how many
+checkers visit it) and hands the parse to every registered checker.
+
+Machinery shared by all rules lives here:
+
+* ``# repro: allow[rule-id]`` suppression comments — on the finding's
+  own line, or alone on the line directly above it;
+* the committed **baseline** file for grandfathered findings: a JSON
+  map of finding fingerprints (rule, path and message — deliberately
+  *not* the line number, so unrelated edits don't invalidate it) to
+  occurrence counts.  ``check`` fails only on findings beyond the
+  baselined count; ``baseline`` rewrites the file from the current
+  tree;
+* text and JSON reports.  The text report renders on the shared
+  :func:`repro.perf.report.format_table` formatter — the same table
+  renderer every other subsystem reports through.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "Finding",
+    "ParsedModule",
+    "Checker",
+    "register",
+    "registered_checkers",
+    "get_checker",
+    "parse_module",
+    "parse_source",
+    "check_modules",
+    "check_tree",
+    "check_source",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_text_report",
+    "render_json_report",
+]
+
+#: Version stamped into the baseline file; bump on layout changes.
+BASELINE_SCHEMA_VERSION = 1
+
+#: ``# repro: allow[rule-a]`` / ``# repro: allow[rule-a, rule-b]``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z*][a-z0-9*,\s-]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: stable across unrelated line-number drift."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """One parsed source file plus everything the checkers share."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: dotted module name relative to the scan root (``repro.md.renorm``)
+    module: str
+    #: line number -> set of rule ids allowed on that line ("*" = all)
+    allows: dict = field(default_factory=dict)
+    #: True for a package ``__init__`` (relative imports resolve from
+    #: the package itself, not its parent)
+    is_package: bool = False
+
+    def resolve_import(self, node) -> str:
+        """Absolute dotted module an ``ast.ImportFrom`` pulls from."""
+        if node.level == 0:
+            return node.module or ""
+        parts = self.module.split(".") if self.module else []
+        drop = node.level - 1 if self.is_package else node.level
+        base = parts[: len(parts) - drop] if drop <= len(parts) else []
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    @property
+    def lines(self) -> list:
+        return self.source.splitlines()
+
+    def package_is(self, *packages: str) -> bool:
+        """True when the module lives under any of the dotted packages."""
+        return any(
+            self.module == package or self.module.startswith(package + ".")
+            for package in packages
+        )
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Is ``rule`` suppressed at ``line``?
+
+        A suppression comment counts when it sits on the flagged line
+        itself or alone on the line directly above it.
+        """
+        for candidate in (line, line - 1):
+            allowed = self.allows.get(candidate)
+            if allowed and ("*" in allowed or rule in allowed):
+                if candidate == line:
+                    return True
+                # the line above only suppresses when it is comment-only
+                text = self.lines[candidate - 1].strip() if candidate >= 1 else ""
+                if text.startswith("#"):
+                    return True
+        return False
+
+
+class Checker:
+    """Base class of one rule family.
+
+    Subclasses set :attr:`rule` (the id used in reports, suppressions
+    and the baseline), :attr:`contract` (one line: the invariant the
+    rule guards) and :attr:`explanation` (the ``explain`` text), and
+    implement :meth:`check`.
+    """
+
+    rule = "abstract"
+    contract = ""
+    explanation = ""
+
+    def check(self, module: ParsedModule) -> list:
+        """Per-file findings.  Suppressions are applied by the runner.
+
+        Rules that only relate files to each other implement
+        :meth:`finalize` instead and inherit this no-op.
+        """
+        return []
+
+    def finalize(self, modules: list) -> list:
+        """Cross-file findings, called once after every :meth:`check`.
+
+        ``modules`` is the full list of :class:`ParsedModule` objects of
+        the run; rules that relate *pairs* of files (accounting parity,
+        export resolution) report from here.
+        """
+        return []
+
+    def finding(self, module: ParsedModule, node, message: str) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_CHECKERS: dict = {}
+
+
+def register(checker_class):
+    """Class decorator adding a rule family to the registry."""
+    instance = checker_class()
+    _CHECKERS[instance.rule] = instance
+    return checker_class
+
+
+def registered_checkers() -> list:
+    """Every registered checker, ordered by rule id.
+
+    Importing :mod:`repro.analysis.rules` populates the registry; the
+    import is done here so callers of the framework get the full rule
+    set without knowing the module layout.
+    """
+    from . import rules  # noqa: F401  (import populates the registry)
+
+    return [_CHECKERS[rule] for rule in sorted(_CHECKERS)]
+
+
+def get_checker(rule: str):
+    """The registered checker for ``rule`` (KeyError when unknown)."""
+    registered_checkers()
+    return _CHECKERS[rule]
+
+
+# ---------------------------------------------------------------------------
+# parsing (with the per-file cache)
+# ---------------------------------------------------------------------------
+
+#: (resolved path, mtime_ns, size) -> ParsedModule
+_PARSE_CACHE: dict = {}
+
+
+def _collect_allows(source: str) -> dict:
+    allows: dict = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",")}
+            allows[lineno] = {rule for rule in rules if rule}
+    return allows
+
+
+def _module_name(path: Path, root: Path) -> str:
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = Path(path.name)
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def parse_source(source: str, path: str = "<string>", module: str = "") -> ParsedModule:
+    """Parse in-memory source (fixture snippets, tests)."""
+    is_package = path.endswith("__init__.py")
+    if not module:
+        module = path.replace("/", ".").removesuffix(".py").removesuffix(".__init__")
+        prefix = module.find("repro.")
+        if prefix >= 0:
+            module = module[prefix:]
+        elif module.endswith(".repro") or module == "repro":
+            module = "repro"
+    return ParsedModule(
+        path=path,
+        source=source,
+        tree=ast.parse(source, filename=path),
+        module=module,
+        allows=_collect_allows(source),
+        is_package=is_package,
+    )
+
+
+def parse_module(path, root) -> ParsedModule:
+    """Parse a file through the cache (one parse per file per state)."""
+    path = Path(path)
+    root = Path(root)
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    cached = _PARSE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    source = path.read_text(encoding="utf-8")
+    parsed = ParsedModule(
+        path=str(path),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        module=_module_name(path, root),
+        allows=_collect_allows(source),
+        is_package=path.name == "__init__.py",
+    )
+    _PARSE_CACHE[key] = parsed
+    return parsed
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+def _sorted(findings: list) -> list:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+
+
+def check_modules(modules: list, rules=None) -> list:
+    """Run the registered checkers over parsed modules; sorted findings."""
+    checkers = registered_checkers()
+    if rules is not None:
+        wanted = set(rules)
+        checkers = [checker for checker in checkers if checker.rule in wanted]
+    findings = []
+    for checker in checkers:
+        for module in modules:
+            for finding in checker.check(module):
+                if not module.allowed(checker.rule, finding.line):
+                    findings.append(finding)
+        by_path = {module.path: module for module in modules}
+        for finding in checker.finalize(list(modules)):
+            module = by_path.get(finding.path)
+            if module is None or not module.allowed(checker.rule, finding.line):
+                findings.append(finding)
+    return _sorted(findings)
+
+
+def check_tree(root, rules=None) -> list:
+    """Parse and check every ``*.py`` file under ``root``."""
+    root = Path(root)
+    paths = sorted(p for p in root.rglob("*.py") if "__pycache__" not in p.parts)
+    modules = [parse_module(path, root) for path in paths]
+    return check_modules(modules, rules=rules)
+
+
+def check_source(source: str, path: str = "snippet.py", rules=None) -> list:
+    """Check one in-memory snippet (the fixture-corpus entry point).
+
+    ``path`` controls the package scoping the rules see, e.g.
+    ``src/repro/md/example.py`` lands in the ``repro.md`` scope.
+    """
+    return check_modules([parse_source(source, path=path)], rules=rules)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def load_baseline(path) -> dict:
+    """Fingerprint -> grandfathered count.  Missing file = empty."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline {path} has schema {document.get('schema')!r}, "
+            f"expected {BASELINE_SCHEMA_VERSION}"
+        )
+    findings = document.get("findings", {})
+    return {str(key): int(value) for key, value in findings.items()}
+
+
+def write_baseline(path, findings: list) -> dict:
+    """Write the baseline for the given findings; returns the counts."""
+    counts: dict = {}
+    for finding in findings:
+        counts[finding.fingerprint] = counts.get(finding.fingerprint, 0) + 1
+    document = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "comment": (
+            "Grandfathered repro.analysis findings. Regenerate with "
+            "`python -m repro.analysis baseline`; new findings beyond "
+            "these counts fail `python -m repro.analysis check`."
+        ),
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return counts
+
+
+def apply_baseline(findings: list, baseline: dict) -> tuple:
+    """Split findings into ``(new, grandfathered)`` against a baseline."""
+    remaining = dict(baseline)
+    new, grandfathered = [], []
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+
+class _TableResult:
+    """Just enough of an ExperimentResult for the shared formatter."""
+
+    def __init__(self, description, rows, notes=""):
+        self.description = description
+        self.rows = rows
+        self.notes = notes
+
+
+def render_text_report(findings: list, grandfathered=(), description=None) -> str:
+    """Aligned text table on the shared :mod:`repro.perf` formatter."""
+    from ..perf.report import format_table
+
+    if description is None:
+        description = "repro.analysis findings"
+    rows = [
+        {
+            "location": f"{f.path}:{f.line}",
+            "rule": f.rule,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    if not rows:
+        summary = "clean: no findings"
+        if grandfathered:
+            summary += f" ({len(grandfathered)} grandfathered by the baseline)"
+        return f"{description}\n{summary}"
+    notes = f"{len(findings)} new finding(s)"
+    if grandfathered:
+        notes += f", {len(grandfathered)} grandfathered by the baseline"
+    return format_table(_TableResult(description, rows, notes))
+
+
+def render_json_report(findings: list, grandfathered=()) -> str:
+    document = {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "new": [finding.as_dict() for finding in findings],
+        "grandfathered": [finding.as_dict() for finding in grandfathered],
+        "counts": {
+            "new": len(findings),
+            "grandfathered": len(grandfathered),
+        },
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,310 @@
+"""``export-consistency`` — lazy ``__getattr__`` tables stay truthful.
+
+The package ``__init__`` modules export their heavy entry points
+through PEP 562 ``__getattr__`` tables (keeping ``import repro``
+light and the import graph acyclic).  Those tables are data, not
+code: nothing executes them until someone touches the attribute, so a
+renamed function or a dropped module turns into an ``AttributeError``
+at the first caller — usually in someone else's traceback, long after
+the PR that broke it.
+
+The rule statically cross-checks every module that declares
+``__all__`` or a module-level ``__getattr__``:
+
+* every ``__all__`` entry resolves — to a module-level definition, an
+  import, or a lazy-table key (duplicates are flagged too);
+* every lazy-table name is listed in ``__all__`` — the table and the
+  declared public surface must agree, so ``from package import *``
+  and the lazy path expose the same names;
+* every lazy entry **resolves to a real attribute**: the target module
+  exists in the scanned tree and defines the target name (itself
+  possibly lazily).
+
+Recognized lazy-table shapes (the ones this codebase uses): a dict
+mapping name to ``("dotted.module", "attr")``, an
+``if name == "x": from .y import x`` branch, and an
+``if name in _NAMES: from . import provider`` +
+``getattr(provider, name)`` branch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .core import Checker, register
+
+__all__ = ["ExportConsistencyChecker"]
+
+
+@dataclass
+class _LazyEntry:
+    name: str
+    target_module: str
+    target_attr: str
+    node: ast.AST
+
+
+@dataclass
+class _ModuleExports:
+    defined: set = field(default_factory=set)
+    has_star_import: bool = False
+    all_entries: list = field(default_factory=list)  # (name, node)
+    all_node: ast.AST = None
+    all_opaque: bool = False
+    lazy: list = field(default_factory=list)
+    getattr_def: ast.AST = None
+
+
+def _top_level_statements(tree):
+    """Module-level statements, descending into top-level If/Try blocks."""
+    pending = list(tree.body)
+    while pending:
+        node = pending.pop(0)
+        yield node
+        if isinstance(node, ast.If):
+            pending.extend(node.body)
+            pending.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            pending.extend(node.body)
+            pending.extend(node.orelse)
+            pending.extend(node.finalbody)
+            for handler in node.handlers:
+                pending.extend(handler.body)
+
+
+def _string_sequence(node, collections):
+    """Resolve a List/Tuple of constants (with Starred refs) to strings.
+
+    Returns ``(strings, opaque)`` — opaque when an element cannot be
+    resolved statically.
+    """
+    strings, opaque = [], False
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return [], True
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            strings.append((element.value, element))
+        elif isinstance(element, ast.Starred) and isinstance(element.value, ast.Name):
+            referenced = collections.get(element.value.id)
+            if referenced is None:
+                opaque = True
+            else:
+                strings.extend((value, element) for value in referenced)
+        else:
+            opaque = True
+    return strings, opaque
+
+
+def _summarize(module):
+    summary = _ModuleExports()
+    collections = {}  # name -> list of strings (tuples/lists of constants)
+    dicts = {}  # name -> ast.Dict
+    statements = list(_top_level_statements(module.tree))
+
+    for node in statements:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            summary.defined.add(node.name)
+            if node.name == "__getattr__" and isinstance(node, ast.FunctionDef):
+                summary.getattr_def = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                summary.defined.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    summary.has_star_import = True
+                else:
+                    summary.defined.add(alias.asname or alias.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for target in targets:
+                names = (
+                    [element for element in target.elts if isinstance(element, ast.Name)]
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else ([target] if isinstance(target, ast.Name) else [])
+                )
+                for name_node in names:
+                    summary.defined.add(name_node.id)
+                    if isinstance(value, (ast.List, ast.Tuple)):
+                        strings = [
+                            el.value
+                            for el in value.elts
+                            if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                        ]
+                        if len(strings) == len(value.elts):
+                            collections[name_node.id] = strings
+                    elif isinstance(value, ast.Dict):
+                        dicts[name_node.id] = value
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "__all__"
+                and value is not None
+            ):
+                summary.all_node = node
+                entries, opaque = _string_sequence(value, collections)
+                summary.all_entries = entries
+                summary.all_opaque = opaque
+
+    if summary.getattr_def is not None:
+        referenced = {
+            child.id
+            for child in ast.walk(summary.getattr_def)
+            if isinstance(child, ast.Name)
+        }
+        # dict tables: module-level (referenced by name) or inline
+        candidate_dicts = [
+            dict_node for name, dict_node in dicts.items() if name in referenced
+        ]
+        for child in ast.walk(summary.getattr_def):
+            if isinstance(child, ast.Dict):
+                candidate_dicts.append(child)
+        for dict_node in candidate_dicts:
+            for key, value in zip(dict_node.keys, dict_node.values):
+                if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                    continue
+                if (
+                    isinstance(value, ast.Tuple)
+                    and len(value.elts) == 2
+                    and all(
+                        isinstance(el, ast.Constant) and isinstance(el.value, str)
+                        for el in value.elts
+                    )
+                ):
+                    summary.lazy.append(
+                        _LazyEntry(key.value, value.elts[0].value, value.elts[1].value, key)
+                    )
+        # branch tables
+        for child in ast.walk(summary.getattr_def):
+            if not isinstance(child, ast.If):
+                continue
+            test = child.test
+            if not (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.comparators[0], (ast.Constant, ast.Name))
+            ):
+                continue
+            imports = [
+                sub for sub in ast.walk(child) if isinstance(sub, ast.ImportFrom)
+            ]
+            if not imports:
+                continue
+            provider = imports[0]
+            provider_module = module.resolve_import(provider)
+            if isinstance(test.ops[0], ast.Eq) and isinstance(
+                test.comparators[0], ast.Constant
+            ):
+                exported = test.comparators[0].value
+                if isinstance(exported, str):
+                    for alias in provider.names:
+                        if (alias.asname or alias.name) == exported:
+                            summary.lazy.append(
+                                _LazyEntry(exported, provider_module, alias.name, child)
+                            )
+            elif isinstance(test.ops[0], ast.In) and isinstance(
+                test.comparators[0], ast.Name
+            ):
+                names = collections.get(test.comparators[0].id, [])
+                # `from . import provider` resolves names on the submodule
+                submodules = [
+                    provider_module + "." + (alias.asname or alias.name)
+                    if provider_module
+                    else (alias.asname or alias.name)
+                    for alias in provider.names
+                ]
+                target = submodules[0] if submodules else provider_module
+                for name in names:
+                    summary.lazy.append(_LazyEntry(name, target, name, child))
+    return summary
+
+
+@register
+class ExportConsistencyChecker(Checker):
+    rule = "export-consistency"
+    contract = (
+        "PEP 562 lazy __getattr__ tables agree with __all__ and every "
+        "export resolves to a real attribute"
+    )
+    explanation = __doc__ or ""
+
+    def finalize(self, modules):
+        summaries = {module.module: _summarize(module) for module in modules}
+        by_name = {module.module: module for module in modules}
+        findings = []
+        for module_name, summary in summaries.items():
+            module = by_name[module_name]
+            if summary.all_node is None and not summary.lazy:
+                continue
+            lazy_names = {entry.name for entry in summary.lazy}
+            all_names = [name for name, _node in summary.all_entries]
+            seen = set()
+            for name, node in summary.all_entries:
+                if name in seen:
+                    findings.append(
+                        self.finding(
+                            module, node, f"duplicate __all__ entry {name!r}"
+                        )
+                    )
+                seen.add(name)
+                if (
+                    not summary.has_star_import
+                    and name not in summary.defined
+                    and name not in lazy_names
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"__all__ exports {name!r} but the module neither "
+                            "defines it nor lists it in a lazy table",
+                        )
+                    )
+            if summary.all_node is not None and not summary.all_opaque:
+                for entry in summary.lazy:
+                    if entry.name not in all_names:
+                        findings.append(
+                            self.finding(
+                                module,
+                                entry.node,
+                                f"lazy export {entry.name!r} is missing from "
+                                "__all__ — the table and the declared public "
+                                "surface disagree",
+                            )
+                        )
+            scanned_roots = {name.split(".")[0] for name in by_name if name}
+            for entry in summary.lazy:
+                target = summaries.get(entry.target_module)
+                if target is None:
+                    # a target under a scanned namespace must exist there;
+                    # targets outside the scan (stdlib, third-party) pass
+                    if entry.target_module.split(".")[0] in scanned_roots:
+                        findings.append(
+                            self.finding(
+                                module,
+                                entry.node,
+                                f"lazy export {entry.name!r} targets "
+                                f"{entry.target_module!r}, which does not "
+                                "exist in the scanned tree",
+                            )
+                        )
+                    continue
+                target_lazy = {lazy_entry.name for lazy_entry in target.lazy}
+                if (
+                    not target.has_star_import
+                    and entry.target_attr not in target.defined
+                    and entry.target_attr not in target_lazy
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            entry.node,
+                            f"lazy export {entry.name!r} resolves to "
+                            f"{entry.target_module}.{entry.target_attr}, "
+                            "which is not defined there",
+                        )
+                    )
+        return findings

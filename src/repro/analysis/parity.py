@@ -1,0 +1,193 @@
+"""``accounting-parity`` — every measured driver has an analytic twin.
+
+The performance story of this reproduction is told twice for every
+driver: the numeric path records what it *did* (``@profiled`` spans
+with measured wall clock and the launches it priced), and
+:mod:`repro.perf.costmodel` predicts what it *should* do (the
+launch-identical analytic trace that scales to paper-size dimensions).
+``predicted_vs_measured`` — the acceptance oracle for the real-GPU
+backend — joins the two on the span name.  A driver without a twin is
+invisible to the oracle; a twin without a driver is dead model code
+that silently rots.
+
+The registry is :data:`repro.perf.costmodel.COSTMODEL_TWINS` — span
+name to analytic trace function.  The rule statically checks that
+
+* every ``@profiled("name")`` driver **and** every directly-opened
+  path/run span (``recorder.span(name, category="path"|"run")``) has a
+  registry entry;
+* every registry key corresponds to such a driver (no stale entries);
+* every registry value is a function defined in ``costmodel``;
+* every public ``*_trace`` function of ``costmodel`` is some driver's
+  twin (the "vice versa" direction).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Checker, register
+
+__all__ = ["COSTMODEL_MODULE", "TWINS_NAME", "AccountingParityChecker"]
+
+#: The module holding the analytic twins and the registry.
+COSTMODEL_MODULE = "repro.perf.costmodel"
+
+#: The registry variable the rule reads.
+TWINS_NAME = "COSTMODEL_TWINS"
+
+#: Span categories whose directly-opened spans are driver boundaries.
+_DRIVER_CATEGORIES = ("path", "run")
+
+
+def _constant_str(node):
+    return node.value if isinstance(node, ast.Constant) and isinstance(node.value, str) else None
+
+
+def _driver_spans(module):
+    """(name, node) for every profiled driver the module declares."""
+    drivers = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "profiled" and node.args:
+            name = _constant_str(node.args[0])
+            if name is not None:
+                drivers.append((name, node))
+        elif isinstance(func, ast.Attribute) and func.attr == "span" and node.args:
+            name = _constant_str(node.args[0])
+            category = next(
+                (
+                    _constant_str(keyword.value)
+                    for keyword in node.keywords
+                    if keyword.arg == "category"
+                ),
+                None,
+            )
+            if name is not None and category in _DRIVER_CATEGORIES:
+                drivers.append((name, node))
+    return drivers
+
+
+def _costmodel_summary(module):
+    """(twins {key: value-name}, twins_node, defined functions, __all__)."""
+    twins, twins_node, bad_values = {}, None, []
+    functions = set()
+    exported = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.add(node.name)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == TWINS_NAME and isinstance(node.value, ast.Dict):
+                twins_node = node
+                for key, value in zip(node.value.keys, node.value.values):
+                    key_name = _constant_str(key)
+                    if key_name is None:
+                        continue
+                    if isinstance(value, ast.Name):
+                        twins[key_name] = value.id
+                    else:
+                        bad_values.append((key_name, value))
+            elif target.id == "__all__" and isinstance(node.value, (ast.List, ast.Tuple)):
+                exported = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                ]
+    return twins, twins_node, bad_values, functions, exported
+
+
+@register
+class AccountingParityChecker(Checker):
+    rule = "accounting-parity"
+    contract = (
+        "every @profiled numeric driver name has a registered "
+        "perf.costmodel twin, and every analytic *_trace is some "
+        "driver's twin"
+    )
+    explanation = __doc__ or ""
+
+    def finalize(self, modules):
+        costmodel = next(
+            (module for module in modules if module.module == COSTMODEL_MODULE),
+            None,
+        )
+        if costmodel is None:
+            return []  # partial scan without the registry: nothing to judge
+        twins, twins_node, bad_values, functions, exported = _costmodel_summary(
+            costmodel
+        )
+        findings = []
+        if twins_node is None:
+            return [
+                self.finding(
+                    costmodel,
+                    costmodel.tree,
+                    f"{COSTMODEL_MODULE} defines no {TWINS_NAME} registry — "
+                    "the measured/analytic accounting pair cannot be joined",
+                )
+            ]
+        driver_names = {}
+        for module in modules:
+            if module.module == COSTMODEL_MODULE or not module.package_is("repro"):
+                continue
+            if module.package_is("repro.analysis", "repro.obs"):
+                continue  # the linter itself and the recorder seams
+            for name, node in _driver_spans(module):
+                driver_names.setdefault(name, []).append((module, node))
+        for name, sites in sorted(driver_names.items()):
+            if name not in twins:
+                module, node = sites[0]
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"profiled driver {name!r} has no analytic twin in "
+                        f"{COSTMODEL_MODULE}.{TWINS_NAME}",
+                    )
+                )
+        for key in sorted(twins):
+            if key not in driver_names:
+                findings.append(
+                    self.finding(
+                        costmodel,
+                        twins_node,
+                        f"{TWINS_NAME} entry {key!r} matches no @profiled "
+                        "driver or path/run span in the tree (stale twin)",
+                    )
+                )
+        for key, value_name in sorted(twins.items()):
+            if value_name not in functions:
+                findings.append(
+                    self.finding(
+                        costmodel,
+                        twins_node,
+                        f"{TWINS_NAME}[{key!r}] points at {value_name!r}, "
+                        f"which is not a function of {COSTMODEL_MODULE}",
+                    )
+                )
+        for key_name, value in bad_values:
+            findings.append(
+                self.finding(
+                    costmodel,
+                    value,
+                    f"{TWINS_NAME}[{key_name!r}] must be a plain function "
+                    "reference",
+                )
+            )
+        twin_values = set(twins.values())
+        for name in exported:
+            if name.endswith("_trace") and name not in twin_values:
+                findings.append(
+                    self.finding(
+                        costmodel,
+                        twins_node,
+                        f"analytic trace {name!r} is exported but is no "
+                        "driver's twin — dead model code",
+                    )
+                )
+        return findings

@@ -1,0 +1,18 @@
+"""Rule-family roster: importing this module populates the registry.
+
+One module per rule family; each registers exactly one
+:class:`~repro.analysis.core.Checker` via the ``@register`` decorator.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imports register the checkers)
+    determinism,
+    exports,
+    observe,
+    parity,
+    precision,
+    purity,
+)
+
+__all__ = ["determinism", "exports", "observe", "parity", "precision", "purity"]

@@ -599,7 +599,7 @@ def _advance_sub_batch(
                 rhs = _batched_residual_columns(residual_planes, k)
             else:
                 rhs_rows = []
-                for p, state in enumerate(batch_states):
+                for p in range(len(batch_states)):
                     partial = [solution.partial(p, i, k) for i in range(n)]
                     t = series_cls.variable(k, prec)
                     residuals = _coerce_residual(

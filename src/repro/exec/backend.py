@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import threading
 from contextlib import contextmanager
+from typing import Callable
 
 import numpy as np
 
@@ -152,12 +153,15 @@ def _make_fused():
     return FusedBackend()
 
 
-_FACTORIES = {"generic": _make_generic, "fused": _make_fused}
+_FACTORIES: dict[str, Callable[[], ExecutionBackend]] = {
+    "generic": _make_generic,
+    "fused": _make_fused,
+}
 _lock = threading.Lock()
-_active = None
+_active: ExecutionBackend | None = None
 
 
-def register_backend(name: str, factory) -> None:
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
     """Register a backend factory (e.g. a CuPy-module FusedBackend)."""
     _FACTORIES[name] = factory
 
@@ -195,7 +199,7 @@ def get_backend() -> ExecutionBackend:
     return backend
 
 
-def set_backend(backend) -> ExecutionBackend:
+def set_backend(backend: ExecutionBackend | str) -> ExecutionBackend:
     """Set the active backend by name or instance; returns it."""
     global _active
     if isinstance(backend, str):

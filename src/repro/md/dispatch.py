@@ -1,0 +1,34 @@
+"""The single array-module seam of :mod:`repro.md`.
+
+The limb-tuple arithmetic of this package is duck-typed over its
+element type: the same code runs on Python floats, on
+:class:`~repro.md.counting.CountingFloat` instruments and on whole
+NumPy limb planes.  A handful of operations (element-wise selects, the
+square-root seed) genuinely need the array module when the limbs are
+array-valued — and reaching for ``import numpy`` inline at those sites
+would hard-wire the host library behind the execution backend's back,
+breaking the CuPy/JAX drop-in the backend boundary exists for.
+
+This module is the one sanctioned escape: :func:`array_module` returns
+the ``xp`` handle of the **active execution backend**, so a device
+module swapped in via :func:`repro.exec.set_backend` (or
+``REPRO_EXEC_BACKEND``) reaches the scalar kernels too.  The import is
+lazy — :mod:`repro.exec` sits *above* this package in the layering and
+is only touched at call time, and only for array-valued limbs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["array_module", "is_array_limb"]
+
+
+def is_array_limb(value) -> bool:
+    """True when a limb is a whole array plane (vectorized call sites)."""
+    return hasattr(value, "dtype")
+
+
+def array_module():
+    """The active execution backend's array-module handle ``xp``."""
+    from ..exec.backend import get_backend  # lazy: exec layers above md
+
+    return get_backend().xp

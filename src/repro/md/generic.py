@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 
+from .dispatch import array_module, is_array_limb
 from .eft import quick_two_sum, two_diff, two_prod, two_sqr, two_sum
 from .renorm import renormalize
 
@@ -287,9 +288,7 @@ def _sqrt_leading(v):
         return sqrt_method()
     if isinstance(v, float):
         return math.sqrt(v)
-    import numpy as _np
-
-    return _np.sqrt(v)
+    return array_module().sqrt(v)
 
 
 def sqrt(x, m=None):
@@ -304,12 +303,11 @@ def sqrt(x, m=None):
     if m is None:
         m = len(x)
     leading = x[0]
-    is_array = hasattr(leading, "dtype")
+    is_array = is_array_limb(leading)
     if is_array:
-        import numpy as _np
-
+        xp = array_module()
         zero_mask = leading == 0.0
-        safe_leading = _np.where(zero_mask, 1.0, leading)
+        safe_leading = xp.where(zero_mask, 1.0, leading)
         y0 = 1.0 / _sqrt_leading(safe_leading)
     else:
         # a renormalized expansion with a zero leading limb is zero
@@ -331,9 +329,8 @@ def sqrt(x, m=None):
     err = sub(x, sqr(root, m), m)
     root = add(root, scale_pow2(mul(err, y, m), half), m)
     if is_array:
-        import numpy as _np
-
-        root = tuple(_np.where(zero_mask, 0.0, limb) for limb in root)
+        xp = array_module()
+        root = tuple(xp.where(zero_mask, 0.0, limb) for limb in root)
     return root
 
 

@@ -314,6 +314,7 @@ class ComplexMultiDouble:
         """Round to a Python ``complex`` (the leading limb of each
         plane) — the lossy convenience view; the instance itself keeps
         every limb."""
+        # repro: allow[precision-loss] — documented lossy view via __complex__
         return complex(self)
 
     def to_decimal_string(self, digits=None) -> str:

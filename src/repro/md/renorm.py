@@ -24,6 +24,7 @@ over NumPy arrays — the Python stand-in for the CUDA kernels.
 
 from __future__ import annotations
 
+from .dispatch import array_module, is_array_limb
 from .eft import quick_two_sum, two_sum
 
 __all__ = ["vecsum", "renormalize", "renorm_ordered", "extract_leading"]
@@ -118,11 +119,10 @@ def _swap_if_zero(a, b):
     limbs (floats or CountingFloat).  The swap is exact — no rounding is
     involved — so the expansion's value is preserved.
     """
-    if hasattr(a, "dtype") or hasattr(b, "dtype"):
-        import numpy as _np
-
+    if is_array_limb(a) or is_array_limb(b):
+        xp = array_module()
         is_zero = a == 0.0
-        return _np.where(is_zero, b, a), _np.where(is_zero, a * 0.0, b)
+        return xp.where(is_zero, b, a), xp.where(is_zero, a * 0.0, b)
     if a == 0.0:
         return b, a
     return a, b

@@ -332,7 +332,7 @@ class _NullSpan:
     __slots__ = ()
 
     def __enter__(self):
-        return None
+        return
 
     def __exit__(self, *exc) -> bool:
         return False
@@ -367,25 +367,25 @@ class NullRecorder:
         return _NULL_SPAN
 
     def event(self, name, category: str = "", **fields) -> None:
-        return None
+        return
 
     def count(self, name, value=1) -> None:
-        return None
+        return
 
     def observe(self, name, value) -> None:
-        return None
+        return
 
     def gauge(self, name, value) -> None:
-        return None
+        return
 
     def subscribe(self, sink):
         return sink
 
     def unsubscribe(self, sink) -> None:
-        return None
+        return
 
     def clear(self) -> None:
-        return None
+        return
 
     def spans(self, name=None, category=None) -> list:
         return []

@@ -37,6 +37,7 @@ __all__ = [
     "batched_back_substitution_trace",
     "batched_lstsq_trace",
     "path_fleet_trace",
+    "COSTMODEL_TWINS",
 ]
 
 
@@ -726,3 +727,37 @@ def path_step_trace(
             trace=trace,
         )
     return trace
+
+
+# ---------------------------------------------------------------------------
+# measured/analytic accounting parity
+# ---------------------------------------------------------------------------
+
+#: Launch-identical analytic twin of every profiled numeric driver: span
+#: name (the ``@profiled`` name, or the directly-opened path/run span)
+#: to the trace function that predicts the very launches the driver
+#: records.  ``predicted_vs_measured`` joins the two columns on the span
+#: name, so a missing entry makes a driver invisible to the acceptance
+#: oracle — the ``accounting-parity`` rule of :mod:`repro.analysis`
+#: keeps this table total in both directions.
+COSTMODEL_TWINS = {
+    "blocked_qr": qr_trace,
+    "tiled_back_substitution": back_substitution_trace,
+    "lstsq": lstsq_trace,
+    "solve_matrix_series": matrix_series_trace,
+    "newton_series": newton_series_trace,
+    # the quadratic refinement runs the same per-order launches, one
+    # doubling column block at a time
+    "newton_series_quadratic": newton_series_trace,
+    "pade": pade_trace,
+    # the batched driver prices one Padé trace per batch slice
+    "batched_pade": pade_trace,
+    "poly_eval": polynomial_evaluation_trace,
+    "poly_jacobian": polynomial_evaluation_trace,
+    "poly_eval_jacobian": polynomial_evaluation_trace,
+    "batched_qr": batched_qr_trace,
+    "batched_back_substitution": batched_back_substitution_trace,
+    "batched_lstsq": batched_lstsq_trace,
+    "track_path": path_step_trace,
+    "track_paths": path_fleet_trace,
+}

@@ -43,6 +43,7 @@ from ..core.least_squares import STAGE_APPLY_QT, resolve_tile_sizes
 from ..core.stages import ceil_div
 from ..gpu.kernel import KernelTrace
 from ..gpu.memory import md_bytes
+from ..obs.profile import profiled
 from ..vec import linalg
 from ..vec.complexmd import MDComplexArray
 from ..vec.mdarray import MDArray
@@ -152,6 +153,7 @@ def _normalize_rhs(rhs_coefficients, n: int):
     return batched, per_order, False
 
 
+@profiled("solve_matrix_series", trace_of=lambda result: result.trace)
 def solve_matrix_series(
     matrix_coefficients,
     rhs_coefficients,

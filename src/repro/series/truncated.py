@@ -524,6 +524,9 @@ class TruncatedSeries:
         for magnitude in np.abs(self._coefficients.data[0]):
             absolute += float(magnitude) * power
             power *= t
+        # conditioning estimate: leading-limb magnitudes are all the
+        # noise-floor bound needs
+        # repro: allow[precision-loss]
         value = abs(float(self.evaluate(point)))
         if value == 0.0:
             return float("inf") if absolute > 0.0 else 1.0

@@ -1,0 +1,1 @@
+"""Test package marker (keeps module names unique for standalone runs)."""

@@ -1,0 +1,132 @@
+"""The ``python -m repro.analysis`` command line, end to end.
+
+A throwaway tree seeded with one real violation drives the CI-gate
+contract: ``check`` exits 1 and reports it (text and JSON), a
+``baseline`` run grandfathers it back to exit 0, adding a *new*
+violation past the baseline fails again, ``--rule`` restricts the rule
+set, and ``explain`` prints the contract of a known rule (exit 2 for
+an unknown one).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import main
+
+#: An inline NumPy import in repro.md — the canonical seeded violation.
+_VIOLATION = """\
+def renormalize(limbs):
+    import numpy as np
+    return np.sort(limbs)
+"""
+
+
+@pytest.fixture
+def seeded_tree(tmp_path):
+    """A scan root holding one backend-purity violation."""
+    package = tmp_path / "src" / "repro" / "md"
+    package.mkdir(parents=True)
+    (package / "bad.py").write_text(_VIOLATION)
+    return tmp_path
+
+
+def _run(seeded_tree, *arguments):
+    stdout = io.StringIO()
+    root = str(seeded_tree / "src")
+    baseline = str(seeded_tree / "analysis_baseline.json")
+    command, rest = arguments[0], list(arguments[1:])
+    argv = [command, "--root", root, "--baseline", baseline, *rest]
+    return main(argv, stdout=stdout), stdout.getvalue()
+
+
+def test_check_fails_on_a_seeded_violation(seeded_tree):
+    status, output = _run(seeded_tree, "check")
+    assert status == 1
+    assert "backend-purity" in output
+    assert "1 new finding(s)" in output
+
+
+def test_json_report_carries_the_finding(seeded_tree):
+    status, output = _run(seeded_tree, "check", "--format", "json")
+    assert status == 1
+    document = json.loads(output)
+    assert document["counts"] == {"new": 1, "grandfathered": 0}
+    (finding,) = document["new"]
+    assert finding["rule"] == "backend-purity"
+    assert finding["path"].endswith("bad.py")
+
+
+def test_baseline_grandfathers_the_violation(seeded_tree):
+    status, output = _run(seeded_tree, "baseline")
+    assert status == 0
+    assert "baselined 1 finding(s)" in output
+    status, output = _run(seeded_tree, "check")
+    assert status == 0
+    assert "clean: no findings (1 grandfathered by the baseline)" in output
+
+
+def test_new_violation_past_the_baseline_fails_again(seeded_tree):
+    _run(seeded_tree, "baseline")
+    worse = seeded_tree / "src" / "repro" / "md" / "worse.py"
+    worse.write_text(_VIOLATION)
+    status, output = _run(seeded_tree, "check")
+    assert status == 1
+    assert "worse.py" in output
+
+
+def test_rule_filter_restricts_the_run(seeded_tree):
+    status, _output = _run(seeded_tree, "check", "--rule", "determinism")
+    assert status == 0
+
+
+def test_clean_tree_checks_clean(tmp_path):
+    package = tmp_path / "src" / "repro" / "md"
+    package.mkdir(parents=True)
+    (package / "good.py").write_text("def identity(x):\n    return x\n")
+    status, output = _run(tmp_path, "check")
+    assert status == 0
+    assert "clean: no findings" in output
+
+
+def test_explain_prints_the_contract():
+    stdout = io.StringIO()
+    assert main(["explain", "backend-purity"], stdout=stdout) == 0
+    output = stdout.getvalue()
+    assert "xp handle" in output
+    assert "XP_BOUNDARY_MODULES" in output
+
+
+def test_explain_unknown_rule_exits_two():
+    stdout = io.StringIO()
+    assert main(["explain", "no-such-rule"], stdout=stdout) == 2
+    assert "known rules:" in stdout.getvalue()
+
+
+def test_module_entry_point_exits_nonzero(seeded_tree):
+    """``python -m repro.analysis`` is wired to the same gate CI runs."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            "check",
+            "--root",
+            str(seeded_tree / "src"),
+            "--baseline",
+            str(seeded_tree / "analysis_baseline.json"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=str(seeded_tree),
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert completed.returncode == 1
+    assert "backend-purity" in completed.stdout

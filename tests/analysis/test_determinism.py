@@ -1,0 +1,87 @@
+"""Fixture corpus of the ``determinism`` rule.
+
+Bad snippets read the wall clock, the global RNG or set iteration
+order inside numeric packages; good twins seed their generators
+explicitly, pin set order with ``sorted``, or live in
+:mod:`repro.obs`, which owns wall-clock measurement by design.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_source
+
+RULE = "determinism"
+PATH = "src/repro/series/example.py"
+
+
+def _findings(source, path=PATH):
+    return check_source(source, path=path, rules=[RULE])
+
+
+def test_wall_clock_imports_are_flagged():
+    findings = _findings("import time\nfrom datetime import datetime\n")
+    assert len(findings) == 2
+    assert all("wall-clock" in finding.message for finding in findings)
+
+
+def test_stdlib_random_import_is_flagged():
+    (finding,) = _findings("import random\n")
+    assert "global RNG state" in finding.message
+
+
+def test_legacy_np_random_call_is_flagged():
+    source = """\
+def perturb(n):
+    return np.random.rand(n)
+"""
+    (finding,) = _findings(source)
+    assert "legacy global-state `np.random.rand`" in finding.message
+
+
+def test_unseeded_default_rng_is_flagged():
+    source = """\
+def gamma():
+    return np.random.default_rng().random()
+"""
+    (finding,) = _findings(source)
+    assert "without a seed" in finding.message
+
+
+def test_seeded_default_rng_passes():
+    source = """\
+def gamma(seed):
+    return np.random.default_rng(seed).random()
+"""
+    assert _findings(source) == []
+
+
+def test_set_iteration_is_flagged():
+    source = """\
+def walk(items):
+    for item in set(items):
+        yield item
+"""
+    (finding,) = _findings(source)
+    assert "no defined order" in finding.message
+
+
+def test_set_to_list_conversion_and_comprehension_are_flagged():
+    source = """\
+def orders(items):
+    values = list({1, 2, 3})
+    return [x for x in set(items)] + values
+"""
+    assert len(_findings(source)) == 2
+
+
+def test_sorted_set_iteration_passes():
+    source = """\
+def walk(items):
+    for item in sorted(set(items)):
+        yield item
+"""
+    assert _findings(source) == []
+
+
+def test_obs_may_read_the_wall_clock():
+    assert _findings("import time\n", path="src/repro/obs/example.py") == []

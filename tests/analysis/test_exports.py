@@ -1,0 +1,115 @@
+"""Fixture corpus of the ``export-consistency`` rule.
+
+Miniature two-module packages exercise every failure mode of a PEP 562
+lazy table — an ``__all__`` entry nothing defines, a lazy name missing
+from ``__all__``, a lazy target pointing at a module or attribute that
+does not exist — plus a fully consistent good twin, the
+``if name == ...`` branch shape, and the pass for targets outside the
+scanned namespace (stdlib/third-party).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_modules, parse_source
+
+RULE = "export-consistency"
+
+IMPL = """\
+def lazy_fn():
+    return 1
+"""
+
+
+def _check(*sources):
+    modules = [
+        parse_source(source, path=path, module=module)
+        for source, path, module in sources
+    ]
+    return check_modules(modules, rules=[RULE])
+
+
+def _package(init_source):
+    return (
+        (init_source, "src/repro/demo/__init__.py", "repro.demo"),
+        (IMPL, "src/repro/demo/impl.py", "repro.demo.impl"),
+    )
+
+
+GOOD_INIT = """\
+__all__ = ["helper", "lazy_fn"]
+
+
+def helper():
+    return 0
+
+
+def __getattr__(name):
+    table = {"lazy_fn": ("repro.demo.impl", "lazy_fn")}
+    if name in table:
+        import importlib
+
+        module_name, attr = table[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(name)
+"""
+
+
+def test_consistent_table_passes():
+    assert _check(*_package(GOOD_INIT)) == []
+
+
+def test_unresolved_all_entry_is_flagged():
+    init = GOOD_INIT.replace('"helper", "lazy_fn"', '"helper", "lazy_fn", "ghost"')
+    (finding,) = _check(*_package(init))
+    assert finding.rule == RULE
+    assert "__all__ exports 'ghost'" in finding.message
+
+
+def test_duplicate_all_entry_is_flagged():
+    init = GOOD_INIT.replace('"helper", "lazy_fn"', '"helper", "helper", "lazy_fn"')
+    (finding,) = _check(*_package(init))
+    assert "duplicate __all__ entry 'helper'" in finding.message
+
+
+def test_lazy_name_missing_from_all_is_flagged():
+    init = GOOD_INIT.replace('"helper", "lazy_fn"', '"helper"')
+    (finding,) = _check(*_package(init))
+    assert "missing from __all__" in finding.message
+
+
+def test_lazy_target_attribute_must_exist():
+    init = GOOD_INIT.replace('"lazy_fn")}', '"renamed_fn")}')
+    (finding,) = _check(*_package(init))
+    assert "repro.demo.impl.renamed_fn" in finding.message
+    assert "not defined there" in finding.message
+
+
+def test_lazy_target_module_must_exist_in_scanned_tree():
+    init = GOOD_INIT.replace('"repro.demo.impl"', '"repro.demo.ghost"')
+    (finding,) = _check(*_package(init))
+    assert "targets 'repro.demo.ghost'" in finding.message
+
+
+def test_targets_outside_the_scanned_namespace_pass():
+    init = GOOD_INIT.replace('"repro.demo.impl"', '"importlib.metadata"').replace(
+        '"lazy_fn")}', '"version")}'
+    )
+    assert _check(*_package(init)) == []
+
+
+def test_equality_branch_table_shape_is_recognized():
+    init = """\
+__all__ = ["lazy_fn"]
+
+
+def __getattr__(name):
+    if name == "lazy_fn":
+        from .impl import lazy_fn
+
+        return lazy_fn
+    raise AttributeError(name)
+"""
+    assert _check(*_package(init)) == []
+    broken = init.replace("from .impl import lazy_fn", "from .impl import lazy_fn2")
+    findings = _check(*_package(broken))
+    assert findings  # lazy_fn no longer resolves through the branch

@@ -1,0 +1,209 @@
+"""The linter framework: suppressions, baseline, cache, reports.
+
+Pins the :mod:`repro.analysis.core` machinery every rule family rides
+on: ``# repro: allow[...]`` comments suppress on the flagged line or a
+comment-only line directly above (and nowhere else), the baseline
+round-trips through its JSON file and grandfathers by fingerprint
+*count*, the per-file parse cache hands every checker the same parse
+until the file changes, and both report renderers carry the findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_SCHEMA_VERSION,
+    apply_baseline,
+    check_source,
+    load_baseline,
+    parse_module,
+    parse_source,
+    registered_checkers,
+    render_json_report,
+    render_text_report,
+    write_baseline,
+)
+
+#: A snippet violating backend-purity (module-level NumPy import in a
+#: non-whitelisted repro.vec module) used to exercise the framework.
+_VIOLATION = "import numpy as np\n"
+_PATH = "src/repro/vec/example.py"
+
+
+def _findings(source, path=_PATH):
+    return check_source(source, path=path, rules=["backend-purity"])
+
+
+class TestRegistry:
+    def test_all_six_rule_families_registered(self):
+        rules = {checker.rule for checker in registered_checkers()}
+        assert rules == {
+            "backend-purity",
+            "precision-loss",
+            "observe-only",
+            "determinism",
+            "export-consistency",
+            "accounting-parity",
+        }
+
+    def test_every_checker_documents_itself(self):
+        for checker in registered_checkers():
+            assert checker.contract, checker.rule
+            assert checker.explanation.strip(), checker.rule
+
+
+class TestModuleScoping:
+    def test_path_maps_to_dotted_module(self):
+        module = parse_source("x = 1\n", path="src/repro/md/example.py")
+        assert module.module == "repro.md.example"
+        assert not module.is_package
+
+    def test_package_init_resolves_from_itself(self):
+        module = parse_source(
+            "from . import report\n", path="src/repro/obs/__init__.py"
+        )
+        assert module.module == "repro.obs"
+        assert module.is_package
+        node = module.tree.body[0]
+        assert module.resolve_import(node) == "repro.obs"
+
+    def test_plain_module_resolves_from_parent(self):
+        module = parse_source(
+            "from ..obs.profile import profiled\n",
+            path="src/repro/core/example.py",
+        )
+        node = module.tree.body[0]
+        assert module.resolve_import(node) == "repro.obs.profile"
+
+
+class TestSuppression:
+    def test_violation_is_flagged(self):
+        assert len(_findings(_VIOLATION)) == 1
+
+    def test_allow_on_the_flagged_line(self):
+        source = "import numpy as np  # repro: allow[backend-purity]\n"
+        assert _findings(source) == []
+
+    def test_allow_on_a_comment_line_above(self):
+        source = (
+            "# repro: allow[backend-purity]\n"
+            "import numpy as np\n"
+        )
+        assert _findings(source) == []
+
+    def test_allow_star_suppresses_every_rule(self):
+        source = "import numpy as np  # repro: allow[*]\n"
+        assert _findings(source) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "import numpy as np  # repro: allow[determinism]\n"
+        assert len(_findings(source)) == 1
+
+    def test_allow_trailing_a_code_line_above_does_not_suppress(self):
+        # only a comment-only line above counts; a code line carrying the
+        # comment suppresses that line, not its neighbours
+        source = (
+            "x = 1  # repro: allow[backend-purity]\n"
+            "import numpy as np\n"
+        )
+        assert len(_findings(source)) == 1
+
+    def test_allow_two_lines_above_does_not_suppress(self):
+        source = (
+            "# repro: allow[backend-purity]\n"
+            "\n"
+            "import numpy as np\n"
+        )
+        assert len(_findings(source)) == 1
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = _findings(_VIOLATION)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        baseline = load_baseline(path)
+        assert baseline == {findings[0].fingerprint: 1}
+        new, grandfathered = apply_baseline(findings, baseline)
+        assert new == []
+        assert grandfathered == findings
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": 999, "findings": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_new_finding_not_grandfathered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _findings(_VIOLATION))
+        # same file, a second distinct violation appears
+        grown = _VIOLATION + "import numpy.linalg\n"
+        new, grandfathered = apply_baseline(_findings(grown), load_baseline(path))
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+        assert "numpy.linalg" in new[0].message
+
+    def test_counts_grandfather_per_occurrence(self):
+        # two findings sharing a fingerprint against a count of one:
+        # exactly one passes, the second is new
+        findings = _findings(_VIOLATION)
+        assert len(findings) == 1
+        baseline = {findings[0].fingerprint: 1}
+        new, grandfathered = apply_baseline(findings + findings, baseline)
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+    def test_fingerprint_ignores_line_numbers(self):
+        shifted = "\n\n\n" + _VIOLATION
+        original = _findings(_VIOLATION)[0]
+        moved = _findings(shifted)[0]
+        assert moved.line != original.line
+        assert moved.fingerprint == original.fingerprint
+
+
+class TestParseCache:
+    def test_same_state_parses_once(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text("x = 1\n")
+        first = parse_module(path, tmp_path)
+        second = parse_module(path, tmp_path)
+        assert first is second
+
+    def test_modified_file_reparses(self, tmp_path):
+        path = tmp_path / "module.py"
+        path.write_text("x = 1\n")
+        first = parse_module(path, tmp_path)
+        path.write_text("x = 1\ny = 2\n")
+        second = parse_module(path, tmp_path)
+        assert first is not second
+        assert "y = 2" in second.source
+
+
+class TestReports:
+    def test_text_report_carries_the_findings(self):
+        findings = _findings(_VIOLATION)
+        report = render_text_report(findings)
+        assert "backend-purity" in report
+        assert f"{_PATH}:1" in report
+        assert "1 new finding(s)" in report
+
+    def test_clean_text_report(self):
+        report = render_text_report([], grandfathered=_findings(_VIOLATION))
+        assert "clean: no findings" in report
+        assert "1 grandfathered" in report
+
+    def test_json_report_round_trips(self):
+        findings = _findings(_VIOLATION)
+        document = json.loads(render_json_report(findings, findings))
+        assert document["schema"] == BASELINE_SCHEMA_VERSION
+        assert document["counts"] == {"new": 1, "grandfathered": 1}
+        (entry,) = document["new"]
+        assert entry["rule"] == "backend-purity"
+        assert entry["fingerprint"] == findings[0].fingerprint

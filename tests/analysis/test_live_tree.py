@@ -1,0 +1,41 @@
+"""Meta-test: the committed source tree satisfies its own invariants.
+
+Runs the full rule set over the live ``src/`` tree against the
+committed ``analysis_baseline.json`` — exactly what CI's
+static-analysis job executes — and asserts no new findings.  A
+failure here is a real contract regression (or a legitimate new
+boundary that needs an ``# repro: allow[...]`` with its rationale, or
+a deliberate regeneration of the baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    BASELINE_SCHEMA_VERSION,
+    apply_baseline,
+    check_tree,
+    load_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "analysis_baseline.json"
+
+
+def test_live_tree_is_clean_against_the_committed_baseline():
+    findings = check_tree(REPO / "src")
+    new, _grandfathered = apply_baseline(findings, load_baseline(BASELINE))
+    assert new == [], "new invariant violations:\n" + "\n".join(
+        str(finding) for finding in new
+    )
+
+
+def test_committed_baseline_is_current_schema_and_empty():
+    document = json.loads(BASELINE.read_text())
+    assert document["schema"] == BASELINE_SCHEMA_VERSION
+    # the tree starts fully clean: nothing is grandfathered.  If a rule
+    # tightens later, regenerate via `python -m repro.analysis baseline`
+    # and this assertion documents the debt by failing.
+    assert document["findings"] == {}

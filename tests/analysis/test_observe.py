@@ -1,0 +1,89 @@
+"""Fixture corpus of the ``observe-only`` rule.
+
+Inward direction: :mod:`repro.obs` code mutating a function parameter
+(assignment, augmented update, deletion, mutator call) is flagged;
+mutating its own ``self`` state or locals passes.  Outward direction:
+numeric code importing anything from ``repro.obs`` that is not a
+NullRecorder-guarded seam is flagged; the sanctioned seams pass.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_source
+from repro.analysis.observe import OBS_SEAMS
+
+RULE = "observe-only"
+OBS_PATH = "src/repro/obs/example.py"
+NUMERIC_PATH = "src/repro/core/example.py"
+
+
+def _findings(source, path):
+    return check_source(source, path=path, rules=[RULE])
+
+
+def test_obs_assigning_into_a_parameter_is_flagged():
+    source = """\
+def consume(record):
+    record.fields["touched"] = True
+"""
+    (finding,) = _findings(source, OBS_PATH)
+    assert finding.rule == RULE
+    assert "assigns into state of parameter `record`" in finding.message
+
+
+def test_obs_mutator_call_on_a_parameter_is_flagged():
+    source = """\
+def consume(record):
+    record.launches.append(1)
+"""
+    (finding,) = _findings(source, OBS_PATH)
+    assert "mutating `.append()` on parameter `record`" in finding.message
+
+
+def test_obs_augmented_update_and_delete_are_flagged():
+    source = """\
+def consume(record):
+    record.count += 1
+    del record.fields["gone"]
+"""
+    findings = _findings(source, OBS_PATH)
+    assert len(findings) == 2
+    assert any("updates" in finding.message for finding in findings)
+    assert any("deletes" in finding.message for finding in findings)
+
+
+def test_obs_owning_its_state_passes():
+    source = """\
+class Sink:
+    def __init__(self):
+        self.seen = []
+
+    def consume(self, record):
+        self.seen.append(record.name)
+        names = []
+        names.append(record.name)
+        return names
+"""
+    assert _findings(source, OBS_PATH) == []
+
+
+def test_numeric_import_of_a_guarded_seam_passes():
+    assert "profiled" in OBS_SEAMS
+    source = "from ..obs.profile import profiled\n"
+    assert _findings(source, NUMERIC_PATH) == []
+
+
+def test_numeric_import_of_recorder_internals_is_flagged():
+    source = "from ..obs.events import RecordStore\n"
+    (finding,) = _findings(source, NUMERIC_PATH)
+    assert "`RecordStore` (from repro.obs.events)" in finding.message
+
+
+def test_numeric_plain_module_import_is_flagged():
+    (finding,) = _findings("import repro.obs.events\n", NUMERIC_PATH)
+    assert "unchecked access" in finding.message
+
+
+def test_obs_internals_may_import_each_other():
+    source = "from .events import RecordStore\n"
+    assert _findings(source, OBS_PATH) == []

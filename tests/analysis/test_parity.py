@@ -1,0 +1,130 @@
+"""Fixture corpus of the ``accounting-parity`` rule.
+
+A miniature costmodel/driver pair exercises all four directions of the
+contract: a profiled driver without a ``COSTMODEL_TWINS`` entry, a
+stale registry key without a driver, a registry value that is not a
+costmodel function, and an exported ``*_trace`` that is nobody's twin
+— plus the consistent good twin where drivers (both ``@profiled`` and
+directly-opened ``category="run"`` spans) and registry agree exactly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_modules, parse_source
+from repro.analysis.parity import COSTMODEL_MODULE, TWINS_NAME
+
+RULE = "accounting-parity"
+
+GOOD_COSTMODEL = """\
+__all__ = ["qr_trace", "fleet_trace", "COSTMODEL_TWINS"]
+
+
+def qr_trace(n):
+    return n
+
+
+def fleet_trace(n):
+    return n
+
+
+COSTMODEL_TWINS = {
+    "blocked_qr": qr_trace,
+    "fleet_run": fleet_trace,
+}
+"""
+
+GOOD_DRIVER = """\
+from ..obs.profile import profiled
+
+
+@profiled("blocked_qr")
+def blocked_qr(matrix):
+    return matrix
+
+
+def run_fleet(recorder):
+    with recorder.span("fleet_run", category="run"):
+        return None
+"""
+
+
+def _check(costmodel=GOOD_COSTMODEL, driver=GOOD_DRIVER):
+    modules = [
+        parse_source(
+            costmodel, path="src/repro/perf/costmodel.py", module=COSTMODEL_MODULE
+        ),
+        parse_source(
+            driver, path="src/repro/core/example.py", module="repro.core.example"
+        ),
+    ]
+    return check_modules(modules, rules=[RULE])
+
+
+def test_matched_drivers_and_twins_pass():
+    assert _check() == []
+
+
+def test_profiled_driver_without_twin_is_flagged():
+    driver = GOOD_DRIVER + """\
+
+
+@profiled("untwinned_solve")
+def solve(matrix):
+    return matrix
+"""
+    (finding,) = _check(driver=driver)
+    assert finding.rule == RULE
+    assert finding.path == "src/repro/core/example.py"
+    assert "'untwinned_solve' has no analytic twin" in finding.message
+
+
+def test_direct_run_span_counts_as_a_driver():
+    driver = GOOD_DRIVER.replace('"fleet_run"', '"unregistered_run"')
+    findings = _check(driver=driver)
+    messages = "\n".join(finding.message for finding in findings)
+    assert "'unregistered_run' has no analytic twin" in messages
+    assert "'fleet_run' matches no @profiled driver" in messages
+
+
+def test_stale_twin_is_flagged():
+    costmodel = GOOD_COSTMODEL.replace('"blocked_qr": qr_trace', '"gone": qr_trace')
+    findings = _check(costmodel=costmodel)
+    messages = "\n".join(finding.message for finding in findings)
+    assert "'gone' matches no @profiled driver" in messages
+    assert "'blocked_qr' has no analytic twin" in messages
+
+
+def test_twin_value_must_be_a_costmodel_function():
+    costmodel = GOOD_COSTMODEL.replace(
+        '"blocked_qr": qr_trace', '"blocked_qr": missing_trace'
+    )
+    messages = "\n".join(finding.message for finding in _check(costmodel=costmodel))
+    assert "points at 'missing_trace'" in messages
+    # and the twin it abandoned is now dead model code
+    assert "'qr_trace' is exported but is no driver's twin" in messages
+
+
+def test_exported_trace_without_driver_is_dead_model_code():
+    costmodel = GOOD_COSTMODEL.replace(
+        '"qr_trace", "fleet_trace"', '"qr_trace", "fleet_trace", "orphan_trace"'
+    ) + """\
+
+
+def orphan_trace(n):
+    return n
+"""
+    (finding,) = _check(costmodel=costmodel)
+    assert "'orphan_trace' is exported but is no driver's twin" in finding.message
+
+
+def test_missing_registry_is_one_hard_finding():
+    costmodel = "def qr_trace(n):\n    return n\n"
+    (finding,) = _check(costmodel=costmodel)
+    assert f"defines no {TWINS_NAME} registry" in finding.message
+
+
+def test_partial_scan_without_costmodel_judges_nothing():
+    module = parse_source(
+        GOOD_DRIVER, path="src/repro/core/example.py", module="repro.core.example"
+    )
+    assert check_modules([module], rules=[RULE]) == []

@@ -1,0 +1,113 @@
+"""Fixture corpus of the ``precision-loss`` rule.
+
+Bad snippets cast tainted limb values (annotated parameters, ``self``
+in limb classes, constructor-assigned locals, limb-returning calls) to
+``float``/``complex``; good twins keep the value in limb form, cast
+untainted doubles, or sit inside a ``to_float``-family boundary whose
+whole contract is the rounding.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_source
+
+RULE = "precision-loss"
+PATH = "src/repro/md/example.py"
+
+
+def _findings(source, path=PATH):
+    return check_source(source, path=path, rules=[RULE])
+
+
+def test_cast_of_annotated_parameter_is_flagged():
+    source = """\
+def magnitude_of(value: MultiDouble):
+    return float(value)
+"""
+    (finding,) = _findings(source)
+    assert finding.rule == RULE
+    assert "limb value `value`" in finding.message
+
+
+def test_cast_of_self_plane_in_limb_class_is_flagged():
+    source = """\
+class MDArray:
+    def head(self):
+        return float(self.data[0])
+"""
+    (finding,) = _findings(source, "src/repro/vec/example.py")
+    assert "rooted at `self`" in finding.message
+
+
+def test_cast_of_constructor_local_is_flagged():
+    source = """\
+def observed(a, b):
+    total = MultiDouble(a, b)
+    return float(total)
+"""
+    (finding,) = _findings(source)
+    assert "limb value `total`" in finding.message
+
+
+def test_cast_of_limb_returning_call_is_flagged():
+    source = """\
+def endpoint(series, point):
+    return float(series.evaluate(point))
+"""
+    (finding,) = _findings(source, "src/repro/series/example.py")
+    assert ".evaluate()" in finding.message
+
+
+def test_complex_cast_is_flagged_too():
+    source = """\
+def as_builtin(value: ComplexMultiDouble):
+    return complex(value)
+"""
+    (finding,) = _findings(source)
+    assert "complex() on limb value" in finding.message
+
+
+def test_cast_through_abs_and_negation_is_flagged():
+    # abs()/unary minus are transparent: the limbs still drown
+    source = """\
+def residual_size(value: MultiDouble):
+    return float(abs(-value))
+"""
+    assert len(_findings(source)) == 1
+
+
+def test_boundary_methods_may_round():
+    source = """\
+class MultiDouble:
+    def to_float(self):
+        return float(self.limbs[0])
+
+    def __float__(self):
+        return float(self.limbs[0])
+"""
+    assert _findings(source) == []
+
+
+def test_untainted_double_cast_passes():
+    source = """\
+def widen(x):
+    return float(x)
+"""
+    assert _findings(source) == []
+
+
+def test_allow_comment_documents_a_deliberate_read():
+    source = """\
+def condition_estimate(value: MultiDouble):
+    # repro: allow[precision-loss]
+    return float(value)
+"""
+    assert _findings(source) == []
+
+
+def test_packages_outside_the_scope_pass():
+    source = """\
+def plot_point(value: MultiDouble):
+    return float(value)
+"""
+    assert _findings(source, "src/repro/obs/example.py") == []

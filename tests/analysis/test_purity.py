@@ -1,0 +1,83 @@
+"""Fixture corpus of the ``backend-purity`` rule.
+
+One bad/good snippet pair per failure mode: inline function-body NumPy
+imports are always flagged inside the pure packages, module-level
+imports are flagged outside the sanctioned ``XP_BOUNDARY_MODULES``
+whitelist, and code routing through :mod:`repro.md.dispatch` or living
+outside the scoped packages passes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import check_source
+from repro.analysis.purity import PURE_PACKAGES, XP_BOUNDARY_MODULES
+
+RULE = "backend-purity"
+
+
+def _findings(source, path):
+    return check_source(source, path=path, rules=[RULE])
+
+
+BAD_INLINE = """\
+def renormalize(limbs):
+    import numpy as np
+    return np.sort(limbs)
+"""
+
+GOOD_DISPATCH = """\
+from .dispatch import array_module
+
+
+def renormalize(limbs):
+    xp = array_module()
+    return xp.sort(limbs)
+"""
+
+
+def test_inline_import_in_md_is_flagged():
+    (finding,) = _findings(BAD_INLINE, "src/repro/md/example.py")
+    assert finding.rule == RULE
+    assert finding.line == 2
+    assert "inline `import numpy` inside renormalize()" in finding.message
+
+
+def test_dispatch_routed_md_code_passes():
+    assert _findings(GOOD_DISPATCH, "src/repro/md/example.py") == []
+
+
+def test_inline_from_import_is_flagged():
+    source = "def f(x):\n    from numpy.linalg import qr\n    return qr(x)\n"
+    (finding,) = _findings(source, "src/repro/batch/example.py")
+    assert "numpy.linalg" in finding.message
+
+
+def test_module_level_import_outside_whitelist_is_flagged():
+    (finding,) = _findings("import numpy as np\n", "src/repro/series/example.py")
+    assert "not a sanctioned xp boundary site" in finding.message
+
+
+def test_module_level_import_in_whitelisted_module_passes():
+    assert "repro.series.pade" in XP_BOUNDARY_MODULES
+    assert _findings("import numpy as np\n", "src/repro/series/pade.py") == []
+
+
+def test_md_has_no_sanctioned_modules():
+    assert not any(name.startswith("repro.md") for name in XP_BOUNDARY_MODULES)
+
+
+def test_inline_import_in_whitelisted_module_still_flagged():
+    # the whitelist sanctions the module-level boundary only; function
+    # bodies must still route through the xp handle
+    (finding,) = _findings(BAD_INLINE, "src/repro/series/pade.py")
+    assert "inline" in finding.message
+
+
+def test_packages_outside_the_scope_pass():
+    assert "repro.perf" not in PURE_PACKAGES
+    assert _findings("import numpy as np\n", "src/repro/perf/example.py") == []
+
+
+def test_non_numpy_imports_pass():
+    source = "def f(x):\n    import math\n    return math.sqrt(x)\n"
+    assert _findings(source, "src/repro/md/example.py") == []

@@ -84,7 +84,7 @@ class TestCrossPrecision:
 
     def test_precision_improves_with_limbs(self):
         errors = []
-        for mod, m in ((double_double, 2), (quad_double, 4), (octo_double, 8)):
+        for mod in (double_double, quad_double, octo_double):
             third = mod.div(mod.from_double(1.0), mod.from_double(3.0))
             errors.append(abs(exact(third) - Fraction(1, 3)))
         assert errors[0] > errors[1] > errors[2]

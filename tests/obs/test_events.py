@@ -161,7 +161,7 @@ class TestThreadSafety:
         def work(tag):
             try:
                 rec = get_recorder()
-                for i in range(25):
+                for _ in range(25):
                     with rec.span(f"outer_{tag}") as outer:
                         assert outer is not None
                         with rec.span(f"inner_{tag}"):

@@ -23,7 +23,7 @@ def exact_hankel_denominator(coeffs, L: int, M: int) -> list:
     matrix = [[c(L + i - j) for j in range(1, M + 1)] for i in range(1, M + 1)]
     rhs = [-c(L + i) for i in range(1, M + 1)]
     for col in range(M):
-        pivot = max(range(col, M), key=lambda r: abs(matrix[r][col]))
+        pivot = max(range(col, M), key=lambda r, c=col: abs(matrix[r][c]))
         matrix[col], matrix[pivot] = matrix[pivot], matrix[col]
         rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
         for row in range(col + 1, M):
